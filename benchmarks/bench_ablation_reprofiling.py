@@ -1,0 +1,107 @@
+"""Ablation: periodic re-profiling under drifting client performance.
+
+Section 4.2: "The profiling and tiering can be conducted periodically for
+systems with changing computation and communication performance over
+time so that clients can be adaptively grouped into the right tiers."
+
+We inject a 20x slowdown into the clients of the originally-fastest tier
+halfway through training and compare a TiFL server that keeps its stale
+tiering against one that re-profiles after the drift.  Without
+re-profiling, the ``fast`` policy keeps scheduling the now-slow clients
+and its post-drift round time explodes; with re-profiling, the drifted
+clients move to a slow tier and the fast tier recovers.
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, format_table, save_artifact
+from repro.experiments.scenarios import build_scenario
+from repro.simcluster.faults import SlowdownInjector
+from repro.tifl.server import TiFLServer
+
+SEED = 73
+PHASE = 40  # rounds before / after the drift
+SLOWDOWN = 20.0
+
+
+def build_server():
+    cfg = ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=300,
+        base_overhead=0.1,
+        cost_per_sample=0.02,
+    )
+    scn = build_scenario(cfg, seed=SEED)
+    server = TiFLServer(
+        clients=scn.clients,
+        model=scn.model,
+        test_data=scn.test_data,
+        clients_per_round=5,
+        policy="fast",
+        num_tiers=5,
+        sync_rounds=3,
+        training=scn.training,
+        rng=SEED,
+        eval_every=20,
+    )
+    return server
+
+
+def run_drift(reprofile: bool):
+    server = build_server()
+    fast_tier_clients = set(server.assignment.members(0))
+    server.run(PHASE)
+    pre_drift = float(np.mean(server.history.round_latencies[-10:]))
+
+    # the drift: the entire (previously) fastest tier slows down 20x,
+    # visible in training rounds and -- via negative round ids -- in any
+    # subsequent re-profiling campaign
+    server.fault = SlowdownInjector(
+        factor=SLOWDOWN, slow_clients=fast_tier_clients, start_round=-(10**9)
+    )
+    if reprofile:
+        server.reprofile()
+    server.run(PHASE, start_round=PHASE)
+    post_drift = float(np.mean(server.history.round_latencies[-10:]))
+    return pre_drift, post_drift, server.history.total_time
+
+
+def run_ablation():
+    return {
+        "stale tiering": run_drift(reprofile=False),
+        "re-profiled": run_drift(reprofile=True),
+    }
+
+
+def test_ablation_reprofiling(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [name, pre, post, total]
+        for name, (pre, post, total) in results.items()
+    ]
+    save_artifact(
+        "ablation_reprofiling",
+        format_table(
+            ["variant", "round time before drift [s]",
+             "round time after drift [s]", "total [s]"],
+            rows,
+            title=f"Ablation: {SLOWDOWN:.0f}x drift of the fast tier at "
+                  f"round {PHASE} (policy=fast)",
+        ),
+    )
+
+    stale_pre, stale_post, stale_total = results["stale tiering"]
+    re_pre, re_post, re_total = results["re-profiled"]
+    # both variants start from the same fast-tier round times
+    np.testing.assert_allclose(stale_pre, re_pre, rtol=0.3)
+    # without re-profiling the fast policy keeps hitting the slowed tier
+    assert stale_post > stale_pre * (SLOWDOWN / 3)
+    # re-profiling re-tiers the drifted clients: post-drift rounds recover
+    # to near the pre-drift level and total time is much lower
+    assert re_post < stale_post / 3
+    assert re_total < stale_total

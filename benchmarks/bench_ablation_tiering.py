@@ -1,0 +1,121 @@
+"""Ablation: tiering design choices (DESIGN.md §5.5).
+
+Two knobs of the Section 4.2 tiering module are ablated on the standard
+resource-heterogeneous federation:
+
+1. **Histogram split** -- the paper's literal equal-width split vs this
+   repo's equal-frequency (quantile) default.  On the heavy-tailed
+   latency spread produced by the 4 -> 0.1 CPU allocation, equal-width
+   collapses the four faster groups into one tier, wiping out most of the
+   uniform policy's straggler mitigation.
+2. **Number of tiers m** -- sweep m in {2, 3, 5, 10}: more tiers give
+   tighter within-tier latency bounds and shorter expected round times
+   for the uniform policy (diminishing returns once m reaches the number
+   of natural hardware groups).
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, format_table, save_artifact
+from repro.experiments.runner import run_policy
+from repro.experiments.scenarios import build_scenario
+from repro.tifl import build_tiers, profile_clients
+
+SEED = 61
+ROUNDS = 80
+
+
+def base_cfg():
+    return ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=300,
+        base_overhead=0.1,
+        cost_per_sample=0.02,
+    )
+
+
+def run_method_ablation():
+    out = {}
+    for method in ("quantile", "width"):
+        res = run_policy(
+            base_cfg(),
+            "uniform",
+            rounds=ROUNDS,
+            seed=SEED,
+            eval_every=40,
+            server_kwargs={"tiering_method": method},
+        )
+        out[method] = res
+    return out
+
+
+def run_tier_count_sweep():
+    out = {}
+    for m in (2, 3, 5, 10):
+        res = run_policy(
+            base_cfg(),
+            "uniform",
+            rounds=ROUNDS,
+            seed=SEED,
+            eval_every=40,
+            num_tiers=m,
+        )
+        out[m] = res
+    return out
+
+
+def test_ablation_tiering_method(benchmark):
+    results = benchmark.pedantic(run_method_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [
+            method,
+            len(res.tier_sizes),
+            str(res.tier_sizes.tolist()),
+            res.total_time,
+        ]
+        for method, res in results.items()
+    ]
+    save_artifact(
+        "ablation_tiering_method",
+        format_table(
+            ["split", "realised tiers", "tier sizes", f"uniform time {ROUNDS}r [s]"],
+            rows,
+            title="Ablation: equal-frequency vs equal-width tiering",
+        ),
+    )
+
+    # quantile recovers the 5 natural hardware groups; width collapses them
+    assert len(results["quantile"].tier_sizes) == 5
+    assert len(results["width"].tier_sizes) < 5
+    # the collapse costs wall-clock time: coarse tiers mix fast clients
+    # with slower ones, so rounds are bounded by slower members
+    assert results["quantile"].total_time < results["width"].total_time
+
+
+def test_ablation_tier_count(benchmark):
+    results = benchmark.pedantic(run_tier_count_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [m, len(res.tier_sizes), res.total_time, res.final_accuracy]
+        for m, res in results.items()
+    ]
+    save_artifact(
+        "ablation_tier_count",
+        format_table(
+            ["requested m", "realised", f"uniform time {ROUNDS}r [s]", "accuracy"],
+            rows,
+            title="Ablation: number of tiers",
+        ),
+    )
+
+    # finer tiering monotonically (weakly) reduces uniform's training time
+    # up to the natural 5 hardware groups
+    assert results[5].total_time < results[2].total_time
+    assert results[3].total_time < results[2].total_time * 1.05
+    # beyond the natural group count there is little left to gain
+    assert results[10].total_time < results[2].total_time

@@ -1,0 +1,108 @@
+"""Figure 1 -- the Section 3.3 heterogeneity case study.
+
+Fig. 1(a): average per-round training time under the case-study CPU
+allocation (4, 2, 1, 1/3, 1/5 CPUs) for increasing local data sizes --
+the training time must grow near-linearly in data and inversely in CPU.
+
+Fig. 1(b): vanilla-FL accuracy over rounds on CIFAR10-like data under
+IID vs non-IID(10) / non-IID(5) / non-IID(2) class distributions with
+homogeneous 2-CPU clients -- accuracy must degrade monotonically as the
+classes-per-client shrink.
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, format_table, run_policy, save_artifact
+from repro.experiments.tables import series_preview
+from repro.simcluster import CASE_STUDY_CPU_GROUPS, LatencyModel, ResourceSpec
+
+#: Paper data sizes 500..5000, scaled 1:10 like the rest of the harness.
+DATA_SIZES = (50, 100, 200, 500)
+SEED = 7
+
+
+def run_fig1a():
+    """Mean per-round training time for every (CPU group, data size) cell."""
+    model = LatencyModel(cost_per_sample=0.01, base_overhead=0.2, noise_sigma=0.05)
+    rng = np.random.default_rng(SEED)
+    grid = {}
+    for cpu in CASE_STUDY_CPU_GROUPS:
+        spec = ResourceSpec(cpu_fraction=cpu)
+        for n in DATA_SIZES:
+            draws = [
+                model.sample_compute(n, spec, rng=rng) for _ in range(40)
+            ]
+            grid[(cpu, n)] = float(np.mean(draws))
+    return grid
+
+
+def run_fig1b(rounds=60):
+    base = dict(
+        dataset="cifar10",
+        resource_profile="homogeneous",
+        difficulty=0.7,
+        num_clients=20,
+        clients_per_round=5,
+        train_size=1500,
+        test_size=400,
+    )
+    curves = {}
+    curves["IID"] = run_policy(
+        ScenarioConfig(**base, data_distribution="iid"), "vanilla", rounds, seed=SEED
+    )
+    for k in (10, 5, 2):
+        cfg = ScenarioConfig(**base, data_distribution="noniid", noniid_classes=k)
+        curves[f"non-IID({k})"] = run_policy(cfg, "vanilla", rounds, seed=SEED)
+    return curves
+
+
+def test_fig1a_training_time_grid(benchmark):
+    grid = benchmark.pedantic(run_fig1a, rounds=1, iterations=1)
+
+    headers = ["CPU"] + [f"{n} points" for n in DATA_SIZES]
+    rows = [
+        [f"{cpu:.2f}"] + [grid[(cpu, n)] for n in DATA_SIZES]
+        for cpu in CASE_STUDY_CPU_GROUPS
+    ]
+    save_artifact(
+        "fig1a_case_study",
+        format_table(headers, rows, title="Fig 1(a): avg training time per round [s]"),
+    )
+
+    # near-linear growth in data size (x10 data => ~x10 compute-dominated time)
+    for cpu in CASE_STUDY_CPU_GROUPS:
+        times = [grid[(cpu, n)] for n in DATA_SIZES]
+        assert all(b > a for a, b in zip(times, times[1:]))
+    # inverse scaling in CPU at fixed data
+    for n in DATA_SIZES:
+        col = [grid[(cpu, n)] for cpu in CASE_STUDY_CPU_GROUPS]
+        assert all(b > a for a, b in zip(col, col[1:]))
+    # the largest-data / weakest-CPU cell dominated by compute: ratio check
+    fast = grid[(4.0, 500)]
+    slow = grid[(0.2, 500)]
+    assert slow / fast > 8.0
+
+
+def test_fig1b_noniid_accuracy(benchmark):
+    curves = benchmark.pedantic(run_fig1b, rounds=1, iterations=1)
+
+    lines = ["Fig 1(b): vanilla FL accuracy under non-IID class skew"]
+    finals = {}
+    for name, res in curves.items():
+        rounds, accs = res.history.accuracy_series()
+        finals[name] = res.final_accuracy
+        lines.append(series_preview(rounds, accs, label=f"{name:12s}"))
+    lines.append("")
+    lines.append(
+        format_table(
+            ["distribution", "final accuracy"],
+            [[k, v] for k, v in finals.items()],
+        )
+    )
+    save_artifact("fig1b_noniid_accuracy", "\n".join(lines))
+
+    # monotone degradation with stronger non-IID skew (paper: -6%/-8%/-18%)
+    assert finals["IID"] >= finals["non-IID(5)"]
+    assert finals["non-IID(10)"] >= finals["non-IID(2)"]
+    assert finals["non-IID(5)"] >= finals["non-IID(2)"]
+    assert finals["IID"] - finals["non-IID(2)"] > 0.03

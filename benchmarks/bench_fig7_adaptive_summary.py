@@ -1,0 +1,96 @@
+"""Figure 7 -- adaptive vs vanilla vs uniform across the three combined
+heterogeneity settings.
+
+Class   = resource het + non-IID(5) class skew,
+Amount  = resource het + data-quantity skew,
+Combine = resource het + quantity + non-IID.
+
+Paper claims: adaptive beats vanilla *and* uniform in both time and
+accuracy for Class and Amount; for Combine, adaptive reaches comparable
+accuracy to vanilla in roughly half the time and similar time to uniform
+with better accuracy.
+"""
+
+from repro.experiments import (
+    ScenarioConfig,
+    format_table,
+    run_policy,
+    save_artifact,
+)
+
+POLICIES = ("vanilla", "uniform", "adaptive")
+CASES = ("Class", "Amount", "Combine")
+ROUNDS = 80
+SEED = 41
+
+
+def make_cfg(case):
+    dist = {
+        "Class": "noniid",
+        "Amount": "quantity",
+        "Combine": "quantity_noniid",
+    }[case]
+    return ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        data_distribution=dist,
+        noniid_classes=5,
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=400,
+        difficulty=0.7,
+        base_overhead=0.1,
+        cost_per_sample=0.02,
+    )
+
+
+def run_fig7():
+    out = {}
+    for case in CASES:
+        cfg = make_cfg(case)
+        for policy in POLICIES:
+            res = run_policy(
+                cfg, policy, rounds=ROUNDS, seed=SEED, adaptive_interval=10
+            )
+            out[(case, policy)] = res
+    return out
+
+
+def test_fig7_adaptive_summary(benchmark):
+    results = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    time_rows = [
+        [case] + [results[(case, p)].total_time for p in POLICIES] for case in CASES
+    ]
+    acc_rows = [
+        [case] + [results[(case, p)].final_accuracy for p in POLICIES]
+        for case in CASES
+    ]
+    text = "\n\n".join(
+        [
+            format_table(
+                ["case"] + list(POLICIES),
+                time_rows,
+                title=f"Fig 7(a): training time for {ROUNDS} rounds [s]",
+            ),
+            format_table(
+                ["case"] + list(POLICIES),
+                acc_rows,
+                title=f"Fig 7(b): accuracy at round {ROUNDS}",
+            ),
+        ]
+    )
+    save_artifact("fig7_adaptive_summary", text)
+
+    for case in CASES:
+        vanilla = results[(case, "vanilla")]
+        uniform = results[(case, "uniform")]
+        adaptive = results[(case, "adaptive")]
+        # adaptive is much faster than vanilla (paper: ~2x for Combine)
+        assert adaptive.total_time < 0.75 * vanilla.total_time, case
+        # and lands in uniform's time neighbourhood or better
+        assert adaptive.total_time < uniform.total_time * 1.35, case
+        # accuracy comparable to the unbiased policies
+        assert adaptive.final_accuracy > vanilla.final_accuracy - 0.10, case
+        assert adaptive.final_accuracy > uniform.final_accuracy - 0.10, case

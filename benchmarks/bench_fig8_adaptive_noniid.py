@@ -1,0 +1,85 @@
+"""Figure 8 -- robustness of the adaptive policy across non-IID levels
+(2, 5, 10 classes per client) with fixed resources (2 CPUs per client).
+
+With homogeneous resources the latency spread comes only from residual
+noise, so tiers carry little resource meaning; the point of the paper's
+figure is that the adaptive policy's accuracy-aware selection remains at
+least as good as vanilla/uniform at every non-IID level.  We assert that
+adaptive (TiFL) stays within a small margin of the best policy at every
+level and that all policies degrade monotonically with stronger skew.
+"""
+
+from repro.experiments import (
+    ScenarioConfig,
+    format_table,
+    run_policy,
+    save_artifact,
+)
+from repro.experiments.tables import series_preview
+
+POLICIES = ("vanilla", "uniform", "adaptive")
+LEVELS = (2, 5, 10)
+ROUNDS = 70
+SEED = 47
+
+
+def make_cfg(k):
+    return ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="homogeneous",
+        data_distribution="noniid",
+        noniid_classes=k,
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=400,
+        difficulty=0.7,
+    )
+
+
+def run_fig8():
+    out = {}
+    for k in LEVELS:
+        cfg = make_cfg(k)
+        for policy in POLICIES:
+            out[(k, policy)] = run_policy(
+                cfg, policy, rounds=ROUNDS, seed=SEED, adaptive_interval=10
+            )
+    return out
+
+
+def test_fig8_adaptive_noniid_robustness(benchmark):
+    results = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    lines = []
+    for k in LEVELS:
+        lines.append(f"Fig 8: {k}-class per client, accuracy over rounds")
+        for p in POLICIES:
+            rr, aa = results[(k, p)].history.accuracy_series()
+            lines.append(series_preview(rr, aa, label=f"{p:8s}"))
+        lines.append("")
+    rows = [
+        [f"{k}-class"] + [results[(k, p)].final_accuracy for p in POLICIES]
+        for k in LEVELS
+    ]
+    lines.append(
+        format_table(
+            ["setting"] + list(POLICIES),
+            rows,
+            title=f"Fig 8: final accuracy at round {ROUNDS}",
+        )
+    )
+    save_artifact("fig8_adaptive_noniid", "\n".join(lines))
+
+    for k in LEVELS:
+        best = max(results[(k, p)].final_accuracy for p in POLICIES)
+        adaptive = results[(k, "adaptive")].final_accuracy
+        # adaptive consistently competitive at every non-IID level (paper:
+        # it outperforms vanilla and uniform; we require parity-or-better
+        # within a small tolerance, see EXPERIMENTS.md)
+        assert adaptive > best - 0.06, f"k={k}"
+    # stronger skew degrades every policy
+    for p in POLICIES:
+        assert (
+            results[(10, p)].final_accuracy > results[(2, p)].final_accuracy - 0.02
+        ), p

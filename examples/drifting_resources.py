@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Periodic re-profiling under drifting client performance (Section 4.2).
+
+Real fleets change over time -- devices heat up, move to worse networks,
+or share CPU with other apps.  TiFL's answer is to re-run the profiling
+and tiering periodically.  This example injects a 20x slowdown into the
+originally-fastest tier mid-training and shows:
+
+* a TiFL server with **stale tiering** keeps scheduling the slowed
+  clients under the ``fast`` policy, and its round times explode;
+* a server that calls :meth:`TiFLServer.reprofile` after the drift
+  re-tiers the fleet and recovers its pre-drift round times.
+
+Run:  python examples/drifting_resources.py
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, format_table
+from repro.experiments.scenarios import build_scenario
+from repro.simcluster.faults import SlowdownInjector
+from repro.tifl.server import TiFLServer
+
+PHASE = 40
+SLOWDOWN = 20.0
+SEED = 3
+
+
+def build_server():
+    cfg = ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=300,
+    )
+    scn = build_scenario(cfg, seed=SEED)
+    return TiFLServer(
+        clients=scn.clients,
+        model=scn.model,
+        test_data=scn.test_data,
+        clients_per_round=5,
+        policy="fast",
+        num_tiers=5,
+        sync_rounds=3,
+        training=scn.training,
+        eval_every=20,
+        rng=SEED,
+    )
+
+
+def run(reprofile: bool):
+    server = build_server()
+    fast_tier = set(server.assignment.members(0))
+    server.run(PHASE)
+    pre = float(np.mean(server.history.round_latencies[-10:]))
+
+    server.fault = SlowdownInjector(
+        factor=SLOWDOWN, slow_clients=fast_tier, start_round=-(10**9)
+    )
+    if reprofile:
+        old_tiers = server.assignment.sizes.tolist()
+        server.reprofile()
+        print(
+            f"  re-profiled: tier sizes {old_tiers} -> "
+            f"{server.assignment.sizes.tolist()}, drifted clients now in "
+            f"tier {server.assignment.tier_of(next(iter(fast_tier)))}"
+        )
+    server.run(PHASE, start_round=PHASE)
+    post = float(np.mean(server.history.round_latencies[-10:]))
+    return pre, post, server.history.total_time
+
+
+def main() -> None:
+    print(f"Injecting a {SLOWDOWN:.0f}x slowdown into tier 0 at round {PHASE}\n")
+    rows = []
+    for label, reprofile in (("stale tiering", False), ("with reprofile()", True)):
+        pre, post, total = run(reprofile)
+        rows.append([label, pre, post, total])
+    print()
+    print(
+        format_table(
+            ["variant", "round time before [s]", "round time after [s]", "total [s]"],
+            rows,
+            title="Effect of periodic re-profiling under drift (policy=fast)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: vanilla FedAvg vs TiFL on a heterogeneous federation.
+
+Builds a 50-client CIFAR10-like federation with the paper's five CPU
+groups (4 / 2 / 1 / 0.5 / 0.1 CPUs), then trains the same global model
+under three selection policies:
+
+* ``vanilla``  -- Alg. 1's uniform random selection (the baseline),
+* ``uniform``  -- TiFL static tiering with equal tier probabilities,
+* ``adaptive`` -- TiFL's Algorithm 2 (credits + accuracy feedback).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import ScenarioConfig, format_table, run_policy
+
+ROUNDS = 60
+SEED = 7
+
+
+def main() -> None:
+    cfg = ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        data_distribution="iid",
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=500,
+    )
+
+    rows = []
+    for policy in ("vanilla", "uniform", "adaptive"):
+        result = run_policy(cfg, policy, rounds=ROUNDS, seed=SEED)
+        rows.append(
+            [
+                policy,
+                result.total_time,
+                result.final_accuracy,
+                "-" if result.tier_sizes is None else str(result.tier_sizes.tolist()),
+            ]
+        )
+
+    print(
+        format_table(
+            ["policy", f"time for {ROUNDS} rounds [s]", "final accuracy", "tier sizes"],
+            rows,
+            title="TiFL quickstart: same federation, three selection policies",
+        )
+    )
+    vanilla_time = rows[0][1]
+    adaptive_time = rows[2][1]
+    print(
+        f"\nTiFL adaptive finished {ROUNDS} rounds "
+        f"{vanilla_time / adaptive_time:.1f}x faster than vanilla FedAvg "
+        "at comparable accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Secure aggregation with TiFL (Sections 1 & 4.6 motivation).
+
+The paper prefers synchronous FL partly because it composes with secure
+aggregation: the server learns only the cohort's weighted *sum*, never an
+individual update.  This example
+
+1. demonstrates pairwise-mask cancellation on raw vectors,
+2. shows a single masked wire message is uncorrelated with the client's
+   true update (what a curious server would see),
+3. runs a full TiFL training loop with :class:`SecureAggregator` plugged
+   into the server's aggregation hook and verifies the learned model
+   matches plain FedAvg bit-for-bit (up to mask-cancellation epsilon).
+
+Run:  python examples/secure_aggregation.py
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig
+from repro.experiments.scenarios import build_scenario
+from repro.fl.aggregator import fedavg
+from repro.fl.secure_agg import PairwiseMasker, SecureAggregator, masked_submissions
+from repro.tifl.server import TiFLServer
+
+SEED = 13
+ROUNDS = 30
+
+
+def demo_mask_cancellation() -> None:
+    rng = np.random.default_rng(0)
+    dim, cohort = 1000, [0, 1, 2, 3, 4]
+    masker = PairwiseMasker(round_seed=42, dim=dim, mask_scale=50.0)
+    updates = {c: rng.standard_normal(dim) for c in cohort}
+
+    wire = masked_submissions(masker, cohort, updates)
+    true_sum = sum(updates.values())
+    recovered = sum(wire.values())
+    err = np.max(np.abs(recovered - true_sum))
+    print(f"1) mask cancellation: max |recovered - true sum| = {err:.2e}")
+
+    corr = SecureAggregator.leaks_individual_update(masker, cohort, updates, client=2)
+    raw_norm = np.linalg.norm(updates[2])
+    wire_norm = np.linalg.norm(wire[2])
+    print(
+        f"2) single wire message: |corr with true update| = {corr:.4f} "
+        f"(message norm {wire_norm:.0f} vs update norm {raw_norm:.1f})"
+    )
+
+
+def demo_training() -> None:
+    cfg = ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        num_clients=30,
+        clients_per_round=5,
+        train_size=1500,
+        test_size=300,
+    )
+
+    def make_server(aggregator):
+        scn = build_scenario(cfg, seed=SEED)
+        return TiFLServer(
+            clients=scn.clients,
+            model=scn.model,
+            test_data=scn.test_data,
+            clients_per_round=5,
+            policy="uniform",
+            sync_rounds=2,
+            training=scn.training,
+            aggregator=aggregator,
+            rng=SEED,
+        )
+
+    plain = make_server(aggregator=None)
+    secure = make_server(aggregator=SecureAggregator(rng=7))
+    plain.run(ROUNDS)
+    secure.run(ROUNDS)
+    drift = np.max(np.abs(plain.global_weights - secure.global_weights))
+    print(
+        f"3) TiFL + SecureAggregator over {ROUNDS} rounds: "
+        f"max |w_secure - w_plain| = {drift:.2e} "
+        f"(accuracy {secure.evaluate_global():.3f} vs {plain.evaluate_global():.3f})"
+    )
+
+
+def main() -> None:
+    demo_mask_cancellation()
+    demo_training()
+    print(
+        "\nTiering only changes *which* cohort trains; the aggregation "
+        "stays a masked sum, so TiFL composes with secure aggregation "
+        "unchanged (Sec. 4.6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Training-time planning with the Eq. 6 analytical model (Section 4.5).
+
+Given profiled tier latencies, the estimator predicts total training time
+for any tier-probability mix *before* spending compute -- the paper's
+intended use: navigating the time/accuracy trade-off under a budget.
+
+This script profiles a federation once, sweeps a family of policies that
+interpolate between ``uniform`` and ``fast``, prints predicted times, then
+validates two points of the sweep against measured runs (Table 2 style).
+
+Run:  python examples/training_time_estimation.py
+"""
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, format_table, run_policy
+from repro.experiments.scenarios import build_scenario
+from repro.tifl import StaticTierPolicy, build_tiers, profile_clients
+from repro.tifl.estimator import estimate_training_time, mape
+
+ROUNDS = 120
+SEED = 19
+
+
+def interpolate(alpha: float, num_tiers: int = 5) -> np.ndarray:
+    """Blend uniform (alpha=0) towards fastest-only (alpha=1)."""
+    uniform = np.full(num_tiers, 1.0 / num_tiers)
+    fast = np.zeros(num_tiers)
+    fast[0] = 1.0
+    return (1 - alpha) * uniform + alpha * fast
+
+
+def main() -> None:
+    cfg = ScenarioConfig(
+        dataset="cifar10",
+        resource_profile="heterogeneous",
+        num_clients=50,
+        clients_per_round=5,
+        train_size=2500,
+        test_size=300,
+    )
+    scenario = build_scenario(cfg, seed=SEED)
+    profiling = profile_clients(
+        scenario.clients, scenario.model.num_params(), sync_rounds=3
+    )
+    assignment = build_tiers(profiling.mean_latencies, num_tiers=5)
+    lats = assignment.mean_latencies
+    print("profiled tier latencies [s]:", np.round(lats, 3).tolist(), "\n")
+
+    rows = []
+    for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+        probs = interpolate(alpha)
+        est = estimate_training_time(lats, probs, ROUNDS)
+        rows.append([f"{alpha:.2f}", str(np.round(probs, 3).tolist()), est])
+    print(
+        format_table(
+            ["alpha", "tier probs", f"predicted time for {ROUNDS} rounds [s]"],
+            rows,
+            title="Eq. 6 sweep: uniform -> fast",
+        )
+    )
+
+    print("\nvalidating two sweep points against measured runs")
+    print("(averaged over 5 seeds, like the paper's repeated experiments):")
+    val_rows = []
+    for alpha in (0.0, 0.5):
+        probs = interpolate(alpha)
+        est = estimate_training_time(lats, probs, ROUNDS)
+        policy = StaticTierPolicy(probs, name=f"alpha={alpha}")
+        measured = float(
+            np.mean(
+                [
+                    run_policy(
+                        cfg, policy, rounds=ROUNDS, seed=SEED + i, eval_every=60
+                    ).total_time
+                    for i in range(5)
+                ]
+            )
+        )
+        val_rows.append([f"{alpha:.2f}", est, measured, mape(est, measured)])
+    print(
+        format_table(
+            ["alpha", "estimated [s]", "measured [s]", "MAPE [%]"],
+            val_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``run``      train one policy on a scenario and print the summary
+``compare``  train several policies on identical federations
+``estimate`` profile a scenario and print Eq. 6 predictions per policy
+``privacy``  print the Sec. 4.6 amplification table for a pool/cohort
+
+Examples::
+
+    python -m repro.cli run --dataset cifar10 --policy adaptive --rounds 60
+    python -m repro.cli compare --policies vanilla uniform fast --rounds 80
+    python -m repro.cli estimate --dataset mnist --rounds 500
+    python -m repro.cli privacy --pool 50 --cohort 5 --eps 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments import (
+    ScenarioConfig,
+    format_table,
+    run_policies,
+    run_policy,
+    speedup_table,
+)
+from repro.experiments.scenarios import build_scenario
+from repro.fl.privacy import (
+    PrivacyGuarantee,
+    tier_sampling_rates,
+    tiered_guarantee,
+    uniform_guarantee,
+)
+from repro.tifl import build_tiers, estimate_training_time, profile_clients
+from repro.tifl.policies import CIFAR_POLICIES, MNIST_POLICIES
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="cifar10",
+                   choices=["mnist", "fmnist", "cifar10", "femnist"])
+    p.add_argument("--num-clients", type=int, default=50)
+    p.add_argument("--clients-per-round", type=int, default=5)
+    p.add_argument("--resource-profile", default="heterogeneous",
+                   choices=["heterogeneous", "homogeneous", "case_study"])
+    p.add_argument("--data-distribution", default="iid",
+                   choices=["iid", "noniid", "shards", "quantity", "quantity_noniid"])
+    p.add_argument("--noniid-classes", type=int, default=5)
+    p.add_argument("--train-size", type=int, default=2500)
+    p.add_argument("--test-size", type=int, default=400)
+    p.add_argument("--model", default="linear")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        dataset=args.dataset,
+        num_clients=args.num_clients,
+        clients_per_round=args.clients_per_round,
+        resource_profile=args.resource_profile,
+        data_distribution=args.data_distribution,
+        noniid_classes=args.noniid_classes,
+        train_size=args.train_size,
+        test_size=args.test_size,
+        model=args.model,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _scenario_config(args)
+    result = run_policy(cfg, args.policy, rounds=args.rounds, seed=args.seed)
+    print(result.history.summary())
+    if result.tier_latencies is not None:
+        print("tier latencies [s]:", np.round(result.tier_latencies, 3).tolist())
+        print("tier sizes:        ", result.tier_sizes.tolist())
+        if result.dropouts:
+            print("profiling dropouts:", result.dropouts)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    cfg = _scenario_config(args)
+    results = run_policies(
+        cfg, args.policies, rounds=args.rounds, seed=args.seed, repeats=args.repeats
+    )
+    times = {
+        p: float(np.mean([r.total_time for r in runs]))
+        for p, runs in results.items()
+    }
+    accs = {
+        p: float(np.mean([r.final_accuracy for r in runs]))
+        for p, runs in results.items()
+    }
+    baseline = args.policies[0]
+    print(speedup_table(times, baseline=baseline,
+                        title=f"training time for {args.rounds} rounds"))
+    print()
+    print(format_table(["policy", "final accuracy"],
+                       [[p, accs[p]] for p in args.policies]))
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    cfg = _scenario_config(args)
+    scenario = build_scenario(cfg, seed=args.seed)
+    profiling = profile_clients(
+        scenario.clients, scenario.model.num_params(), sync_rounds=args.sync_rounds
+    )
+    assignment = build_tiers(profiling.mean_latencies, num_tiers=args.num_tiers)
+    print(assignment.describe())
+    family = MNIST_POLICIES if args.dataset in ("mnist", "fmnist") else CIFAR_POLICIES
+    rows = []
+    for name, probs in family.items():
+        if len(probs) != assignment.num_tiers:
+            continue
+        est = estimate_training_time(
+            assignment.mean_latencies, probs, args.rounds
+        )
+        rows.append([name, est])
+    print()
+    print(format_table(
+        ["policy", f"Eq. 6 estimate for {args.rounds} rounds [s]"], rows
+    ))
+    return 0
+
+
+def cmd_privacy(args: argparse.Namespace) -> int:
+    base = PrivacyGuarantee(eps=args.eps, delta=args.delta)
+    q, amp = uniform_guarantee(base, args.cohort, args.pool)
+    print(f"uniform: q={q:.4f} -> (eps={amp.eps:.5f}, delta={amp.delta:.2e})")
+    sizes = [args.pool // args.tiers] * args.tiers
+    rows = []
+    for name, probs in CIFAR_POLICIES.items():
+        if len(probs) != args.tiers:
+            continue
+        rates = tier_sampling_rates(probs, sizes, args.cohort)
+        q_max, amp = tiered_guarantee(base, probs, sizes, args.cohort)
+        rows.append([name, q_max, amp.eps, f"{amp.delta:.2e}"])
+    print(format_table(
+        ["policy", "q_max", "eps/round", "delta/round"], rows, float_fmt="{:.4f}"
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="TiFL reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="train one policy")
+    _add_scenario_args(p_run)
+    p_run.add_argument("--policy", default="adaptive")
+    p_run.add_argument("--rounds", type=int, default=60)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="train several policies")
+    _add_scenario_args(p_cmp)
+    p_cmp.add_argument("--policies", nargs="+",
+                       default=["vanilla", "uniform", "adaptive"])
+    p_cmp.add_argument("--rounds", type=int, default=60)
+    p_cmp.add_argument("--repeats", type=int, default=1)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_est = sub.add_parser("estimate", help="Eq. 6 training-time estimates")
+    _add_scenario_args(p_est)
+    p_est.add_argument("--rounds", type=int, default=500)
+    p_est.add_argument("--num-tiers", type=int, default=5)
+    p_est.add_argument("--sync-rounds", type=int, default=3)
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_priv = sub.add_parser("privacy", help="Sec. 4.6 amplification table")
+    p_priv.add_argument("--pool", type=int, default=50)
+    p_priv.add_argument("--cohort", type=int, default=5)
+    p_priv.add_argument("--tiers", type=int, default=5)
+    p_priv.add_argument("--eps", type=float, default=0.5)
+    p_priv.add_argument("--delta", type=float, default=1e-5)
+    p_priv.set_defaults(func=cmd_privacy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

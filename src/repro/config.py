@@ -1,0 +1,93 @@
+"""Shared configuration dataclasses.
+
+:class:`TrainingConfig` captures the paper's local-training hyperparameters
+(Section 5.2 "Training Hyperparameters"): RMSprop, lr 0.01, multiplicative
+decay 0.995 per round, batch size 10, one local epoch; FEMNIST instead uses
+SGD with lr 0.004.  The learning-rate decay is applied *per global round*
+(the schedule lives at the server), so the factory takes the round index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.nn.optimizers import SGD, Optimizer, RMSprop
+
+__all__ = ["TrainingConfig", "PAPER_SYNTHETIC_TRAINING", "PAPER_FEMNIST_TRAINING"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Local-training hyperparameters shared by every client.
+
+    Attributes
+    ----------
+    optimizer:
+        ``"rmsprop"`` or ``"sgd"``.
+    lr / lr_decay:
+        Initial learning rate and multiplicative per-round decay.
+    batch_size / epochs:
+        Local mini-batch size and local epochs per round.
+    momentum:
+        SGD momentum (ignored for RMSprop).
+    prox_mu:
+        FedProx proximal coefficient; 0 disables the proximal term
+        (plain FedAvg).
+    """
+
+    optimizer: str = "rmsprop"
+    lr: float = 0.01
+    lr_decay: float = 0.995
+    batch_size: int = 10
+    epochs: int = 1
+    momentum: float = 0.0
+    prox_mu: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("rmsprop", "sgd"):
+            raise ValueError(
+                f"optimizer must be 'rmsprop' or 'sgd', got {self.optimizer!r}"
+            )
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError(f"lr_decay must be in (0, 1], got {self.lr_decay}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.prox_mu < 0:
+            raise ValueError(f"prox_mu must be non-negative, got {self.prox_mu}")
+
+    def lr_at(self, round_idx: int) -> float:
+        """Learning rate in effect at global round ``round_idx``."""
+        if round_idx < 0:
+            raise ValueError(f"round_idx must be non-negative, got {round_idx}")
+        return self.lr * (self.lr_decay**round_idx)
+
+    def optimizer_factory(self, round_idx: int) -> Callable[[], Optimizer]:
+        """Factory producing a fresh optimizer at this round's decayed lr.
+
+        Clients get fresh optimizer state each round: in cross-device FL a
+        client cannot be assumed to keep moment estimates between the rare
+        rounds in which it participates.
+        """
+        lr = self.lr_at(round_idx)
+        if self.optimizer == "rmsprop":
+            return lambda: RMSprop(lr=lr, decay=1.0)
+        return lambda: SGD(lr=lr, momentum=self.momentum, decay=1.0)
+
+    def with_(self, **changes) -> "TrainingConfig":
+        """Functional update helper."""
+        return replace(self, **changes)
+
+
+#: Paper defaults for MNIST / FMNIST / CIFAR-10 (Sec. 5.2).
+PAPER_SYNTHETIC_TRAINING = TrainingConfig(
+    optimizer="rmsprop", lr=0.01, lr_decay=0.995, batch_size=10, epochs=1
+)
+#: Paper defaults for FEMNIST under LEAF (Sec. 5.2).
+PAPER_FEMNIST_TRAINING = TrainingConfig(
+    optimizer="sgd", lr=0.004, lr_decay=1.0, batch_size=10, epochs=1
+)

@@ -1,0 +1,73 @@
+"""Partition sanity checks.
+
+These helpers are used both by the test-suite (property tests) and by the
+experiment runner, which validates every scenario before burning compute
+on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["check_partition", "partition_class_table", "classes_per_client"]
+
+
+def check_partition(
+    client_indices: Sequence[np.ndarray],
+    total: int,
+    require_cover: bool = True,
+    allow_empty_clients: bool = False,
+) -> None:
+    """Validate a federated partition; raises ``ValueError`` on violation.
+
+    Checks: index range, pairwise disjointness, per-client duplicates,
+    optional full coverage of ``range(total)`` and non-empty clients.
+    """
+    seen = np.zeros(total, dtype=bool)
+    covered = 0
+    for cid, idx in enumerate(client_indices):
+        idx = np.asarray(idx)
+        if idx.size == 0:
+            if not allow_empty_clients:
+                raise ValueError(f"client {cid} received no data")
+            continue
+        if idx.min() < 0 or idx.max() >= total:
+            raise ValueError(f"client {cid} has indices outside [0, {total})")
+        uniq = np.unique(idx)
+        if uniq.size != idx.size:
+            raise ValueError(f"client {cid} holds duplicate samples")
+        if seen[uniq].any():
+            raise ValueError(f"client {cid} overlaps another client's samples")
+        seen[uniq] = True
+        covered += uniq.size
+    if require_cover and covered != total:
+        raise ValueError(
+            f"partition covers {covered}/{total} samples but full coverage "
+            "was required"
+        )
+
+
+def partition_class_table(
+    labels: np.ndarray,
+    client_indices: Sequence[np.ndarray],
+    num_classes: int,
+) -> np.ndarray:
+    """``(num_clients, num_classes)`` matrix of per-client class counts."""
+    labels = np.asarray(labels)
+    table = np.zeros((len(client_indices), num_classes), dtype=np.int64)
+    for cid, idx in enumerate(client_indices):
+        if np.asarray(idx).size:
+            table[cid] = np.bincount(labels[np.asarray(idx)], minlength=num_classes)
+    return table
+
+
+def classes_per_client(
+    labels: np.ndarray,
+    client_indices: Sequence[np.ndarray],
+    num_classes: int,
+) -> np.ndarray:
+    """Number of distinct classes held by each client."""
+    table = partition_class_table(labels, client_indices, num_classes)
+    return (table > 0).sum(axis=1)

@@ -1,0 +1,35 @@
+"""``repro.experiments`` -- scenario builders and experiment runners.
+
+This is the layer the benchmarks and examples sit on: a
+:class:`ScenarioConfig` declaratively describes one of the paper's
+evaluation settings (dataset, resource profile, data distribution), and
+:func:`run_policy` executes a full training run under a named selection
+policy, returning the history every figure is derived from.
+"""
+
+from repro.experiments.artifacts import save_artifact
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_policies,
+    run_policy,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    build_leaf_scenario,
+    build_scenario,
+)
+from repro.experiments.tables import format_table, speedup_table
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "build_leaf_scenario",
+    "ExperimentResult",
+    "run_policy",
+    "run_policies",
+    "format_table",
+    "speedup_table",
+    "save_artifact",
+]

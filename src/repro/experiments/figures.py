@@ -1,0 +1,75 @@
+"""Figure-series extraction: turn runner results into plot-ready data.
+
+Each paper figure is one of three shapes; these helpers produce the
+corresponding series from :class:`~repro.experiments.runner.ExperimentResult`
+mappings so users can feed them to any plotting library (nothing here
+imports matplotlib -- the repo stays dependency-light):
+
+* **time bars** (Figs. 3a/3b, 5a/5b, 6a/6b, 7a, 9a) --
+  :func:`time_bars`,
+* **accuracy over rounds** (Figs. 1b, 3c/3d, 4, 5c/5d, 6c/6d, 8, 9b) --
+  :func:`accuracy_curves`,
+* **accuracy over wall-clock time** (Figs. 3e/3f, 6e/6f) --
+  :func:`accuracy_time_curves`.
+
+``mean_curves`` averages repeated runs the way the paper does ("run 5
+times and we use the average values"), aligning on round indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult
+from repro.fl.history import TrainingHistory
+
+__all__ = [
+    "time_bars",
+    "accuracy_curves",
+    "accuracy_time_curves",
+    "mean_curves",
+]
+
+Curve = Tuple[np.ndarray, np.ndarray]
+
+
+def _history(result) -> TrainingHistory:
+    return result.history if isinstance(result, ExperimentResult) else result
+
+
+def time_bars(results: Dict[str, object]) -> Dict[str, float]:
+    """Total training time per policy (the bar-chart panels)."""
+    return {name: float(_history(r).total_time) for name, r in results.items()}
+
+
+def accuracy_curves(results: Dict[str, object]) -> Dict[str, Curve]:
+    """(rounds, accuracy) per policy (the accuracy-over-rounds panels)."""
+    return {name: _history(r).accuracy_series() for name, r in results.items()}
+
+
+def accuracy_time_curves(results: Dict[str, object]) -> Dict[str, Curve]:
+    """(sim_time, accuracy) per policy (the accuracy-over-time panels)."""
+    return {name: _history(r).accuracy_over_time() for name, r in results.items()}
+
+
+def mean_curves(runs: Sequence[object]) -> Curve:
+    """Average accuracy-over-rounds across repeated runs.
+
+    Runs are aligned on their common evaluated rounds (the intersection),
+    so heterogeneous eval schedules still average correctly.
+    """
+    if not runs:
+        raise ValueError("mean_curves needs at least one run")
+    series = [_history(r).accuracy_series() for r in runs]
+    common: np.ndarray = series[0][0]
+    for rounds, _ in series[1:]:
+        common = np.intersect1d(common, rounds)
+    if common.size == 0:
+        raise ValueError("runs share no evaluated rounds")
+    stacked = []
+    for rounds, accs in series:
+        lookup = {int(r): a for r, a in zip(rounds, accs)}
+        stacked.append([lookup[int(r)] for r in common])
+    return common, np.mean(np.asarray(stacked), axis=0)

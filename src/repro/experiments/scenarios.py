@@ -1,0 +1,389 @@
+"""Scenario builders for the paper's evaluation settings (Section 5.1).
+
+A :class:`ScenarioConfig` names a dataset, a resource profile and a data
+distribution; :func:`build_scenario` turns it into concrete simulated
+clients, a model, and test data.  Everything is reproducible from
+``(config, seed)`` -- the runner rebuilds a fresh scenario per policy so
+competing policies see *identical* clients, data, and latency statistics.
+
+Default sizes are scaled down from the paper (8x8 images, linear/MLP
+surrogate models, thousands rather than tens of thousands of samples) so
+the complete figure suite replays in seconds; every knob accepts
+paper-scale values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import (
+    PAPER_FEMNIST_TRAINING,
+    PAPER_SYNTHETIC_TRAINING,
+    TrainingConfig,
+)
+from repro.data import (
+    Dataset,
+    FederatedData,
+    cifar10_like,
+    femnist_like,
+    fmnist_like,
+    make_femnist_leaf,
+    mnist_like,
+    partition_iid,
+    partition_noniid_classes,
+    partition_quantity_skew,
+    partition_shards,
+)
+from repro.data.validation import check_partition
+from repro.nn import Sequential, build_linear, build_mlp, build_model
+from repro.rng import RngLike, make_rng, spawn
+from repro.simcluster import (
+    CASE_STUDY_CPU_GROUPS,
+    CIFAR_CPU_GROUPS,
+    CommModel,
+    LatencyModel,
+    MNIST_CPU_GROUPS,
+    ResourceSpec,
+    SimClient,
+    assign_resource_groups,
+)
+
+__all__ = ["ScenarioConfig", "Scenario", "build_scenario", "build_leaf_scenario"]
+
+_DATASETS = {
+    "mnist": mnist_like,
+    "fmnist": fmnist_like,
+    "cifar10": cifar10_like,
+    "femnist": femnist_like,
+}
+
+#: Latency calibration per dataset: single-CPU seconds per sample, chosen so
+#: the simulated CPU-group spread reproduces the paper's speedup magnitudes
+#: (heavier models => higher per-sample cost).
+_COST_PER_SAMPLE = {
+    "mnist": 0.005,
+    "fmnist": 0.005,
+    "cifar10": 0.010,
+    "femnist": 0.008,
+}
+
+_RESOURCE_PROFILES = {
+    "heterogeneous": None,  # resolved per dataset below
+    "homogeneous": (2.0,),
+    "case_study": CASE_STUDY_CPU_GROUPS,
+}
+
+
+def _default_cpu_groups(dataset: str, profile: str) -> Tuple[float, ...]:
+    if profile == "homogeneous":
+        return (2.0,)
+    if profile == "case_study":
+        return tuple(CASE_STUDY_CPU_GROUPS)
+    if profile == "heterogeneous":
+        if dataset in ("mnist", "fmnist"):
+            return tuple(MNIST_CPU_GROUPS)
+        return tuple(CIFAR_CPU_GROUPS)
+    raise ValueError(
+        f"unknown resource profile {profile!r}; "
+        f"use one of {sorted(_RESOURCE_PROFILES)}"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Declarative description of one evaluation setting.
+
+    Attributes
+    ----------
+    dataset:
+        ``mnist | fmnist | cifar10 | femnist`` (synthetic equivalents).
+    resource_profile:
+        ``heterogeneous`` -- the paper's 5 CPU groups for the dataset;
+        ``homogeneous`` -- 2 CPUs everywhere (data-heterogeneity studies);
+        ``case_study`` -- the Section 3.3 allocation.
+    data_distribution:
+        ``iid`` | ``noniid`` (class-limited, see ``noniid_classes``) |
+        ``shards`` (McMahan 2-shard) | ``quantity`` (10/15/20/25/30%
+        groups) | ``quantity_noniid`` (both).
+    model:
+        ``linear`` | ``mlp`` | a model-zoo name (``cifar10_cnn`` etc.).
+    shape / train_size / test_size / difficulty:
+        Synthetic dataset knobs (downscaled defaults).
+    """
+
+    dataset: str = "cifar10"
+    num_clients: int = 50
+    clients_per_round: int = 5
+    resource_profile: str = "heterogeneous"
+    cpu_groups: Optional[Tuple[float, ...]] = None
+    data_distribution: str = "iid"
+    noniid_classes: int = 5
+    shards_per_client: int = 2
+    quantity_fractions: Tuple[float, ...] = (0.10, 0.15, 0.20, 0.25, 0.30)
+    shape: Tuple[int, ...] = (8, 8, 1)
+    train_size: int = 4000
+    test_size: int = 1000
+    difficulty: Optional[float] = None
+    model: str = "linear"
+    mlp_hidden: Tuple[int, ...] = (32,)
+    training: Optional[TrainingConfig] = None
+    cost_per_sample: Optional[float] = None
+    base_overhead: float = 0.2
+    noise_sigma: float = 0.05
+    holdout_fraction: float = 0.2
+    shuffle_resources: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dataset not in _DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; use one of {sorted(_DATASETS)}"
+            )
+        if self.data_distribution not in (
+            "iid",
+            "noniid",
+            "shards",
+            "quantity",
+            "quantity_noniid",
+        ):
+            raise ValueError(
+                f"unknown data_distribution {self.data_distribution!r}"
+            )
+        if self.resource_profile not in _RESOURCE_PROFILES:
+            raise ValueError(
+                f"unknown resource profile {self.resource_profile!r}"
+            )
+        if self.num_clients <= 0 or self.clients_per_round <= 0:
+            raise ValueError("num_clients and clients_per_round must be positive")
+        if self.clients_per_round > self.num_clients:
+            raise ValueError("clients_per_round cannot exceed num_clients")
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        return replace(self, **changes)
+
+    def resolved_training(self) -> TrainingConfig:
+        if self.training is not None:
+            return self.training
+        if self.dataset == "femnist":
+            return PAPER_FEMNIST_TRAINING
+        return PAPER_SYNTHETIC_TRAINING
+
+
+@dataclass
+class Scenario:
+    """A fully materialised evaluation setting."""
+
+    config: ScenarioConfig
+    clients: List[SimClient]
+    model: Sequential
+    fed: FederatedData
+    training: TrainingConfig
+    latency_model: LatencyModel
+    comm_model: CommModel
+
+    @property
+    def test_data(self) -> Dataset:
+        return self.fed.test
+
+    @property
+    def clients_per_round(self) -> int:
+        return self.config.clients_per_round
+
+    def group_of(self, client_id: int) -> int:
+        return self.clients[client_id].spec.group
+
+
+def _partition(
+    cfg: ScenarioConfig, labels: np.ndarray, rng: np.random.Generator
+) -> List[np.ndarray]:
+    if cfg.data_distribution == "iid":
+        return partition_iid(labels, cfg.num_clients, rng)
+    if cfg.data_distribution == "noniid":
+        return partition_noniid_classes(labels, cfg.num_clients, cfg.noniid_classes, rng)
+    if cfg.data_distribution == "shards":
+        return partition_shards(labels, cfg.num_clients, cfg.shards_per_client, rng)
+    if cfg.data_distribution == "quantity":
+        return partition_quantity_skew(labels, cfg.num_clients, cfg.quantity_fractions, rng)
+    # quantity_noniid: class-limited partition, then thin each client to the
+    # group quantity share ("shard the dataset unevenly ... and limit the
+    # number of classes", Sec. 5.1).
+    base = partition_noniid_classes(labels, cfg.num_clients, cfg.noniid_classes, rng)
+    fractions = np.asarray(cfg.quantity_fractions, dtype=np.float64)
+    num_groups = fractions.size
+    if cfg.num_clients % num_groups != 0:
+        raise ValueError(
+            f"num_clients={cfg.num_clients} not divisible by {num_groups} "
+            "quantity groups"
+        )
+    per_group = cfg.num_clients // num_groups
+    out: List[np.ndarray] = []
+    for cid, idx in enumerate(base):
+        group = cid // per_group
+        keep_frac = min(1.0, fractions[group] / fractions.max())
+        keep = max(1, int(round(idx.size * keep_frac)))
+        out.append(np.sort(rng.choice(idx, size=keep, replace=False)))
+    return out
+
+
+def build_scenario(cfg: ScenarioConfig, seed: RngLike = None) -> Scenario:
+    """Materialise a scenario: dataset -> partition -> clients -> model."""
+    base = make_rng(seed)
+    data_rng, part_rng, model_rng, client_seed_rng = spawn(base, 4)
+
+    factory = _DATASETS[cfg.dataset]
+    train, test = factory(
+        train_size=cfg.train_size,
+        test_size=cfg.test_size,
+        shape=cfg.shape,
+        difficulty_override=cfg.difficulty,
+        rng=data_rng,
+    )
+    client_indices = _partition(cfg, train.y, part_rng)
+    require_cover = cfg.data_distribution != "quantity_noniid"
+    check_partition(
+        client_indices, len(train), require_cover=require_cover
+    )
+    fed = FederatedData(train=train, test=test, client_indices=client_indices)
+
+    num_classes = train.num_classes
+    if cfg.model == "linear":
+        model = build_linear(cfg.shape, num_classes, rng=model_rng)
+    elif cfg.model == "mlp":
+        model = build_mlp(cfg.shape, num_classes, hidden=cfg.mlp_hidden, rng=model_rng)
+    else:
+        model = build_model(
+            cfg.model, input_shape=cfg.shape, num_classes=num_classes, rng=model_rng
+        )
+
+    cpu_groups = cfg.cpu_groups or _default_cpu_groups(
+        cfg.dataset, cfg.resource_profile
+    )
+    specs = assign_resource_groups(
+        cfg.num_clients,
+        cpu_groups,
+        shuffle=cfg.shuffle_resources,
+        rng=client_seed_rng,
+    )
+    latency_model = LatencyModel(
+        cost_per_sample=cfg.cost_per_sample or _COST_PER_SAMPLE[cfg.dataset],
+        base_overhead=cfg.base_overhead,
+        noise_sigma=cfg.noise_sigma,
+    )
+    comm_model = CommModel()
+
+    client_rngs = spawn(client_seed_rng, cfg.num_clients)
+    clients = [
+        SimClient(
+            client_id=cid,
+            data=fed.client_dataset(cid),
+            spec=specs[cid],
+            latency_model=latency_model,
+            comm_model=comm_model,
+            holdout_fraction=cfg.holdout_fraction,
+            rng=client_rngs[cid],
+        )
+        for cid in range(cfg.num_clients)
+    ]
+    return Scenario(
+        config=cfg,
+        clients=clients,
+        model=model,
+        fed=fed,
+        training=cfg.resolved_training(),
+        latency_model=latency_model,
+        comm_model=comm_model,
+    )
+
+
+def build_leaf_scenario(
+    num_clients: int = 182,
+    clients_per_round: int = 10,
+    shape: Tuple[int, ...] = (8, 8, 1),
+    num_classes: int = 62,
+    sample_scale: float = 0.25,
+    model: str = "linear",
+    cpu_groups: Sequence[float] = CIFAR_CPU_GROUPS,
+    base_overhead: float = 0.2,
+    cost_per_sample: float = 0.008,
+    noise_sigma: float = 0.05,
+    holdout_fraction: float = 0.2,
+    training: Optional[TrainingConfig] = None,
+    seed: RngLike = None,
+) -> Scenario:
+    """The LEAF / FEMNIST scenario of Section 5.2.6.
+
+    182 writer-clients with LEAF's inherent quantity + class + feature
+    skew, resource heterogeneity added by uniform-random assignment to the
+    five hardware groups (equal clients per type, like the paper's
+    extension), ``|C| = 10`` and 1 local epoch.
+
+    ``num_clients`` must be divisible by ``len(cpu_groups)``; the paper's
+    182 clients need a 2-client remainder handled, so when it is not
+    divisible the last ``num_clients % len(cpu_groups)`` clients join the
+    final group.
+    """
+    base = make_rng(seed)
+    data_rng, model_rng, client_seed_rng = spawn(base, 3)
+    fed = make_femnist_leaf(
+        num_clients=num_clients,
+        shape=shape,
+        num_classes=num_classes,
+        scale=sample_scale,
+        rng=data_rng,
+    )
+    if model == "linear":
+        net = build_linear(shape, num_classes, rng=model_rng)
+    elif model == "mlp":
+        net = build_mlp(shape, num_classes, rng=model_rng)
+    else:
+        net = build_model(model, input_shape=shape, num_classes=num_classes, rng=model_rng)
+
+    groups = list(cpu_groups)
+    divisible = (num_clients // len(groups)) * len(groups)
+    specs = assign_resource_groups(
+        divisible, groups, shuffle=True, rng=client_seed_rng
+    )
+    # Remainder clients (182 % 5 = 2) join the slowest group.
+    for _ in range(num_clients - divisible):
+        specs.append(
+            ResourceSpec(cpu_fraction=groups[-1], group=len(groups) - 1)
+        )
+
+    latency_model = LatencyModel(
+        cost_per_sample=cost_per_sample,
+        base_overhead=base_overhead,
+        noise_sigma=noise_sigma,
+    )
+    comm_model = CommModel()
+    client_rngs = spawn(client_seed_rng, num_clients)
+    clients = [
+        SimClient(
+            client_id=cid,
+            data=fed.client_dataset(cid),
+            spec=specs[cid],
+            latency_model=latency_model,
+            comm_model=comm_model,
+            holdout_fraction=holdout_fraction,
+            rng=client_rngs[cid],
+        )
+        for cid in range(num_clients)
+    ]
+    cfg = ScenarioConfig(
+        dataset="femnist",
+        num_clients=num_clients,
+        clients_per_round=clients_per_round,
+        resource_profile="heterogeneous",
+        shape=shape,
+        model=model,
+    )
+    return Scenario(
+        config=cfg,
+        clients=clients,
+        model=net,
+        fed=fed,
+        training=training or PAPER_FEMNIST_TRAINING,
+        latency_model=latency_model,
+        comm_model=comm_model,
+    )

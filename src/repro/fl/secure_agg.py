@@ -1,0 +1,154 @@
+"""Secure aggregation via pairwise additive masking (Bonawitz et al. '17).
+
+The paper argues synchronous FL is preferable partly because it supports
+**secure aggregation**: the server learns only the *sum* of client
+updates, never an individual update.  This module implements the core
+pairwise-masking protocol the cited work builds on, adapted to the
+simulator:
+
+* every pair of clients ``(i, j)`` with ``i < j`` derives a shared mask
+  ``m_ij`` from a common seed (stand-in for the Diffie-Hellman agreed
+  key),
+* client ``i`` submits ``x_i + sum_{j>i} m_ij - sum_{j<i} m_ji``,
+* summing all submissions cancels every mask exactly, so the server
+  recovers ``sum_i x_i`` -- and with it the FedAvg numerator -- while any
+  strict subset of submissions is indistinguishable from noise.
+
+TiFL composes with this unchanged (Sec. 4.6): tiering only alters *which*
+cohort is selected, not how the cohort's updates are combined.  The
+:class:`SecureAggregator` exposes the same weighted-mean contract as
+:func:`repro.fl.aggregator.fedavg` (an equivalence that is property-
+tested), so it can be dropped into :class:`~repro.fl.server.FLServer`
+via the ``aggregator`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.rng import RngLike, make_rng
+
+__all__ = ["PairwiseMasker", "SecureAggregator", "masked_submissions"]
+
+
+class PairwiseMasker:
+    """Derives the pairwise masks for one aggregation round.
+
+    Masks are generated from ``SeedSequence(round_seed, (i, j))`` so both
+    endpoints of a pair derive the identical mask independently --
+    mirroring how the real protocol derives masks from pairwise agreed
+    keys without any server involvement.
+    """
+
+    def __init__(self, round_seed: int, dim: int, mask_scale: float = 1.0) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if mask_scale <= 0:
+            raise ValueError(f"mask_scale must be positive, got {mask_scale}")
+        self.round_seed = int(round_seed)
+        self.dim = dim
+        self.mask_scale = mask_scale
+
+    def pair_mask(self, i: int, j: int) -> np.ndarray:
+        """The mask shared by clients ``i < j`` (order-normalised)."""
+        if i == j:
+            raise ValueError("a client does not share a mask with itself")
+        lo, hi = (i, j) if i < j else (j, i)
+        ss = np.random.SeedSequence(
+            entropy=self.round_seed, spawn_key=(int(lo), int(hi))
+        )
+        rng = np.random.default_rng(ss)
+        return rng.standard_normal(self.dim) * self.mask_scale
+
+    def client_mask(self, client: int, cohort: Sequence[int]) -> np.ndarray:
+        """Net mask client ``client`` adds to its submission.
+
+        ``+m_ij`` for every partner with a higher id, ``-m_ji`` for every
+        partner with a lower id; summed over the round's cohort.
+        """
+        if client not in cohort:
+            raise ValueError(f"client {client} is not in the cohort {list(cohort)}")
+        total = np.zeros(self.dim)
+        for other in cohort:
+            if other == client:
+                continue
+            sign = 1.0 if other > client else -1.0
+            total += sign * self.pair_mask(client, other)
+        return total
+
+
+def masked_submissions(
+    masker: PairwiseMasker,
+    cohort: Sequence[int],
+    weighted_updates: Dict[int, np.ndarray],
+) -> Dict[int, np.ndarray]:
+    """Each client's wire message: ``s_c * w_c + net_mask_c``."""
+    missing = set(cohort) - set(weighted_updates)
+    if missing:
+        raise KeyError(f"missing updates for cohort members: {sorted(missing)}")
+    return {
+        c: weighted_updates[c] + masker.client_mask(c, cohort) for c in cohort
+    }
+
+
+class SecureAggregator:
+    """Drop-in FedAvg aggregator that only ever sees masked submissions.
+
+    ``aggregate`` reproduces ``fedavg(weights, sizes)`` bit-for-bit up to
+    floating-point mask cancellation (property-tested to ~1e-8 relative).
+    """
+
+    def __init__(self, rng: RngLike = None, mask_scale: float = 1.0) -> None:
+        self._rng = make_rng(rng)
+        self.mask_scale = mask_scale
+        self.rounds_aggregated = 0
+
+    def aggregate(
+        self, weights: Sequence[np.ndarray], sizes: Sequence[float]
+    ) -> np.ndarray:
+        if len(weights) == 0:
+            raise ValueError("secure aggregation needs at least one client")
+        if len(weights) != len(sizes):
+            raise ValueError(
+                f"got {len(weights)} weight vectors but {len(sizes)} sizes"
+            )
+        sizes_arr = np.asarray(sizes, dtype=np.float64)
+        if np.any(sizes_arr < 0) or sizes_arr.sum() <= 0:
+            raise ValueError("client sizes must be non-negative with positive sum")
+
+        dim = int(np.asarray(weights[0]).size)
+        cohort = list(range(len(weights)))
+        round_seed = int(self._rng.integers(0, 2**62))
+        masker = PairwiseMasker(round_seed, dim, mask_scale=self.mask_scale)
+
+        weighted = {
+            c: np.asarray(weights[c], dtype=np.float64) * sizes_arr[c]
+            for c in cohort
+        }
+        wire = masked_submissions(masker, cohort, weighted)
+        # The server only ever touches `wire`: the sum cancels all masks.
+        total = np.zeros(dim)
+        for c in cohort:
+            total += wire[c]
+        self.rounds_aggregated += 1
+        return total / sizes_arr.sum()
+
+    @staticmethod
+    def leaks_individual_update(
+        masker: PairwiseMasker,
+        cohort: Sequence[int],
+        weighted_updates: Dict[int, np.ndarray],
+        client: int,
+    ) -> float:
+        """Diagnostic: correlation between a single wire message and the
+        client's true update.  Near zero when masks dominate -- used by
+        the test-suite to demonstrate the privacy property.
+        """
+        wire = masked_submissions(masker, cohort, weighted_updates)[client]
+        truth = weighted_updates[client]
+        denom = np.linalg.norm(wire) * np.linalg.norm(truth)
+        if denom == 0:
+            return 0.0
+        return float(abs(np.dot(wire, truth)) / denom)

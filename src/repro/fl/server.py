@@ -1,0 +1,243 @@
+"""The synchronous federated-learning server (Alg. 1).
+
+One :class:`FLServer` drives the full round loop::
+
+    for r in range(N):
+        plan      = selector.select(r, available_clients)   # line 3
+        updates   = train selected clients in parallel       # lines 4-7
+        w_{r+1}   = fedavg(updates)                          # line 8
+        clock    += max(selected client latencies)           # Eq. 1
+
+Client training is *real* gradient descent; the parallelism of the
+physical testbed is simulated by advancing the clock by the cohort's
+maximum response latency rather than the sum.  TiFL's server
+(:class:`repro.tifl.server.TiFLServer`) subclasses this loop, swapping in
+the tier scheduler and adding per-tier evaluation -- by design the loop is
+selection-agnostic (the paper's "non-intrusive" claim).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
+from repro.data.datasets import Dataset
+from repro.fl.aggregator import HierarchicalAggregator, fedavg
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.selection import ClientSelector, SelectionPlan
+from repro.nn.model import Sequential
+from repro.rng import RngLike, make_rng
+from repro.simcluster.client import SimClient
+from repro.simcluster.clock import SimulatedClock
+from repro.simcluster.faults import FaultInjector
+
+__all__ = ["FLServer"]
+
+EpochsFor = Callable[[int, int], int]  # (client_id, round_idx) -> local epochs
+
+
+class FLServer:
+    """Synchronous FedAvg server over simulated clients.
+
+    Parameters
+    ----------
+    clients:
+        The full client pool ``K``.
+    model:
+        The global model; also used as the shared training/eval workspace.
+    selector:
+        Cohort selection policy (vanilla random, over-selection, or TiFL's
+        tier scheduler).
+    test_data:
+        Global held-out set for the reported accuracy.
+    training:
+        Local-training hyperparameters (see :class:`TrainingConfig`).
+    aggregator:
+        Optional hierarchical master/child aggregator; flat FedAvg when
+        omitted (both produce identical weights).
+    fault:
+        Optional fault injector applied to client response latencies.
+    dropout_timeout:
+        Round-latency charge for a client that never responds.  ``None``
+        (default) charges the max *finite* latency -- i.e., the aggregator
+        eventually gives up on the client without extending the round --
+        and a round in which *every* client drops raises.  With a finite
+        timeout, a fully-dropped round is tolerated: it costs
+        ``dropout_timeout`` seconds and leaves the global model unchanged.
+    eval_every:
+        Evaluate global accuracy every this many rounds (1 = every round).
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[SimClient],
+        model: Sequential,
+        selector: ClientSelector,
+        test_data: Dataset,
+        training: TrainingConfig = PAPER_SYNTHETIC_TRAINING,
+        aggregator: Optional[HierarchicalAggregator] = None,
+        fault: Optional[FaultInjector] = None,
+        dropout_timeout: Optional[float] = None,
+        eval_every: int = 1,
+        epochs_for: Optional[EpochsFor] = None,
+        clock: Optional[SimulatedClock] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("the client pool must be non-empty")
+        if eval_every <= 0:
+            raise ValueError(f"eval_every must be positive, got {eval_every}")
+        if dropout_timeout is not None and dropout_timeout <= 0:
+            raise ValueError(
+                f"dropout_timeout must be positive, got {dropout_timeout}"
+            )
+        self.clients: Dict[int, SimClient] = {}
+        for c in clients:
+            if c.client_id in self.clients:
+                raise ValueError(f"duplicate client id {c.client_id}")
+            self.clients[c.client_id] = c
+        self.model = model
+        self.selector = selector
+        self.test_data = test_data
+        self.training = training
+        self.aggregator = aggregator
+        self.fault = fault
+        self.dropout_timeout = dropout_timeout
+        self.eval_every = eval_every
+        self.epochs_for: EpochsFor = epochs_for or (
+            lambda cid, r: self.training.epochs
+        )
+        self.clock = clock or SimulatedClock()
+        self._rng = make_rng(rng)
+        self.global_weights = model.get_flat_weights()
+        self.history = TrainingHistory()
+        self.excluded: set = set()  # permanently excluded (profiler dropouts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_params(self) -> int:
+        return self.model.num_params()
+
+    def available_clients(self) -> List[int]:
+        """Ids eligible for selection (pool minus permanent exclusions)."""
+        return [cid for cid in sorted(self.clients) if cid not in self.excluded]
+
+    def exclude_clients(self, client_ids: Sequence[int]) -> None:
+        """Permanently remove clients (profiling dropouts, Sec. 4.2)."""
+        self.excluded.update(int(c) for c in client_ids)
+        if not self.available_clients():
+            raise ValueError("excluding these clients would empty the pool")
+
+    def evaluate_global(self) -> float:
+        """Accuracy of the current global weights on the global test set."""
+        self.model.set_flat_weights(self.global_weights)
+        return self.model.evaluate(self.test_data.x, self.test_data.y)
+
+    # ------------------------------------------------------------------
+    def _measure_latencies(
+        self, plan: SelectionPlan, round_idx: int
+    ) -> Dict[int, float]:
+        epochs = {cid: self.epochs_for(cid, round_idx) for cid in plan.clients}
+        return {
+            cid: self.clients[cid].response_latency(
+                self.num_params,
+                epochs=epochs[cid],
+                round_idx=round_idx,
+                fault=self.fault,
+            )
+            for cid in plan.clients
+        }
+
+    def _resolve_cohort(
+        self, plan: SelectionPlan, latencies: Dict[int, float]
+    ) -> Tuple[List[int], List[int], float]:
+        """Apply dropout / over-selection semantics.
+
+        Returns ``(kept_ids, dropped_ids, round_latency)``.
+        """
+        responders = [c for c in plan.clients if np.isfinite(latencies[c])]
+        dropped = [c for c in plan.clients if not np.isfinite(latencies[c])]
+        if not responders:
+            if self.dropout_timeout is None:
+                raise RuntimeError(
+                    "every selected client dropped out this round and no "
+                    "dropout_timeout is configured; the synchronous round "
+                    "cannot complete"
+                )
+            # A fully-dropped round: the aggregator waits out the timeout
+            # and proceeds with the global model unchanged.
+            return [], dropped, self.dropout_timeout
+        if plan.keep is not None:
+            kept = sorted(responders, key=lambda c: latencies[c])[: plan.keep]
+        else:
+            kept = responders
+        round_latency = max(latencies[c] for c in kept)
+        if dropped and self.dropout_timeout is not None:
+            round_latency = max(round_latency, self.dropout_timeout)
+        return kept, dropped, round_latency
+
+    def run_round(self, round_idx: int) -> RoundRecord:
+        """Execute one synchronous global round."""
+        plan = self.selector.select(round_idx, self.available_clients())
+        unknown = [c for c in plan.clients if c not in self.clients]
+        if unknown:
+            raise KeyError(f"selector chose unknown clients: {unknown}")
+        latencies = self._measure_latencies(plan, round_idx)
+        kept, dropped, round_latency = self._resolve_cohort(plan, latencies)
+
+        factory = self.training.optimizer_factory(round_idx)
+        new_weights: List[np.ndarray] = []
+        sizes: List[float] = []
+        for cid in kept:
+            client = self.clients[cid]
+            w = client.train(
+                self.model,
+                self.global_weights,
+                factory,
+                batch_size=self.training.batch_size,
+                epochs=self.epochs_for(cid, round_idx),
+                prox_mu=self.training.prox_mu,
+            )
+            new_weights.append(w)
+            sizes.append(float(client.num_train_samples))
+
+        if new_weights:
+            if self.aggregator is not None:
+                self.global_weights = self.aggregator.aggregate(new_weights, sizes)
+            else:
+                self.global_weights = fedavg(new_weights, sizes)
+        # else: fully-dropped round -- weights carry over unchanged
+
+        self.clock.advance(round_latency)
+        self.clock.mark()
+
+        accuracy: Optional[float] = None
+        if round_idx % self.eval_every == 0:
+            accuracy = self.evaluate_global()
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            round_latency=round_latency,
+            sim_time=self.clock.now,
+            accuracy=accuracy,
+            selected=tuple(plan.clients),
+            tier=plan.tier,
+            dropped=tuple(dropped),
+        )
+        self._post_round(record)
+        self.selector.observe(round_idx, plan, round_latency, accuracy)
+        self.history.append(record)
+        return record
+
+    def _post_round(self, record: RoundRecord) -> None:
+        """Subclass hook invoked after aggregation, before history append."""
+
+    def run(self, num_rounds: int, start_round: int = 0) -> TrainingHistory:
+        """Run ``num_rounds`` rounds; returns the accumulated history."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        for r in range(start_round, start_round + num_rounds):
+            self.run_round(r)
+        return self.history

@@ -1,0 +1,83 @@
+"""Loss functions and regularisation penalties.
+
+The primary loss is softmax cross-entropy, fused with the softmax for the
+standard ``(p - y) / n`` gradient.  The proximal penalty implements the
+FedProx local objective used as a baseline in the related-work comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor_ops import log_softmax, one_hot, softmax
+
+__all__ = ["softmax_cross_entropy", "l2_penalty", "proximal_penalty"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. ``logits``.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, num_classes)`` raw scores.
+    labels:
+        ``(n,)`` integer class labels.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar mean loss and ``(n, num_classes)`` gradient.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n, k = logits.shape
+    if n == 0:
+        raise ValueError("cannot compute a loss over an empty batch")
+    y = one_hot(labels, k)
+    lsm = log_softmax(logits)
+    loss = float(-np.sum(y * lsm) / n)
+    grad = (softmax(logits) - y) / n
+    return loss, grad
+
+
+def l2_penalty(
+    params: Dict[str, np.ndarray], lam: float
+) -> Tuple[float, Dict[str, np.ndarray]]:
+    """``lam/2 * ||w||^2`` over every tensor in ``params``; returns grads too."""
+    if lam < 0:
+        raise ValueError(f"l2 coefficient must be non-negative, got {lam}")
+    loss = 0.0
+    grads: Dict[str, np.ndarray] = {}
+    for name, w in params.items():
+        loss += 0.5 * lam * float(np.sum(w * w))
+        grads[name] = lam * w
+    return loss, grads
+
+
+def proximal_penalty(
+    params: Dict[str, np.ndarray],
+    anchor: Dict[str, np.ndarray],
+    mu: float,
+) -> Tuple[float, Dict[str, np.ndarray]]:
+    """FedProx proximal term ``mu/2 * ||w - w_global||^2``.
+
+    ``anchor`` holds the global weights broadcast at the start of the round.
+    """
+    if mu < 0:
+        raise ValueError(f"proximal coefficient must be non-negative, got {mu}")
+    missing = set(params) ^ set(anchor)
+    if missing:
+        raise KeyError(f"params/anchor key mismatch: {sorted(missing)}")
+    loss = 0.0
+    grads: Dict[str, np.ndarray] = {}
+    for name, w in params.items():
+        diff = w - anchor[name]
+        loss += 0.5 * mu * float(np.sum(diff * diff))
+        grads[name] = mu * diff
+    return loss, grads

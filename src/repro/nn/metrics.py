@@ -1,0 +1,44 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy"]
+
+
+def accuracy(logits_or_preds: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy.
+
+    Accepts either ``(n, k)`` logits or ``(n,)`` hard predictions.
+    """
+    arr = np.asarray(logits_or_preds)
+    labels = np.asarray(labels)
+    if arr.ndim == 2:
+        preds = np.argmax(arr, axis=1)
+    elif arr.ndim == 1:
+        preds = arr
+    else:
+        raise ValueError(f"expected 1-D preds or 2-D logits, got shape {arr.shape}")
+    if preds.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"prediction/label count mismatch: {preds.shape[0]} vs {labels.shape[0]}"
+        )
+    if preds.shape[0] == 0:
+        raise ValueError("accuracy of an empty batch is undefined")
+    return float(np.mean(preds == labels))
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is among the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    if logits.shape[0] == 0:
+        raise ValueError("top-k accuracy of an empty batch is undefined")
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(np.mean(hits))

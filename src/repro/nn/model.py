@@ -1,0 +1,262 @@
+"""The :class:`Sequential` model container.
+
+Beyond the usual fit/evaluate surface, the container exposes the federated
+weight interface used by every aggregator in :mod:`repro.fl`:
+
+* :meth:`Sequential.get_weights` / :meth:`Sequential.set_weights` -- list of
+  arrays in a stable order,
+* :meth:`Sequential.get_flat_weights` / :meth:`Sequential.set_flat_weights`
+  -- a single 1-D vector (what travels "over the wire" in the simulation and
+  what :func:`repro.fl.aggregator.fedavg` averages),
+* :meth:`Sequential.num_params` -- payload size used by the communication
+  model to compute transfer latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import proximal_penalty, softmax_cross_entropy
+from repro.nn.optimizers import Optimizer
+from repro.rng import RngLike, make_rng
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A linear stack of layers with analytic backprop.
+
+    Parameters
+    ----------
+    layers:
+        Layer instances, applied in order.
+    input_shape:
+        Per-sample input shape, e.g. ``(28, 28, 1)`` or ``(64,)``.
+    rng:
+        Seed spec for parameter initialization (see :mod:`repro.rng`).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        input_shape: Tuple[int, ...],
+        rng: RngLike = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("a Sequential model needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.output_shape = self._build(make_rng(rng))
+
+    def _build(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.build(shape, rng)
+        return shape
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack; returns logits ``(n, num_classes)``."""
+        out = np.asarray(x, dtype=np.float64)
+        expected = (out.shape[0],) + self.input_shape
+        if out.shape != expected:
+            raise ValueError(
+                f"input shape {out.shape} does not match model input "
+                f"{expected} (batch, *input_shape)"
+            )
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate ``grad`` (w.r.t. logits) back through the stack."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: Optimizer,
+        prox_anchor: Optional[List[np.ndarray]] = None,
+        prox_mu: float = 0.0,
+    ) -> float:
+        """One mini-batch gradient step; returns the batch loss.
+
+        When ``prox_anchor``/``prox_mu`` are given the FedProx proximal term
+        ``mu/2 ||w - w_anchor||^2`` is added to the objective.
+        """
+        logits = self.forward(x, training=True)
+        loss, grad = softmax_cross_entropy(logits, y)
+        self.backward(grad)
+        if prox_mu > 0.0:
+            if prox_anchor is None:
+                raise ValueError("prox_mu > 0 requires prox_anchor weights")
+            anchors = self._weights_as_dicts(prox_anchor)
+            for li, layer in enumerate(self._param_layers()):
+                ploss, pgrads = proximal_penalty(layer.params, anchors[li], prox_mu)
+                loss += ploss
+                for name, g in pgrads.items():
+                    layer.grads[name] = layer.grads[name] + g
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                optimizer.update((li, name), param, layer.grads[name])
+        return loss
+
+    def fit_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: Optimizer,
+        batch_size: int,
+        rng: RngLike = None,
+        prox_anchor: Optional[List[np.ndarray]] = None,
+        prox_mu: float = 0.0,
+    ) -> float:
+        """One local epoch of mini-batch SGD over ``(x, y)``.
+
+        Returns the mean batch loss.  Shuffling uses the supplied stream.
+        """
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = make_rng(rng).permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            losses.append(
+                self.train_step(
+                    x[idx], y[idx], optimizer, prox_anchor=prox_anchor, prox_mu=prox_mu
+                )
+            )
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions ``(n,)`` computed in inference mode."""
+        preds = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            preds.append(np.argmax(logits, axis=1))
+        if not preds:
+            return np.empty((0,), dtype=np.int64)
+        return np.concatenate(preds)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Top-1 accuracy on ``(x, y)``."""
+        if x.shape[0] == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        preds = self.predict(x, batch_size=batch_size)
+        return float(np.mean(preds == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    # federated weight interface
+    # ------------------------------------------------------------------
+    def _param_layers(self) -> List[Layer]:
+        return [layer for layer in self.layers if layer.params]
+
+    def _weights_as_dicts(
+        self, weights: Sequence[np.ndarray]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Regroup a ``get_weights()``-ordered list into per-layer dicts."""
+        out: List[Dict[str, np.ndarray]] = []
+        it = iter(weights)
+        for layer in self._param_layers():
+            out.append({name: next(it) for name in sorted(layer.params)})
+        leftover = sum(1 for _ in it)
+        if leftover:
+            raise ValueError(f"{leftover} extra weight tensors supplied")
+        return out
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Copies of all parameter tensors in deterministic order."""
+        out: List[np.ndarray] = []
+        for layer in self.layers:
+            for name in sorted(layer.params):
+                out.append(layer.params[name].copy())
+        return out
+
+    def set_weights(self, weights: Iterable[np.ndarray]) -> None:
+        """Load tensors produced by :meth:`get_weights` (shape-checked)."""
+        weights = list(weights)
+        slots = [
+            (layer, name) for layer in self.layers for name in sorted(layer.params)
+        ]
+        if len(weights) != len(slots):
+            raise ValueError(
+                f"expected {len(slots)} weight tensors, got {len(weights)}"
+            )
+        for (layer, name), w in zip(slots, weights):
+            if layer.params[name].shape != w.shape:
+                raise ValueError(
+                    f"shape mismatch for {type(layer).__name__}.{name}: "
+                    f"{layer.params[name].shape} vs {w.shape}"
+                )
+            layer.params[name] = np.array(w, dtype=np.float64, copy=True)
+
+    def get_flat_weights(self) -> np.ndarray:
+        """All parameters concatenated into one 1-D float64 vector."""
+        ws = self.get_weights()
+        if not ws:
+            return np.empty((0,), dtype=np.float64)
+        return np.concatenate([w.ravel() for w in ws])
+
+    def set_flat_weights(self, flat: np.ndarray) -> None:
+        """Inverse of :meth:`get_flat_weights`."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim != 1:
+            raise ValueError(f"flat weights must be 1-D, got shape {flat.shape}")
+        total = self.num_params()
+        if flat.size != total:
+            raise ValueError(f"expected {total} values, got {flat.size}")
+        out: List[np.ndarray] = []
+        offset = 0
+        for layer in self.layers:
+            for name in sorted(layer.params):
+                shape = layer.params[name].shape
+                size = int(np.prod(shape))
+                out.append(flat[offset : offset + size].reshape(shape))
+                offset += size
+        self.set_weights(out)
+
+    def num_params(self) -> int:
+        """Total scalar parameter count (communication payload size)."""
+        return int(sum(layer.num_params for layer in self.layers))
+
+    def clone_architecture(self, rng: RngLike = None) -> "Sequential":
+        """Fresh model with the same topology and new random weights.
+
+        Used to stamp out per-client replicas; call :meth:`set_weights`
+        afterwards to sync them to the global model.
+        """
+        import copy
+
+        new_layers = []
+        for layer in self.layers:
+            blank = copy.copy(layer)
+            blank.params = {}
+            blank.grads = {}
+            blank.built = False
+            new_layers.append(blank)
+        return Sequential(new_layers, self.input_shape, rng=rng)
+
+    def summary(self) -> str:
+        """Human-readable layer table."""
+        lines = [f"Sequential(input={self.input_shape}, output={self.output_shape})"]
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i:2d}] {layer!r}")
+        lines.append(f"  total params: {self.num_params()}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""First-order optimizers.
+
+The paper trains the synthetic benchmarks with **RMSprop** (initial lr 0.01,
+multiplicative decay 0.995 per round) and FEMNIST with **SGD** (lr 0.004);
+both are implemented here.  Optimizer state is keyed by ``(layer_idx,
+param_name)`` so it survives weight swaps performed by the federated server
+between rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop"]
+
+ParamKey = Tuple[Hashable, str]
+
+
+class Optimizer:
+    """Base optimizer: learning-rate schedule plus per-parameter state."""
+
+    def __init__(self, lr: float, decay: float = 1.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.base_lr = lr
+        self.decay = decay
+        self.steps = 0
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate under multiplicative decay."""
+        return self.base_lr * (self.decay**self.steps)
+
+    def step_schedule(self) -> None:
+        """Advance the decay schedule by one unit (one round, per the paper)."""
+        self.steps += 1
+
+    def update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one in-place update to ``param`` given ``grad``."""
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Drop accumulated moments (used when a client re-syncs weights)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float, momentum: float = 0.0, decay: float = 1.0) -> None:
+        super().__init__(lr, decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[ParamKey, np.ndarray] = {}
+
+    def update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.lr * grad
+            return
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+        v = self.momentum * v - self.lr * grad
+        self._velocity[key] = v
+        param += v
+
+    def reset_state(self) -> None:
+        self._velocity.clear()
+
+
+class RMSprop(Optimizer):
+    """RMSprop as used by the paper's local trainer.
+
+    ``rho`` is the moving-average coefficient of the squared gradient;
+    ``eps`` guards the division.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        rho: float = 0.9,
+        eps: float = 1e-7,
+        decay: float = 0.995,
+    ) -> None:
+        super().__init__(lr, decay)
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.rho = rho
+        self.eps = eps
+        self._sq_avg: Dict[ParamKey, np.ndarray] = {}
+
+    def update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        s = self._sq_avg.get(key)
+        if s is None:
+            s = np.zeros_like(param)
+        s = self.rho * s + (1.0 - self.rho) * grad * grad
+        self._sq_avg[key] = s
+        param -= self.lr * grad / (np.sqrt(s) + self.eps)
+
+    def reset_state(self) -> None:
+        self._sq_avg.clear()

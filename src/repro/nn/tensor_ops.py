@@ -1,0 +1,181 @@
+"""Low-level tensor kernels shared by the layers.
+
+Everything here is pure-function numpy.  The convolution path uses the
+classic im2col / col2im transformation so both the forward pass and the
+gradient reduce to dense GEMMs -- the single most effective vectorisation
+for conv nets in pure numpy (one matmul instead of a quadruple Python
+loop).  Shapes follow the NHWC convention used throughout the package:
+``(batch, height, width, channels)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "one_hot",
+    "softmax",
+    "log_softmax",
+    "pad_nhwc",
+    "conv_out_size",
+    "im2col",
+    "col2im",
+    "pool2d_forward",
+    "pool2d_backward",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` of shape ``(n,)`` as ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def pad_nhwc(x: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
+    """Zero-pad the spatial dims of an NHWC tensor."""
+    if pad_h == 0 and pad_w == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (pad_h, pad_h), (pad_w, pad_w), (0, 0)), mode="constant"
+    )
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a conv / pool window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def _window_view(
+    x: np.ndarray, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Strided sliding-window view of an NHWC tensor.
+
+    Returns shape ``(n, oh, ow, kh, kw, c)`` without copying.
+    """
+    n, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sh, sw, sc = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NHWC tensor into patch matrix.
+
+    Returns ``(cols, (oh, ow))`` where ``cols`` has shape
+    ``(n * oh * ow, kh * kw * c)``; each row is one receptive field.
+    """
+    x = pad_nhwc(x, pad, pad)
+    n, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    view = _window_view(x, kh, kw, stride)
+    cols = view.reshape(n * oh * ow, kh * kw * c)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into an NHWC tensor, summing overlaps.
+
+    Exact adjoint of :func:`im2col`; used for the conv input gradient.
+    """
+    n, h, w, c = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    patches = cols.reshape(n, oh, ow, kh, kw, c)
+    out = np.zeros((n, hp, wp, c), dtype=cols.dtype)
+    # kh*kw additions of full (n, oh, ow, c) blocks: loop extent is the
+    # kernel size (small constant), not the batch or image size.
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            out[:, i:i_max:stride, j:j_max:stride, :] += patches[:, :, :, i, j, :]
+    if pad == 0:
+        return out
+    return out[:, pad:-pad, pad:-pad, :]
+
+
+def pool2d_forward(
+    x: np.ndarray, kh: int, kw: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max-pool an NHWC tensor.
+
+    Returns ``(out, argmax)`` where ``argmax`` holds flat within-window
+    indices used by :func:`pool2d_backward`.
+    """
+    view = _window_view(x, kh, kw, stride)  # (n, oh, ow, kh, kw, c)
+    n, oh, ow, _, _, c = view.shape
+    flat = view.reshape(n, oh, ow, kh * kw, c)
+    arg = np.argmax(flat, axis=3)  # (n, oh, ow, c)
+    out = np.take_along_axis(flat, arg[:, :, :, None, :], axis=3).squeeze(3)
+    return out, arg
+
+
+def pool2d_backward(
+    grad: np.ndarray,
+    arg: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+) -> np.ndarray:
+    """Route ``grad`` back through the max locations recorded by the fwd pass."""
+    n, h, w, c = x_shape
+    oh, ow = grad.shape[1], grad.shape[2]
+    dx = np.zeros(x_shape, dtype=grad.dtype)
+    ki, kj = np.divmod(arg, kw)  # window-local coordinates, each (n, oh, ow, c)
+    oi = np.arange(oh)[None, :, None, None]
+    oj = np.arange(ow)[None, None, :, None]
+    rows = oi * stride + ki
+    cols = oj * stride + kj
+    ni = np.arange(n)[:, None, None, None]
+    ci = np.arange(c)[None, None, None, :]
+    # Windows can overlap when stride < kernel, so accumulate with np.add.at.
+    np.add.at(dx, (ni, rows, cols, ci), grad)
+    return dx

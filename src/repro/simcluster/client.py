@@ -1,0 +1,174 @@
+"""The simulated federated client.
+
+A :class:`SimClient` owns a private local dataset (never shared -- the
+privacy property the paper preserves), a resource spec, and its own RNG
+streams.  Training is *real* (numpy gradient descent on the local data);
+the response latency is *simulated* from the resource spec via
+:class:`~repro.simcluster.latency.LatencyModel` +
+:class:`~repro.simcluster.network.CommModel`.
+
+To keep memory linear in the model size rather than ``clients x model``,
+clients train inside a shared *workspace model* supplied by the server:
+the global weights are loaded, the local pass runs, and the updated
+weights are read back out.  This is behaviourally identical to per-client
+replicas under FedAvg (weights are fully overwritten each round) and is
+checked by an equivalence test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer
+from repro.rng import RngLike, make_rng, spawn
+from repro.simcluster.faults import FaultInjector
+from repro.simcluster.latency import LatencyModel
+from repro.simcluster.network import CommModel
+from repro.simcluster.resources import ResourceSpec
+
+__all__ = ["SimClient", "ClientUpdate"]
+
+OptimizerFactory = Callable[[], Optimizer]
+
+
+@dataclass
+class ClientUpdate:
+    """What a client returns to the aggregator after a round.
+
+    ``latency`` is the full simulated response latency (download + compute
+    + upload); ``float('inf')`` marks a dropped client.
+    """
+
+    client_id: int
+    flat_weights: Optional[np.ndarray]
+    num_samples: int
+    latency: float
+
+    @property
+    def dropped(self) -> bool:
+        return not np.isfinite(self.latency) or self.flat_weights is None
+
+
+class SimClient:
+    """One simulated cross-device FL client."""
+
+    def __init__(
+        self,
+        client_id: int,
+        data: Dataset,
+        spec: ResourceSpec,
+        latency_model: LatencyModel,
+        comm_model: Optional[CommModel] = None,
+        holdout_fraction: float = 0.2,
+        min_holdout: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        if len(data) == 0:
+            raise ValueError(f"client {client_id} cannot be created with no data")
+        if not 0.0 <= holdout_fraction < 1.0:
+            raise ValueError(
+                f"holdout_fraction must be in [0, 1), got {holdout_fraction}"
+            )
+        self.client_id = int(client_id)
+        self.spec = spec
+        self.latency_model = latency_model
+        self.comm_model = comm_model or CommModel()
+        base = make_rng(rng)
+        # Independent streams: shuffling must not perturb latency noise.
+        self._train_rng, self._latency_rng = spawn(base, 2)
+
+        holdout_size = max(min_holdout, int(round(len(data) * holdout_fraction)))
+        holdout_size = min(holdout_size, len(data) - 1) if len(data) > 1 else 0
+        if holdout_size > 0:
+            self.holdout, self.train_data = data.split(holdout_size, self._train_rng)
+        else:
+            self.holdout = data.subset(np.empty(0, dtype=np.int64))
+            self.train_data = data
+
+    # ------------------------------------------------------------------
+    @property
+    def num_train_samples(self) -> int:
+        """The FedAvg weight ``s_c`` of Alg. 1."""
+        return len(self.train_data)
+
+    def response_latency(
+        self,
+        num_params: int,
+        epochs: int = 1,
+        round_idx: int = 0,
+        fault: Optional[FaultInjector] = None,
+    ) -> float:
+        """Sample this round's simulated response latency (seconds)."""
+        compute = self.latency_model.sample_compute(
+            self.num_train_samples, self.spec, epochs=epochs, rng=self._latency_rng
+        )
+        comm = self.comm_model.sample_round_trip(
+            num_params, self.spec, rng=self._latency_rng
+        )
+        latency = compute + comm
+        if fault is not None:
+            latency = fault.apply(self.client_id, round_idx, latency)
+        return latency
+
+    def mean_response_latency(self, num_params: int, epochs: int = 1) -> float:
+        """Noise-free expected latency (used by the estimator tests)."""
+        return self.latency_model.mean_compute(
+            self.num_train_samples, self.spec, epochs=epochs
+        ) + self.comm_model.mean_round_trip(num_params, self.spec)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        workspace: Sequential,
+        global_weights: np.ndarray,
+        optimizer_factory: OptimizerFactory,
+        batch_size: int = 10,
+        epochs: int = 1,
+        prox_mu: float = 0.0,
+    ) -> np.ndarray:
+        """Run ``epochs`` local epochs starting from ``global_weights``.
+
+        Returns the updated flat weight vector.  ``workspace`` is the
+        shared model shell; its weights are overwritten on entry.
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        workspace.set_flat_weights(global_weights)
+        optimizer = optimizer_factory()
+        anchor = workspace.get_weights() if prox_mu > 0.0 else None
+        for _ in range(epochs):
+            workspace.fit_epoch(
+                self.train_data.x,
+                self.train_data.y,
+                optimizer,
+                batch_size=batch_size,
+                rng=self._train_rng,
+                prox_anchor=anchor,
+                prox_mu=prox_mu,
+            )
+        return workspace.get_flat_weights()
+
+    def evaluate(self, workspace: Sequential, flat_weights: np.ndarray) -> float:
+        """Accuracy of ``flat_weights`` on this client's local holdout.
+
+        This is the per-client signal pooled into the per-tier accuracy
+        ``A_t^r`` of Alg. 2 -- it never exposes raw data to the server.
+        """
+        if len(self.holdout) == 0:
+            raise RuntimeError(
+                f"client {self.client_id} has no holdout data; construct it "
+                "with holdout_fraction > 0 to use per-tier evaluation"
+            )
+        workspace.set_flat_weights(flat_weights)
+        return workspace.evaluate(self.holdout.x, self.holdout.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimClient(id={self.client_id}, n={self.num_train_samples}, "
+            f"cpu={self.spec.cpu_fraction})"
+        )

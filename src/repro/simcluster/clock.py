@@ -1,0 +1,52 @@
+"""The simulated wall clock.
+
+Synchronous FL advances in lock-step: each round costs
+``max(client latencies)`` (paper Eq. 1).  The clock accumulates those
+round costs so "accuracy over wall-clock time" figures (Figs. 3/6 e,f)
+fall out of the same run as "accuracy over rounds".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """Monotonically advancing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+        self._marks: List[float] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance the clock backwards (dt={dt})")
+        self._now += float(dt)
+        return self._now
+
+    def mark(self) -> None:
+        """Record the current time (one mark per completed round)."""
+        self._marks.append(self._now)
+
+    @property
+    def marks(self) -> List[float]:
+        """Times recorded by :meth:`mark`, oldest first."""
+        return list(self._marks)
+
+    def reset(self) -> None:
+        """Zero the clock and clear marks."""
+        self._now = 0.0
+        self._marks.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedClock(now={self._now:.3f}s, marks={len(self._marks)})"

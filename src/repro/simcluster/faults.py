@@ -1,0 +1,81 @@
+"""Fault injection: dropouts and slowdowns.
+
+Section 4.2 of the paper handles clients that repeatedly time out during
+profiling (they are excluded as dropouts), and real deployments see
+transient stragglers.  These injectors wrap a client's sampled latency so
+both behaviours can be reproduced in tests and robustness studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.rng import RngLike, make_rng
+
+__all__ = ["FaultInjector", "DropoutInjector", "SlowdownInjector"]
+
+
+class FaultInjector:
+    """Base class: transforms a sampled latency for (client, round)."""
+
+    def apply(self, client_id: int, round_idx: int, latency: float) -> float:
+        """Return the possibly-degraded latency.
+
+        ``float('inf')`` means the client never responds this round.
+        """
+        return latency
+
+
+@dataclass
+class DropoutInjector(FaultInjector):
+    """Clients in ``always_drop`` never respond; others drop i.i.d. with
+    probability ``drop_prob`` per round."""
+
+    drop_prob: float = 0.0
+    always_drop: Optional[Set[int]] = None
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {self.drop_prob}")
+        self._rng = make_rng(self.rng)
+        self.always_drop = set(self.always_drop or ())
+
+    def apply(self, client_id: int, round_idx: int, latency: float) -> float:
+        if client_id in self.always_drop:
+            return float("inf")
+        if self.drop_prob > 0.0 and self._rng.random() < self.drop_prob:
+            return float("inf")
+        return latency
+
+
+@dataclass
+class SlowdownInjector(FaultInjector):
+    """Multiply the latency of ``slow_clients`` by ``factor``.
+
+    When ``slow_clients`` is ``None`` every client is affected -- useful to
+    model a system-wide performance regression for the periodic
+    re-profiling tests.
+
+    ``start_round`` may be negative: the profiler labels its rounds with
+    negative indices (``-1, -2, ...``), so a negative ``start_round``
+    makes the slowdown visible during (re-)profiling as well.
+    """
+
+    factor: float = 1.0
+    slow_clients: Optional[Set[int]] = None
+    start_round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
+
+    def apply(self, client_id: int, round_idx: int, latency: float) -> float:
+        if round_idx < self.start_round:
+            return latency
+        if self.slow_clients is not None and client_id not in self.slow_clients:
+            return latency
+        return latency * self.factor

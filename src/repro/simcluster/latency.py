@@ -1,0 +1,117 @@
+"""Client compute-latency model.
+
+Figure 1(a) of the paper shows two regularities the model must reproduce:
+
+1. with fixed CPU, per-round training time grows **near-linearly** in the
+   number of local samples;
+2. with fixed data, training time scales **inversely** with the CPU
+   fraction.
+
+We therefore model one local epoch as::
+
+    compute = base_overhead + samples * cost_per_sample / cpu_fraction
+
+and multiply by a log-normal noise factor (real response latencies are
+right-skewed).  ``cost_per_sample`` is a model-complexity knob: harnesses
+set it from the parameter count of the trained network so that, e.g., the
+CIFAR-10 CNN is slower than the MNIST CNN at equal CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import RngLike, make_rng
+from repro.simcluster.resources import ResourceSpec
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Stochastic compute-latency generator.
+
+    Attributes
+    ----------
+    cost_per_sample:
+        Seconds of single-CPU compute per training sample per local epoch.
+    base_overhead:
+        Fixed per-round client overhead (framework startup, serialisation).
+    noise_sigma:
+        Sigma of the multiplicative log-normal noise (0 = deterministic).
+    """
+
+    cost_per_sample: float = 0.005
+    base_overhead: float = 0.5
+    noise_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.cost_per_sample <= 0:
+            raise ValueError(
+                f"cost_per_sample must be positive, got {self.cost_per_sample}"
+            )
+        if self.base_overhead < 0:
+            raise ValueError(
+                f"base_overhead must be non-negative, got {self.base_overhead}"
+            )
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+
+    def mean_compute(self, num_samples: int, spec: ResourceSpec, epochs: int = 1) -> float:
+        """Expected compute seconds for ``epochs`` local epochs."""
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be non-negative, got {num_samples}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        work = self.base_overhead + (
+            epochs * num_samples * self.cost_per_sample / spec.cpu_fraction
+        )
+        # log-normal(mu=0, sigma) has mean exp(sigma^2 / 2)
+        return work * float(np.exp(self.noise_sigma**2 / 2.0))
+
+    def sample_compute(
+        self,
+        num_samples: int,
+        spec: ResourceSpec,
+        epochs: int = 1,
+        rng: RngLike = None,
+    ) -> float:
+        """Draw one noisy compute latency."""
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be non-negative, got {num_samples}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        work = self.base_overhead + (
+            epochs * num_samples * self.cost_per_sample / spec.cpu_fraction
+        )
+        if self.noise_sigma == 0.0:
+            return work
+        factor = float(np.exp(make_rng(rng).normal(0.0, self.noise_sigma)))
+        return work * factor
+
+    @classmethod
+    def for_model_size(
+        cls,
+        num_params: int,
+        flops_per_param: float = 6.0,
+        effective_flops: float = 2.0e9,
+        base_overhead: float = 0.5,
+        noise_sigma: float = 0.05,
+    ) -> "LatencyModel":
+        """Calibrate ``cost_per_sample`` from a parameter count.
+
+        A forward+backward pass costs roughly ``flops_per_param`` FLOPs per
+        parameter per sample; ``effective_flops`` is the throughput of one
+        CPU.  The absolute scale is a free knob -- only ratios across
+        models/CPU groups matter for the reproduced figures.
+        """
+        if num_params <= 0:
+            raise ValueError(f"num_params must be positive, got {num_params}")
+        cost = num_params * flops_per_param / effective_flops
+        return cls(
+            cost_per_sample=cost,
+            base_overhead=base_overhead,
+            noise_sigma=noise_sigma,
+        )

@@ -1,0 +1,103 @@
+"""Client resource specifications (Section 5.1 "Heterogeneous Resource Setup").
+
+The paper splits clients into five equal groups and pins a decreasing CPU
+budget to each group.  The three published allocations are provided as
+constants; :func:`assign_resource_groups` reproduces the equal-clients-per-
+group assignment (deterministic by default, or shuffled like the LEAF
+extension's "uniform random distribution resulting in equal number of
+clients per hardware type").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.rng import RngLike, make_rng
+
+__all__ = [
+    "ResourceSpec",
+    "assign_resource_groups",
+    "MNIST_CPU_GROUPS",
+    "CIFAR_CPU_GROUPS",
+    "CASE_STUDY_CPU_GROUPS",
+    "HOMOGENEOUS_2CPU",
+]
+
+#: MNIST / Fashion-MNIST groups (2, 1, 0.75, 0.5, 0.25 CPUs).
+MNIST_CPU_GROUPS: Sequence[float] = (2.0, 1.0, 0.75, 0.5, 0.25)
+#: CIFAR-10 / FEMNIST groups (4, 2, 1, 0.5, 0.1 CPUs).
+CIFAR_CPU_GROUPS: Sequence[float] = (4.0, 2.0, 1.0, 0.5, 0.1)
+#: Section 3.3 case-study groups (4, 2, 1, 1/3, 1/5 CPUs).
+CASE_STUDY_CPU_GROUPS: Sequence[float] = (4.0, 2.0, 1.0, 1.0 / 3.0, 0.2)
+#: Homogeneous allocation for the data-heterogeneity-only studies.
+HOMOGENEOUS_2CPU: Sequence[float] = (2.0,)
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Compute/communication capacity of one simulated client.
+
+    Attributes
+    ----------
+    cpu_fraction:
+        Fraction (or multiple) of one CPU available for local training;
+        compute latency scales inversely with it.
+    bandwidth_mbps:
+        Uplink/downlink bandwidth for weight transfer.
+    group:
+        Resource-group index (0 = fastest group), for reporting.
+    """
+
+    cpu_fraction: float
+    bandwidth_mbps: float = 100.0
+    group: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu_fraction <= 0:
+            raise ValueError(f"cpu_fraction must be positive, got {self.cpu_fraction}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(
+                f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}"
+            )
+
+
+def assign_resource_groups(
+    num_clients: int,
+    cpu_groups: Sequence[float],
+    bandwidth_mbps: float = 100.0,
+    shuffle: bool = False,
+    rng: RngLike = None,
+) -> List[ResourceSpec]:
+    """Assign clients to resource groups with equal clients per group.
+
+    Parameters
+    ----------
+    cpu_groups:
+        CPU budget of each group, fastest first (paper convention).
+    shuffle:
+        When true, the client → group mapping is randomised (but still
+        balanced), mirroring the LEAF deployment; otherwise clients
+        ``[0..n/g)`` land in group 0, etc.
+    """
+    groups = list(cpu_groups)
+    if not groups:
+        raise ValueError("cpu_groups must be non-empty")
+    if any(g <= 0 for g in groups):
+        raise ValueError(f"all CPU budgets must be positive: {groups}")
+    if num_clients % len(groups) != 0:
+        raise ValueError(
+            f"num_clients={num_clients} not divisible by {len(groups)} groups"
+        )
+    per_group = num_clients // len(groups)
+    specs = [
+        ResourceSpec(cpu_fraction=cpu, bandwidth_mbps=bandwidth_mbps, group=gi)
+        for gi, cpu in enumerate(groups)
+        for _ in range(per_group)
+    ]
+    if shuffle:
+        order = make_rng(rng).permutation(num_clients)
+        specs = [specs[i] for i in order]
+    return specs

@@ -1,0 +1,77 @@
+"""Per-tier selection credits (Algorithm 2's ``Credits_t``).
+
+Credits cap how many rounds each tier may be selected, putting a soft
+upper bound on total training time: once a slow tier's credits hit zero it
+can no longer be chosen, no matter what the accuracy feedback says.
+
+The paper does not prescribe the allocation; two strategies are provided:
+
+* ``equal`` -- every tier gets ``ceil(slack * rounds / m)`` credits,
+* ``speed_weighted`` -- credits proportional to inverse tier latency
+  (faster tiers may train more often), normalised to ``slack * rounds``.
+
+``slack > 1`` guarantees total credits exceed the round budget, so
+Algorithm 2's selection loop always finds a creditable tier.  (With a
+user-forced ``slack < 1`` the adaptive policy refills credits
+proportionally and records the event -- see
+:class:`repro.tifl.adaptive.AdaptiveTierPolicy`.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["allocate_credits"]
+
+
+def allocate_credits(
+    num_tiers: int,
+    total_rounds: int,
+    strategy: str = "speed_weighted",
+    tier_latencies: Optional[Sequence[float]] = None,
+    slack: float = 1.25,
+    min_credits: int = 1,
+) -> np.ndarray:
+    """Allocate per-tier credits summing to at least ``slack * rounds``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"equal"`` or ``"speed_weighted"`` (requires ``tier_latencies``).
+    slack:
+        Total-credit multiplier over the round budget.
+    min_credits:
+        Floor so every tier can participate at least this often.
+    """
+    if num_tiers <= 0:
+        raise ValueError(f"num_tiers must be positive, got {num_tiers}")
+    if total_rounds <= 0:
+        raise ValueError(f"total_rounds must be positive, got {total_rounds}")
+    if slack <= 0:
+        raise ValueError(f"slack must be positive, got {slack}")
+    if min_credits < 0:
+        raise ValueError(f"min_credits must be non-negative, got {min_credits}")
+
+    budget = slack * total_rounds
+    if strategy == "equal":
+        per_tier = int(np.ceil(budget / num_tiers))
+        credits = np.full(num_tiers, per_tier, dtype=np.int64)
+    elif strategy == "speed_weighted":
+        if tier_latencies is None:
+            raise ValueError("speed_weighted allocation requires tier_latencies")
+        lats = np.asarray(tier_latencies, dtype=np.float64)
+        if lats.shape != (num_tiers,):
+            raise ValueError(
+                f"tier_latencies must have shape ({num_tiers},), got {lats.shape}"
+            )
+        if np.any(lats <= 0) or not np.all(np.isfinite(lats)):
+            raise ValueError(f"tier latencies must be positive finite: {lats}")
+        weights = (1.0 / lats) / (1.0 / lats).sum()
+        credits = np.ceil(weights * budget).astype(np.int64)
+    else:
+        raise ValueError(
+            f"unknown credit strategy {strategy!r}; use 'equal' or 'speed_weighted'"
+        )
+    return np.maximum(credits, min_credits)

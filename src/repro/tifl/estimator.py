@@ -1,0 +1,96 @@
+"""Training-time estimation model (Section 4.5, Eq. 6) and MAPE (Eq. 7).
+
+The expected round latency under a static tier policy is the probability-
+weighted mean of tier latencies; multiplying by the round count gives the
+total::
+
+    L_all = sum_i (L_tier_i * P_i) * R                          (Eq. 6)
+
+Table 2 of the paper validates this model against testbed measurements
+(MAPE <= ~6% across policies); ``benchmarks/bench_table2_estimation.py``
+reproduces that comparison against the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fl.history import TrainingHistory
+
+__all__ = [
+    "estimate_training_time",
+    "estimate_schedule_time",
+    "mape",
+    "mape_from_history",
+]
+
+
+def estimate_training_time(
+    tier_latencies: Sequence[float],
+    tier_probs: Sequence[float],
+    rounds: int,
+) -> float:
+    """Eq. 6: expected total training time under a static policy."""
+    lats = np.asarray(tier_latencies, dtype=np.float64)
+    probs = np.asarray(tier_probs, dtype=np.float64)
+    if lats.shape != probs.shape:
+        raise ValueError(
+            f"latency/probability shape mismatch: {lats.shape} vs {probs.shape}"
+        )
+    if lats.ndim != 1 or lats.size == 0:
+        raise ValueError("tier latencies must be a non-empty 1-D vector")
+    if np.any(lats < 0):
+        raise ValueError(f"tier latencies must be non-negative: {lats}")
+    if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0, atol=1e-9):
+        raise ValueError(f"tier probabilities must be a distribution: {probs}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    return float((lats * probs).sum() * rounds)
+
+
+def estimate_schedule_time(
+    tier_latencies: Sequence[float],
+    prob_schedule: Sequence[Sequence[float]],
+    rounds_per_segment: Sequence[int],
+) -> float:
+    """Eq. 6 generalised to piecewise-constant probabilities.
+
+    The adaptive policy changes probabilities every interval ``I``; summing
+    Eq. 6 over the segments estimates adaptive runs too.
+    """
+    if len(prob_schedule) != len(rounds_per_segment):
+        raise ValueError(
+            f"schedule length mismatch: {len(prob_schedule)} prob vectors vs "
+            f"{len(rounds_per_segment)} segment lengths"
+        )
+    if not prob_schedule:
+        raise ValueError("the probability schedule must be non-empty")
+    return float(
+        sum(
+            estimate_training_time(tier_latencies, probs, r)
+            for probs, r in zip(prob_schedule, rounds_per_segment)
+        )
+    )
+
+
+def mape(estimated: float, actual: float) -> float:
+    """Eq. 7: mean absolute percentage error, in percent."""
+    if actual <= 0:
+        raise ValueError(f"actual time must be positive, got {actual}")
+    if estimated < 0:
+        raise ValueError(f"estimated time must be non-negative, got {estimated}")
+    return abs(estimated - actual) / actual * 100.0
+
+
+def mape_from_history(
+    tier_latencies: Sequence[float],
+    tier_probs: Sequence[float],
+    history: TrainingHistory,
+) -> float:
+    """Convenience: MAPE of Eq. 6 against a measured training history."""
+    if len(history) == 0:
+        raise ValueError("history is empty")
+    est = estimate_training_time(tier_latencies, tier_probs, len(history))
+    return mape(est, history.total_time)

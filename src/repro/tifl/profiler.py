@@ -1,0 +1,136 @@
+"""Client latency profiling (Section 4.2).
+
+All available clients run ``sync_rounds`` profiling tasks.  In each
+profiling round the aggregator waits ``Tmax`` seconds: a client that
+responds within the deadline has its accumulated response time ``RT_i``
+incremented by the actual latency, a client that times out is charged
+``Tmax``.  After ``sync_rounds`` rounds, clients with
+``RT_i >= sync_rounds * Tmax`` -- i.e. clients that *never* responded in
+time -- are flagged as dropouts and excluded from training.  The remaining
+clients' mean profiled latency feeds the tiering algorithm.
+
+Profiling can be re-run periodically ("for systems with changing
+computation and communication performance over time"); the TiFL server
+exposes :meth:`~repro.tifl.server.TiFLServer.reprofile` for exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simcluster.client import SimClient
+from repro.simcluster.faults import FaultInjector
+
+__all__ = ["ProfilingResult", "profile_clients"]
+
+
+@dataclass
+class ProfilingResult:
+    """Outcome of one profiling campaign.
+
+    Attributes
+    ----------
+    mean_latencies:
+        Mean observed response latency per responsive client (seconds);
+        timed-out rounds contribute ``Tmax``.
+    dropouts:
+        Clients excluded for timing out in every profiling round.
+    profiling_time:
+        Simulated wall-clock cost of the campaign
+        (``sync_rounds * min(max observed, Tmax)`` -- each profiling round
+        waits for the slowest responder or the deadline).
+    """
+
+    mean_latencies: Dict[int, float]
+    dropouts: List[int]
+    sync_rounds: int
+    tmax: float
+    profiling_time: float = 0.0
+    raw_latencies: Dict[int, List[float]] = field(default_factory=dict)
+
+    @property
+    def responsive_clients(self) -> List[int]:
+        return sorted(self.mean_latencies)
+
+
+def profile_clients(
+    clients: Sequence[SimClient],
+    num_params: int,
+    sync_rounds: int = 5,
+    tmax: Optional[float] = None,
+    epochs: int = 1,
+    fault: Optional[FaultInjector] = None,
+) -> ProfilingResult:
+    """Run the Section 4.2 profiling campaign over ``clients``.
+
+    Parameters
+    ----------
+    num_params:
+        Model size, for the communication component of the latency.
+    tmax:
+        Per-round response deadline.  ``None`` (default) means *no*
+        deadline: every finite response counts, and only clients that
+        never respond at all (infinite latency, e.g. injected dropouts)
+        are excluded.  A finite ``tmax`` reproduces the paper's exact
+        rule: timed-out rounds are charged ``Tmax`` and a client timing
+        out in every round is a dropout.  Keeping the default deadline
+        off matters for fidelity -- the slowest CPU group is *slow*, not
+        unresponsive, and must stay in the training pool.
+    fault:
+        Optional injector; clients it makes unresponsive (inf latency)
+        end up excluded.
+    """
+    if not clients:
+        raise ValueError("cannot profile an empty client pool")
+    if sync_rounds <= 0:
+        raise ValueError(f"sync_rounds must be positive, got {sync_rounds}")
+    if tmax is not None and tmax <= 0:
+        raise ValueError(f"tmax must be positive, got {tmax}")
+
+    deadline = float("inf") if tmax is None else float(tmax)
+    raw: Dict[int, List[float]] = {c.client_id: [] for c in clients}
+    profiling_time = 0.0
+    for r in range(sync_rounds):
+        observed: Dict[int, float] = {}
+        for c in clients:
+            lat = c.response_latency(
+                num_params, epochs=epochs, round_idx=-1 - r, fault=fault
+            )
+            observed[c.client_id] = lat
+        for cid, lat in observed.items():
+            raw[cid].append(min(lat, deadline))
+        finite = [min(v, deadline) for v in observed.values() if np.isfinite(min(v, deadline))]
+        if finite:
+            profiling_time += max(finite)
+
+    # Dropout rule (Sec. 4.2): a client is excluded when every profiling
+    # round hit the deadline -- i.e. its accumulated RT equals
+    # sync_rounds * Tmax.  With no deadline that degenerates to "never
+    # produced a finite response".
+    dropouts: List[int] = []
+    mean_latencies: Dict[int, float] = {}
+    for cid, lats in raw.items():
+        arr = np.asarray(lats, dtype=np.float64)
+        finite_mask = np.isfinite(arr)
+        timed_out = ~finite_mask | (arr >= deadline)
+        if timed_out.all():
+            dropouts.append(cid)
+            continue
+        # Timed-out rounds contribute Tmax to the mean, per the paper.
+        charged = np.where(finite_mask, np.minimum(arr, deadline), deadline)
+        charged = charged[np.isfinite(charged)]
+        mean_latencies[cid] = float(charged.mean())
+    dropouts.sort()
+    if not mean_latencies:
+        raise RuntimeError("every client was classified as a dropout")
+    return ProfilingResult(
+        mean_latencies=mean_latencies,
+        dropouts=dropouts,
+        sync_rounds=sync_rounds,
+        tmax=deadline,
+        profiling_time=profiling_time,
+        raw_latencies=raw,
+    )

@@ -1,0 +1,251 @@
+"""The TiFL server: profiling + tiering + tier scheduling on the FL loop.
+
+:class:`TiFLServer` extends :class:`repro.fl.server.FLServer` exactly the
+way Figure 2 extends the Google FL architecture: a profiler & tiering
+module runs first (excluding dropouts), a tier scheduler replaces the
+random selector, and -- for the adaptive policy -- the global model is
+evaluated on every tier's held-out data after each round to maintain the
+``A_t^r`` table that drives ``ChangeProbs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
+from repro.data.datasets import Dataset
+from repro.fl.history import RoundRecord
+from repro.fl.server import FLServer
+from repro.nn.model import Sequential
+from repro.rng import RngLike, make_rng, spawn
+from repro.simcluster.client import SimClient
+from repro.simcluster.faults import FaultInjector
+from repro.tifl.adaptive import AdaptiveTierPolicy
+from repro.tifl.credits import allocate_credits
+from repro.tifl.policies import StaticTierPolicy
+from repro.tifl.profiler import ProfilingResult, profile_clients
+from repro.tifl.scheduler import TierPolicy, TierScheduler
+from repro.tifl.tiering import TierAssignment, build_tiers
+
+__all__ = ["TiFLServer"]
+
+PolicySpec = Union[str, TierPolicy]
+
+
+class TiFLServer(FLServer):
+    """Tier-based federated-learning server.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`TierPolicy` instance, or a Table 1 preset name
+        (``"slow" | "uniform" | "random" | "fast" | "fast1" | "fast2" |
+        "fast3"``) resolved against ``policy_family``, or ``"adaptive"``
+        for Algorithm 2 (requires ``total_rounds`` for credit allocation).
+    num_tiers:
+        Requested tier count ``m`` (realised count may be smaller).
+    sync_rounds / tmax:
+        Profiling parameters (Section 4.2).
+    charge_profiling:
+        When true, the profiling campaign's simulated duration is charged
+        to the clock before training (the paper treats profiling as
+        lightweight and excludes it; default False).
+    tier_eval_every:
+        Evaluate per-tier accuracies every this many rounds (the adaptive
+        policy consumes them; static policies skip the work by default).
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[SimClient],
+        model: Sequential,
+        test_data: Dataset,
+        clients_per_round: int,
+        policy: PolicySpec = "uniform",
+        policy_family: str = "cifar",
+        num_tiers: int = 5,
+        sync_rounds: int = 5,
+        tmax: Optional[float] = None,
+        tiering_method: str = "quantile",
+        charge_profiling: bool = False,
+        tier_eval_every: Optional[int] = None,
+        total_rounds: Optional[int] = None,
+        adaptive_interval: int = 20,
+        credit_strategy: str = "speed_weighted",
+        credit_slack: float = 1.25,
+        training: TrainingConfig = PAPER_SYNTHETIC_TRAINING,
+        fault: Optional[FaultInjector] = None,
+        rng: RngLike = None,
+        **server_kwargs,
+    ) -> None:
+        base_rng = make_rng(rng)
+        sched_rng, server_rng = spawn(base_rng, 2)
+
+        # --- Step 1: profile & tier (Fig. 2's "Profiler & Tiering") ------
+        self.profiling: ProfilingResult = profile_clients(
+            clients,
+            num_params=model.num_params(),
+            sync_rounds=sync_rounds,
+            tmax=tmax,
+            epochs=training.epochs,
+            fault=fault,
+        )
+        self.assignment: TierAssignment = build_tiers(
+            self.profiling.mean_latencies,
+            num_tiers=num_tiers,
+            method=tiering_method,
+        )
+
+        # --- Step 2: resolve the tier policy ------------------------------
+        realised = self.assignment.num_tiers
+        self._policy_spec = policy
+        self._policy_family = policy_family
+        self._adaptive_interval = adaptive_interval
+        self._credit_strategy = credit_strategy
+        self._credit_slack = credit_slack
+        self._total_rounds = total_rounds
+        resolved = self._resolve_policy(policy, realised)
+
+        scheduler = TierScheduler(
+            self.assignment,
+            resolved,
+            clients_per_round=clients_per_round,
+            rng=sched_rng,
+        )
+        self.clients_per_round = clients_per_round
+        self._tiering_method = tiering_method
+        self._num_tiers_requested = num_tiers
+
+        if tier_eval_every is None:
+            tier_eval_every = 1 if isinstance(resolved, AdaptiveTierPolicy) else 0
+        if tier_eval_every < 0:
+            raise ValueError(
+                f"tier_eval_every must be non-negative, got {tier_eval_every}"
+            )
+        self.tier_eval_every = tier_eval_every
+
+        super().__init__(
+            clients=clients,
+            model=model,
+            selector=scheduler,
+            test_data=test_data,
+            training=training,
+            fault=fault,
+            rng=server_rng,
+            **server_kwargs,
+        )
+        if self.profiling.dropouts:
+            self.exclude_clients(self.profiling.dropouts)
+        if charge_profiling:
+            self.clock.advance(self.profiling.profiling_time)
+
+    # ------------------------------------------------------------------
+    def _resolve_policy(self, policy: PolicySpec, realised_tiers: int) -> TierPolicy:
+        if isinstance(policy, TierPolicy):
+            return policy
+        if policy == "adaptive":
+            if self._total_rounds is None:
+                raise ValueError(
+                    "policy='adaptive' requires total_rounds for credit allocation"
+                )
+            credits = allocate_credits(
+                realised_tiers,
+                self._total_rounds,
+                strategy=self._credit_strategy,
+                tier_latencies=self.assignment.mean_latencies,
+                slack=self._credit_slack,
+            )
+            return AdaptiveTierPolicy(
+                realised_tiers,
+                credits,
+                interval=self._adaptive_interval,
+            )
+        return StaticTierPolicy.from_name(
+            policy, family=self._policy_family, num_tiers=realised_tiers
+        )
+
+    @property
+    def scheduler(self) -> TierScheduler:
+        assert isinstance(self.selector, TierScheduler)
+        return self.selector
+
+    @property
+    def tier_policy(self) -> TierPolicy:
+        return self.scheduler.policy
+
+    # ------------------------------------------------------------------
+    def evaluate_tiers(self) -> Dict[int, float]:
+        """Per-tier accuracy ``A_t^r``: mean holdout accuracy over members.
+
+        Each client evaluates the global weights on its *local* holdout --
+        no raw data leaves the client, preserving the privacy property.
+        """
+        out: Dict[int, float] = {}
+        for tier in self.assignment.tiers:
+            accs = []
+            for cid in tier.client_ids:
+                if cid in self.excluded:
+                    continue
+                client = self.clients[cid]
+                if len(client.holdout) == 0:
+                    continue
+                accs.append(client.evaluate(self.model, self.global_weights))
+            if accs:
+                out[tier.index] = float(np.mean(accs))
+        return out
+
+    def _post_round(self, record: RoundRecord) -> None:
+        if self.tier_eval_every and record.round_idx % self.tier_eval_every == 0:
+            tier_accs = self.evaluate_tiers()
+            record.tier_accuracies = tier_accs
+            self.scheduler.record_tier_accuracies(record.round_idx, tier_accs)
+
+    # ------------------------------------------------------------------
+    def reprofile(
+        self, sync_rounds: Optional[int] = None, tmax: Optional[float] = None
+    ) -> TierAssignment:
+        """Re-run profiling + tiering (Section 4.2's periodic re-tiering).
+
+        Rebuilds the scheduler in place, preserving the policy object (so
+        adaptive credits / probabilities survive when tier count is
+        unchanged; otherwise the policy is re-resolved from its spec).
+        """
+        active = [c for cid, c in sorted(self.clients.items()) if cid not in self.excluded]
+        self.profiling = profile_clients(
+            active,
+            num_params=self.num_params,
+            sync_rounds=sync_rounds or self.profiling.sync_rounds,
+            tmax=tmax,
+            epochs=self.training.epochs,
+            fault=self.fault,
+        )
+        new_assignment = build_tiers(
+            self.profiling.mean_latencies,
+            num_tiers=self._num_tiers_requested,
+            method=self._tiering_method,
+        )
+        if self.profiling.dropouts:
+            self.exclude_clients(self.profiling.dropouts)
+
+        old_policy = self.scheduler.policy
+        if (
+            isinstance(old_policy, TierPolicy)
+            and getattr(old_policy, "num_tiers", None) == new_assignment.num_tiers
+        ):
+            policy = old_policy
+        else:
+            policy = self._resolve_policy(self._policy_spec, new_assignment.num_tiers)
+        self.assignment = new_assignment
+        self.selector = TierScheduler(
+            new_assignment,
+            policy,
+            clients_per_round=self.clients_per_round,
+            rng=self._rng,
+        )
+        return new_assignment
+
+    def expected_tier_latencies(self) -> np.ndarray:
+        """Profiled per-tier mean latencies (input to Eq. 6)."""
+        return self.assignment.mean_latencies

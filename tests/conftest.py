@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.data.synthetic import SyntheticSpec, generate_synthetic
+from repro.simcluster.client import SimClient
+from repro.simcluster.latency import LatencyModel
+from repro.simcluster.network import CommModel
+from repro.simcluster.resources import ResourceSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_tiny_dataset(
+    n: int = 40,
+    num_classes: int = 3,
+    shape=(4, 4, 1),
+    seed: int = 0,
+    difficulty: float = 0.2,
+    proto_seed: int = 42,
+) -> Dataset:
+    """Small, easily separable synthetic dataset for fast tests.
+
+    All tiny datasets share one prototype geometry (``proto_seed``) so that
+    data drawn with different ``seed`` values still belongs to the *same*
+    classification task -- a requirement for FedAvg across test clients to
+    be meaningful.
+    """
+    from repro.data.synthetic import class_prototypes
+
+    spec = SyntheticSpec(shape=shape, num_classes=num_classes, difficulty=difficulty)
+    protos = class_prototypes(spec, rng=proto_seed)
+    labels = np.arange(n) % num_classes
+    x, y = generate_synthetic(spec, n, rng=seed, labels=labels, prototypes=protos)
+    return Dataset(x, y, num_classes, name="tiny")
+
+
+def make_test_client(
+    client_id: int = 0,
+    n: int = 30,
+    cpu: float = 1.0,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+    holdout_fraction: float = 0.2,
+    cost_per_sample: float = 0.01,
+    base_overhead: float = 0.1,
+) -> SimClient:
+    """A deterministic-latency client over a tiny dataset."""
+    data = make_tiny_dataset(n=n, seed=seed + 1000 * client_id)
+    return SimClient(
+        client_id=client_id,
+        data=data,
+        spec=ResourceSpec(cpu_fraction=cpu, group=0),
+        latency_model=LatencyModel(
+            cost_per_sample=cost_per_sample,
+            base_overhead=base_overhead,
+            noise_sigma=noise_sigma,
+        ),
+        comm_model=CommModel(rtt=0.01, jitter_sigma=0.0),
+        holdout_fraction=holdout_fraction,
+        rng=seed + client_id,
+    )
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2.0 * eps)
+    return grad

@@ -1,0 +1,120 @@
+"""Tests for the synthetic data generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, class_prototypes, generate_synthetic
+
+
+class TestSpec:
+    def test_dim(self):
+        spec = SyntheticSpec(shape=(4, 4, 2), num_classes=3)
+        assert spec.dim == 32
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(shape=(4,), num_classes=1)
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(shape=(4,), num_classes=2, difficulty=1.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(shape=(0, 4), num_classes=2)
+
+
+class TestPrototypes:
+    def test_unit_norm(self):
+        spec = SyntheticSpec(shape=(6, 6, 1), num_classes=5)
+        protos = class_prototypes(spec, rng=0)
+        np.testing.assert_allclose(np.linalg.norm(protos, axis=1), 1.0, atol=1e-12)
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(shape=(4, 4, 1), num_classes=3)
+        np.testing.assert_array_equal(
+            class_prototypes(spec, rng=9), class_prototypes(spec, rng=9)
+        )
+
+    def test_distinct_per_class(self):
+        spec = SyntheticSpec(shape=(8, 8, 1), num_classes=4)
+        protos = class_prototypes(spec, rng=0)
+        gram = protos @ protos.T
+        off_diag = gram[~np.eye(4, dtype=bool)]
+        assert np.all(np.abs(off_diag) < 0.9)
+
+
+class TestGenerate:
+    def test_shapes_and_dtypes(self):
+        spec = SyntheticSpec(shape=(5, 5, 1), num_classes=3)
+        x, y = generate_synthetic(spec, 20, rng=1)
+        assert x.shape == (20, 5, 5, 1)
+        assert y.shape == (20,)
+        assert y.dtype == np.int64
+        assert set(np.unique(y)) <= set(range(3))
+
+    def test_fixed_labels_respected(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=4)
+        labels = np.array([0, 1, 2, 3, 0])
+        _, y = generate_synthetic(spec, 5, rng=0, labels=labels)
+        np.testing.assert_array_equal(y, labels)
+
+    def test_label_validation(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        with pytest.raises(ValueError):
+            generate_synthetic(spec, 2, labels=np.array([0, 5]))
+        with pytest.raises(ValueError):
+            generate_synthetic(spec, 3, labels=np.array([0, 1]))
+
+    def test_signal_separability(self):
+        """Low difficulty => same-class samples cluster around the prototype."""
+        spec = SyntheticSpec(shape=(8, 8, 1), num_classes=2, difficulty=0.1)
+        protos = class_prototypes(spec, rng=0)
+        x, y = generate_synthetic(spec, 200, rng=1, prototypes=protos)
+        flat = x.reshape(200, -1)
+        scores = flat @ protos.T
+        preds = scores.argmax(axis=1)
+        assert (preds == y).mean() > 0.95
+
+    def test_difficulty_reduces_separability(self):
+        spec_easy = SyntheticSpec(shape=(6, 6, 1), num_classes=3, difficulty=0.05)
+        spec_hard = SyntheticSpec(shape=(6, 6, 1), num_classes=3, difficulty=0.9)
+        protos = class_prototypes(spec_easy, rng=0)
+
+        def sep(spec):
+            x, y = generate_synthetic(spec, 300, rng=2, prototypes=protos)
+            scores = x.reshape(300, -1) @ protos.T
+            return (scores.argmax(axis=1) == y).mean()
+
+        assert sep(spec_easy) > sep(spec_hard)
+
+    def test_writer_shift_applied(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        protos = class_prototypes(spec, rng=0)
+        labels = np.zeros(10, dtype=np.int64)
+        x0, _ = generate_synthetic(spec, 10, rng=5, prototypes=protos, labels=labels)
+        shift = np.full(9, 3.0)
+        x1, _ = generate_synthetic(
+            spec, 10, rng=5, prototypes=protos, labels=labels, writer_shift=shift
+        )
+        np.testing.assert_allclose(x1 - x0, 3.0, atol=1e-12)
+
+    def test_writer_shift_wrong_size(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        with pytest.raises(ValueError, match="writer_shift"):
+            generate_synthetic(spec, 2, writer_shift=np.zeros(5))
+
+    def test_prototype_shape_checked(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        with pytest.raises(ValueError, match="prototype"):
+            generate_synthetic(spec, 2, prototypes=np.zeros((3, 9)))
+
+    def test_zero_samples(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        x, y = generate_synthetic(spec, 0, rng=0)
+        assert x.shape == (0, 3, 3, 1)
+
+    def test_negative_samples_raise(self):
+        spec = SyntheticSpec(shape=(3, 3, 1), num_classes=2)
+        with pytest.raises(ValueError):
+            generate_synthetic(spec, -1)

@@ -1,0 +1,56 @@
+"""Tests for partition validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.validation import (
+    check_partition,
+    classes_per_client,
+    partition_class_table,
+)
+
+
+class TestCheckPartition:
+    def test_valid_passes(self):
+        check_partition([np.array([0, 1]), np.array([2, 3])], 4)
+
+    def test_overlap_detected(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            check_partition([np.array([0, 1]), np.array([1, 2])], 3)
+
+    def test_duplicates_detected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_partition([np.array([0, 0])], 2)
+
+    def test_out_of_range_detected(self):
+        with pytest.raises(ValueError, match="outside"):
+            check_partition([np.array([0, 5])], 3)
+
+    def test_incomplete_cover_detected(self):
+        with pytest.raises(ValueError, match="covers"):
+            check_partition([np.array([0])], 3)
+
+    def test_partial_cover_allowed_when_requested(self):
+        check_partition([np.array([0])], 3, require_cover=False)
+
+    def test_empty_client_policy(self):
+        with pytest.raises(ValueError, match="no data"):
+            check_partition([np.array([0, 1, 2]), np.array([], dtype=int)], 3)
+        check_partition(
+            [np.array([0, 1, 2]), np.array([], dtype=int)],
+            3,
+            allow_empty_clients=True,
+        )
+
+
+class TestClassTable:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        parts = [np.array([0, 2]), np.array([1, 3, 4, 5])]
+        table = partition_class_table(labels, parts, 3)
+        np.testing.assert_array_equal(table, [[1, 1, 0], [1, 0, 3]])
+
+    def test_classes_per_client(self):
+        labels = np.array([0, 0, 1, 2])
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        np.testing.assert_array_equal(classes_per_client(labels, parts, 3), [1, 2])

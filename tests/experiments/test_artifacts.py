@@ -1,0 +1,31 @@
+"""Tests for benchmark artifact persistence."""
+
+import pytest
+
+from repro.experiments.artifacts import artifacts_dir, save_artifact
+
+
+class TestArtifacts:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "out"))
+        assert artifacts_dir() == tmp_path / "out"
+        assert (tmp_path / "out").is_dir()
+
+    def test_save_writes_and_echoes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path))
+        path = save_artifact("my_table", "hello | world")
+        assert path.read_text().startswith("hello | world")
+        assert "hello | world" in capsys.readouterr().out
+
+    def test_name_validation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path))
+        with pytest.raises(ValueError):
+            save_artifact("../escape", "x")
+        with pytest.raises(ValueError):
+            save_artifact("", "x")
+
+    def test_overwrites_previous(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path))
+        save_artifact("t", "first")
+        path = save_artifact("t", "second")
+        assert path.read_text().strip() == "second"

@@ -1,0 +1,89 @@
+"""Tests for figure-series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    accuracy_curves,
+    accuracy_time_curves,
+    mean_curves,
+    time_bars,
+)
+from repro.fl.history import RoundRecord, TrainingHistory
+
+
+def make_history(accs, latency=2.0, eval_every=1):
+    h = TrainingHistory()
+    t = 0.0
+    for r, acc in enumerate(accs):
+        t += latency
+        h.append(
+            RoundRecord(
+                round_idx=r,
+                round_latency=latency,
+                sim_time=t,
+                accuracy=acc if r % eval_every == 0 else None,
+                selected=(0,),
+            )
+        )
+    return h
+
+
+class TestExtractors:
+    def test_time_bars(self):
+        out = time_bars({"a": make_history([0.5] * 3), "b": make_history([0.5] * 5)})
+        assert out == {"a": 6.0, "b": 10.0}
+
+    def test_accuracy_curves(self):
+        out = accuracy_curves({"a": make_history([0.1, 0.2])})
+        rounds, accs = out["a"]
+        np.testing.assert_array_equal(rounds, [0, 1])
+        np.testing.assert_allclose(accs, [0.1, 0.2])
+
+    def test_accuracy_time_curves(self):
+        out = accuracy_time_curves({"a": make_history([0.1, 0.2], latency=3.0)})
+        times, accs = out["a"]
+        np.testing.assert_allclose(times, [3.0, 6.0])
+
+    def test_works_with_experiment_results(self):
+        from repro.experiments import ScenarioConfig, run_policy
+
+        cfg = ScenarioConfig(
+            num_clients=10, clients_per_round=2, train_size=300,
+            test_size=60, shape=(4, 4, 1),
+        )
+        res = run_policy(cfg, "uniform", rounds=3, seed=0)
+        bars = time_bars({"uniform": res})
+        assert bars["uniform"] == pytest.approx(res.total_time)
+
+
+class TestMeanCurves:
+    def test_averages_across_runs(self):
+        runs = [make_history([0.2, 0.4]), make_history([0.4, 0.6])]
+        rounds, accs = mean_curves(runs)
+        np.testing.assert_array_equal(rounds, [0, 1])
+        np.testing.assert_allclose(accs, [0.3, 0.5])
+
+    def test_aligns_on_common_rounds(self):
+        a = make_history([0.2, 0.4, 0.6], eval_every=1)
+        b = make_history([0.2, 0.4, 0.6, 0.8], eval_every=2)
+        rounds, accs = mean_curves([a, b])
+        np.testing.assert_array_equal(rounds, [0, 2])
+
+    def test_no_common_rounds_raises(self):
+        a = make_history([0.5, None])
+        b = TrainingHistory()
+        b.append(
+            RoundRecord(round_idx=0, round_latency=1.0, sim_time=1.0,
+                        accuracy=None, selected=(0,))
+        )
+        b.append(
+            RoundRecord(round_idx=1, round_latency=1.0, sim_time=2.0,
+                        accuracy=0.5, selected=(0,))
+        )
+        with pytest.raises(ValueError, match="common|share"):
+            mean_curves([a, b])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_curves([])

@@ -1,0 +1,77 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_policies, run_policy
+from repro.experiments.scenarios import ScenarioConfig
+
+
+def cfg(**kw):
+    defaults = dict(
+        num_clients=10,
+        clients_per_round=2,
+        train_size=300,
+        test_size=60,
+        shape=(4, 4, 1),
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+class TestRunPolicy:
+    def test_vanilla_runs(self):
+        res = run_policy(cfg(), "vanilla", rounds=5, seed=0)
+        assert res.policy == "vanilla"
+        assert len(res.history) == 5
+        assert res.tier_latencies is None
+
+    def test_tifl_policy_reports_tiers(self):
+        res = run_policy(cfg(), "uniform", rounds=5, seed=0)
+        assert res.tier_latencies is not None
+        assert res.tier_sizes.sum() == 10
+        np.testing.assert_allclose(res.tier_probs.sum(), 1.0)
+
+    def test_adaptive_runs(self):
+        res = run_policy(cfg(), "adaptive", rounds=6, seed=0, adaptive_interval=3)
+        assert len(res.history) == 6
+
+    def test_overselect_runs(self):
+        res = run_policy(cfg(), "overselect", rounds=4, seed=0)
+        assert len(res.history) == 4
+
+    def test_deterministic_given_seed(self):
+        a = run_policy(cfg(), "uniform", rounds=4, seed=9)
+        b = run_policy(cfg(), "uniform", rounds=4, seed=9)
+        np.testing.assert_allclose(a.total_time, b.total_time)
+        assert a.final_accuracy == b.final_accuracy
+
+    def test_seeds_differ(self):
+        a = run_policy(cfg(), "uniform", rounds=4, seed=1)
+        b = run_policy(cfg(), "uniform", rounds=4, seed=2)
+        assert a.total_time != b.total_time
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            run_policy(cfg(), "vanilla", rounds=0)
+
+
+class TestRunPolicies:
+    def test_all_policies_returned(self):
+        out = run_policies(cfg(), ["vanilla", "uniform"], rounds=3, seed=0)
+        assert set(out) == {"vanilla", "uniform"}
+        assert all(len(v) == 1 for v in out.values())
+
+    def test_repeats(self):
+        out = run_policies(cfg(), ["vanilla"], rounds=3, seed=0, repeats=3)
+        assert len(out["vanilla"]) == 3
+        times = [r.total_time for r in out["vanilla"]]
+        assert len(set(times)) > 1  # different seeds -> different draws
+
+    def test_policies_share_federation(self):
+        """Same seed => same data/latency statistics across policies."""
+        out = run_policies(cfg(), ["slow", "fast"], rounds=4, seed=3)
+        slow, fast = out["slow"][0], out["fast"][0]
+        np.testing.assert_allclose(slow.tier_latencies, fast.tier_latencies)
+        # identical tiering yields identical sizes
+        np.testing.assert_array_equal(slow.tier_sizes, fast.tier_sizes)

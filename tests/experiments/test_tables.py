@@ -1,0 +1,45 @@
+"""Tests for table renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import format_table, series_preview, speedup_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestSpeedupTable:
+    def test_speedups_computed(self):
+        text = speedup_table({"vanilla": 100.0, "fast": 10.0})
+        assert "10.000" in text  # 100/10
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_table({"fast": 1.0}, baseline="vanilla")
+
+
+class TestSeriesPreview:
+    def test_downsamples(self):
+        xs = np.arange(100)
+        ys = np.linspace(0, 1, 100)
+        text = series_preview(xs, ys, points=4, label="acc")
+        assert text.startswith("acc:")
+        assert text.count("(") == 4
+
+    def test_empty(self):
+        assert "empty" in series_preview(np.array([]), np.array([]))

@@ -1,0 +1,126 @@
+"""Tests for the Section 4.6 privacy bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.fl.privacy import (
+    PrivacyGuarantee,
+    amplify_by_sampling,
+    compose_advanced,
+    compose_basic,
+    tier_sampling_rates,
+    tiered_guarantee,
+    uniform_guarantee,
+)
+
+
+class TestGuarantee:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyGuarantee(eps=-1.0, delta=0.1)
+        with pytest.raises(ValueError):
+            PrivacyGuarantee(eps=1.0, delta=1.5)
+
+    def test_stronger_than(self):
+        a = PrivacyGuarantee(0.5, 1e-6)
+        b = PrivacyGuarantee(1.0, 1e-5)
+        assert a.stronger_than(b)
+        assert not b.stronger_than(a)
+
+
+class TestAmplification:
+    def test_q_one_is_identity(self):
+        base = PrivacyGuarantee(1.0, 1e-5)
+        out = amplify_by_sampling(base, 1.0)
+        np.testing.assert_allclose(out.eps, base.eps, rtol=1e-12)
+        assert out.delta == base.delta
+
+    def test_small_eps_linear_in_q(self):
+        base = PrivacyGuarantee(0.01, 1e-5)
+        out = amplify_by_sampling(base, 0.1)
+        np.testing.assert_allclose(out.eps, 0.1 * 0.01, rtol=0.02)
+        np.testing.assert_allclose(out.delta, 0.1 * 1e-5)
+
+    def test_amplification_strengthens(self):
+        base = PrivacyGuarantee(1.0, 1e-5)
+        out = amplify_by_sampling(base, 0.2)
+        assert out.stronger_than(base)
+
+    def test_monotone_in_q(self):
+        base = PrivacyGuarantee(1.0, 1e-5)
+        epss = [amplify_by_sampling(base, q).eps for q in (0.05, 0.2, 0.5, 1.0)]
+        assert all(a < b for a, b in zip(epss, epss[1:]))
+
+    def test_invalid_q(self):
+        base = PrivacyGuarantee(1.0, 1e-5)
+        with pytest.raises(ValueError):
+            amplify_by_sampling(base, 0.0)
+        with pytest.raises(ValueError):
+            amplify_by_sampling(base, 1.2)
+
+
+class TestUniform:
+    def test_paper_setting(self):
+        """|C|=5 of |K|=50 => q = 0.1 and a ~10x stronger guarantee."""
+        base = PrivacyGuarantee(0.01, 1e-5)
+        q, amp = uniform_guarantee(base, 5, 50)
+        assert q == pytest.approx(0.1)
+        np.testing.assert_allclose(amp.eps, 0.001, rtol=0.02)
+
+    def test_validation(self):
+        base = PrivacyGuarantee(0.1, 1e-6)
+        with pytest.raises(ValueError):
+            uniform_guarantee(base, 10, 5)
+
+
+class TestTiered:
+    def test_uniform_tiers_match_uniform_selection(self):
+        """Equal tiers with uniform tier probs reproduce q = |C|/|K|."""
+        rates = tier_sampling_rates([0.2] * 5, [10] * 5, 5)
+        np.testing.assert_allclose(rates, 0.1)
+
+    def test_qmax_dominated_by_favoured_tier(self):
+        probs = [0.7, 0.1, 0.1, 0.05, 0.05]
+        rates = tier_sampling_rates(probs, [10] * 5, 5)
+        assert rates.argmax() == 0
+        np.testing.assert_allclose(rates[0], 0.7 * 5 / 10)
+
+    def test_rates_clipped_at_one(self):
+        rates = tier_sampling_rates([1.0, 0.0], [3, 10], 5)
+        assert rates[0] == 1.0
+
+    def test_tiered_guarantee_stronger_than_full_participation(self):
+        base = PrivacyGuarantee(0.05, 1e-5)
+        q_max, amp = tiered_guarantee(base, [0.2] * 5, [10] * 5, 5)
+        assert q_max < 1.0
+        assert amp.stronger_than(base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="distribution"):
+            tier_sampling_rates([0.5, 0.6], [5, 5], 2)
+        with pytest.raises(ValueError, match="align"):
+            tier_sampling_rates([0.5, 0.5], [5], 2)
+        with pytest.raises(ValueError, match="positive"):
+            tier_sampling_rates([0.5, 0.5], [5, 0], 2)
+
+
+class TestComposition:
+    def test_basic_linear(self):
+        per = PrivacyGuarantee(0.01, 1e-6)
+        total = compose_basic(per, 100)
+        np.testing.assert_allclose(total.eps, 1.0)
+        np.testing.assert_allclose(total.delta, 1e-4)
+
+    def test_basic_delta_capped(self):
+        total = compose_basic(PrivacyGuarantee(0.1, 0.5), 10)
+        assert total.delta == 1.0
+
+    def test_advanced_sublinear_for_many_rounds(self):
+        per = PrivacyGuarantee(0.01, 1e-7)
+        basic = compose_basic(per, 10_000)
+        adv = compose_advanced(per, 10_000)
+        assert adv.eps < basic.eps
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            compose_basic(PrivacyGuarantee(0.1, 0.0), 0)

@@ -1,0 +1,187 @@
+"""Tests for the synchronous FedAvg server (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.fl.aggregator import HierarchicalAggregator
+from repro.fl.selection import OverSelector, RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_linear
+from repro.simcluster.faults import DropoutInjector
+from tests.conftest import make_test_client, make_tiny_dataset
+
+
+def make_server(
+    num_clients=6,
+    per_round=3,
+    cpus=None,
+    fault=None,
+    seed=0,
+    dropout_timeout=None,
+    aggregator=None,
+    eval_every=1,
+    training=None,
+):
+    cpus = cpus or [1.0] * num_clients
+    clients = [
+        make_test_client(client_id=i, cpu=cpus[i], seed=seed, noise_sigma=0.0)
+        for i in range(num_clients)
+    ]
+    model = build_linear((4, 4, 1), 3, rng=seed)
+    test = make_tiny_dataset(n=30, seed=999)
+    return FLServer(
+        clients=clients,
+        model=model,
+        selector=RandomSelector(per_round, rng=seed),
+        test_data=test,
+        training=training or TrainingConfig(optimizer="sgd", lr=0.1, lr_decay=1.0),
+        fault=fault,
+        dropout_timeout=dropout_timeout,
+        aggregator=aggregator,
+        eval_every=eval_every,
+        rng=seed,
+    )
+
+
+class TestRoundLoop:
+    def test_runs_requested_rounds(self):
+        server = make_server()
+        history = server.run(5)
+        assert len(history) == 5
+        np.testing.assert_array_equal(history.rounds, np.arange(5))
+
+    def test_round_latency_is_cohort_max(self):
+        """Eq. 1: round latency equals the slowest selected client."""
+        server = make_server(cpus=[4.0, 2.0, 1.0, 0.5, 0.25, 0.1])
+        rec = server.run_round(0)
+        lats = {
+            cid: server.clients[cid].mean_response_latency(server.num_params)
+            for cid in rec.selected
+        }
+        np.testing.assert_allclose(rec.round_latency, max(lats.values()), rtol=1e-9)
+
+    def test_clock_accumulates(self):
+        server = make_server()
+        history = server.run(4)
+        np.testing.assert_allclose(
+            history.times, np.cumsum(history.round_latencies)
+        )
+
+    def test_weights_change_each_round(self):
+        server = make_server()
+        w0 = server.global_weights.copy()
+        server.run_round(0)
+        assert not np.array_equal(server.global_weights, w0)
+
+    def test_learning_progress(self):
+        server = make_server(num_clients=6, per_round=3)
+        history = server.run(25)
+        first = history.records[0].accuracy
+        assert history.final_accuracy >= first
+
+    def test_eval_every(self):
+        server = make_server(eval_every=3)
+        history = server.run(7)
+        evaluated = [r.round_idx for r in history.records if r.accuracy is not None]
+        assert evaluated == [0, 3, 6]
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            make_server().run(0)
+
+
+class TestAggregation:
+    def test_hierarchical_matches_flat(self):
+        flat_server = make_server(seed=11)
+        tree_server = make_server(seed=11, aggregator=HierarchicalAggregator(2))
+        flat_server.run(3)
+        tree_server.run(3)
+        np.testing.assert_allclose(
+            flat_server.global_weights, tree_server.global_weights, rtol=1e-9
+        )
+
+    def test_unknown_client_raises(self):
+        server = make_server()
+
+        class BadSelector(RandomSelector):
+            def select(self, r, available):
+                from repro.fl.selection import SelectionPlan
+
+                return SelectionPlan(clients=[999])
+
+        server.selector = BadSelector(1)
+        with pytest.raises(KeyError, match="unknown"):
+            server.run_round(0)
+
+
+class TestDropouts:
+    def test_dropped_client_excluded_from_aggregate(self):
+        fault = DropoutInjector(always_drop={0})
+        server = make_server(fault=fault)
+        rec = server.run_round(0)
+        if 0 in rec.selected:
+            assert 0 in rec.dropped
+
+    def test_all_dropped_raises(self):
+        fault = DropoutInjector(always_drop=set(range(6)))
+        server = make_server(fault=fault)
+        with pytest.raises(RuntimeError, match="dropped"):
+            server.run_round(0)
+
+    def test_dropout_timeout_charged(self):
+        fault = DropoutInjector(always_drop={0})
+        server = make_server(fault=fault, dropout_timeout=100.0, per_round=6)
+        rec = server.run_round(0)
+        assert 0 in rec.dropped
+        assert rec.round_latency == 100.0
+
+
+class TestOverSelection:
+    def test_keep_fastest(self):
+        """With over-selection the round is bounded by the keep-th fastest."""
+        cpus = [4.0, 4.0, 4.0, 4.0, 0.05, 0.05]
+        clients = [
+            make_test_client(client_id=i, cpu=cpus[i], noise_sigma=0.0)
+            for i in range(6)
+        ]
+        model = build_linear((4, 4, 1), 3, rng=0)
+        server = FLServer(
+            clients=clients,
+            model=model,
+            selector=OverSelector(4, over_factor=1.5, rng=0),
+            test_data=make_tiny_dataset(n=20, seed=1),
+            training=TrainingConfig(optimizer="sgd", lr=0.1, lr_decay=1.0),
+            rng=0,
+        )
+        slow_lat = clients[4].mean_response_latency(model.num_params())
+        rec = server.run_round(0)
+        # 6 selected, keep 4: the two slow clients are discarded whenever
+        # at least four fast ones respond
+        assert rec.round_latency < slow_lat
+
+
+class TestExclusion:
+    def test_excluded_not_selected(self):
+        server = make_server(num_clients=6, per_round=3)
+        server.exclude_clients([0, 1])
+        for r in range(10):
+            rec = server.run_round(r)
+            assert not ({0, 1} & set(rec.selected))
+
+    def test_cannot_empty_pool(self):
+        server = make_server()
+        with pytest.raises(ValueError, match="empty"):
+            server.exclude_clients(range(6))
+
+
+class TestLrSchedule:
+    def test_decay_applied_per_round(self):
+        cfg = TrainingConfig(optimizer="sgd", lr=0.5, lr_decay=0.5)
+        assert cfg.lr_at(0) == 0.5
+        assert cfg.lr_at(2) == 0.125
+
+    def test_factory_produces_fresh_optimizers(self):
+        cfg = TrainingConfig(optimizer="rmsprop", lr=0.1)
+        f = cfg.optimizer_factory(0)
+        assert f() is not f()

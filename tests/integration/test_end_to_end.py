@@ -1,0 +1,165 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These run full (scaled-down) training campaigns and assert the *shape*
+results of the evaluation section: policy orderings, straggler mitigation,
+and adaptive robustness.  Benchmarks assert the same shapes at larger
+scale; these tests keep the invariants guarded in the regular suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioConfig, run_policies, run_policy
+from repro.experiments.scenarios import build_leaf_scenario
+from repro.tifl.server import TiFLServer
+
+
+def cfg(**kw):
+    defaults = dict(
+        dataset="cifar10",
+        num_clients=20,
+        clients_per_round=3,
+        train_size=800,
+        test_size=200,
+        shape=(4, 4, 1),
+        cpu_groups=(4.0, 2.0, 1.0, 0.5, 0.1),
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def resource_results():
+    return {
+        p: run_policy(cfg(), p, rounds=25, seed=17)
+        for p in ("vanilla", "slow", "uniform", "fast")
+    }
+
+
+class TestResourceHeterogeneity:
+    """Section 5.2.2: the straggler problem and TiFL's mitigation."""
+
+    def test_policy_time_ordering(self, resource_results):
+        r = resource_results
+        assert r["fast"].total_time < r["uniform"].total_time
+        assert r["uniform"].total_time < r["vanilla"].total_time
+        assert r["vanilla"].total_time < r["slow"].total_time
+
+    def test_fast_speedup_magnitude(self, resource_results):
+        """Paper: fast ~11x faster than vanilla; assert a clear multiple."""
+        speedup = (
+            resource_results["vanilla"].total_time
+            / resource_results["fast"].total_time
+        )
+        assert speedup > 4.0
+
+    def test_vanilla_bounded_by_slowest_tier(self, resource_results):
+        """Most vanilla rounds include a slow client (Sec. 3.2 analysis)."""
+        vanilla = resource_results["vanilla"]
+        uniform = resource_results["uniform"]
+        assert vanilla.history.round_latencies.mean() > (
+            uniform.history.round_latencies.mean()
+        )
+
+    def test_accuracy_comparable_across_policies(self, resource_results):
+        """With IID data, tiering costs little accuracy (Fig. 3c)."""
+        accs = {p: r.final_accuracy for p, r in resource_results.items()}
+        assert max(accs.values()) - min(accs.values()) < 0.25
+
+
+class TestDataQuantityHeterogeneity:
+    """Section 5.2.3, Fig. 3 column 2."""
+
+    @pytest.fixture(scope="class")
+    def quantity_results(self):
+        qcfg = cfg(
+            resource_profile="homogeneous",
+            cpu_groups=None,
+            data_distribution="quantity",
+            difficulty=0.7,
+        )
+        return {
+            p: run_policy(qcfg, p, rounds=30, seed=5)
+            for p in ("vanilla", "uniform", "fast", "slow")
+        }
+
+    def test_quantity_skew_creates_tiers(self, quantity_results):
+        """Equal CPUs but unequal data still produce latency tiers."""
+        lats = quantity_results["uniform"].tier_latencies
+        assert lats[-1] > lats[0] * 1.3
+
+    def test_fast_saves_time(self, quantity_results):
+        assert (
+            quantity_results["fast"].total_time
+            < quantity_results["vanilla"].total_time
+        )
+
+    def test_fast_loses_accuracy(self, quantity_results):
+        """Tier 1 holds only ~10% of data: fast trades accuracy for speed."""
+        assert (
+            quantity_results["fast"].final_accuracy
+            < quantity_results["uniform"].final_accuracy
+        )
+
+
+class TestAdaptivePolicy:
+    """Section 5.2.5: adaptive balances time and accuracy."""
+
+    def test_adaptive_faster_than_vanilla(self):
+        results = run_policies(
+            cfg(data_distribution="noniid", noniid_classes=5, difficulty=0.65),
+            ["vanilla", "adaptive"],
+            rounds=25,
+            seed=11,
+        )
+        vanilla = results["vanilla"][0]
+        adaptive = results["adaptive"][0]
+        assert adaptive.total_time < vanilla.total_time
+        # comparable accuracy (Fig. 7b): within a small margin
+        assert adaptive.final_accuracy > vanilla.final_accuracy - 0.15
+
+
+class TestLeafIntegration:
+    """Section 5.2.6 plumbing: LEAF scenario trains under TiFL."""
+
+    def test_leaf_tifl_run(self):
+        scn = build_leaf_scenario(
+            num_clients=25,
+            clients_per_round=3,
+            shape=(4, 4, 1),
+            sample_scale=0.15,
+            seed=2,
+        )
+        server = TiFLServer(
+            clients=scn.clients,
+            model=scn.model,
+            test_data=scn.test_data,
+            clients_per_round=3,
+            policy="uniform",
+            num_tiers=5,
+            sync_rounds=2,
+            training=scn.training,
+            rng=0,
+        )
+        history = server.run(8)
+        assert len(history) == 8
+        assert history.final_accuracy >= 0.0
+
+
+class TestReproducibility:
+    def test_full_run_bitwise_reproducible(self):
+        a = run_policy(cfg(), "adaptive", rounds=10, seed=4)
+        b = run_policy(cfg(), "adaptive", rounds=10, seed=4)
+        np.testing.assert_array_equal(
+            a.history.round_latencies, b.history.round_latencies
+        )
+        ra, aa = a.history.accuracy_series()
+        rb, ab = b.history.accuracy_series()
+        np.testing.assert_array_equal(aa, ab)
+
+    def test_policy_does_not_leak_into_data(self):
+        """Different policies see identical profiled tier latencies."""
+        out = run_policies(cfg(), ["uniform", "random"], rounds=5, seed=8)
+        np.testing.assert_allclose(
+            out["uniform"][0].tier_latencies, out["random"][0].tier_latencies
+        )

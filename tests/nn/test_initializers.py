@@ -1,0 +1,45 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import fan_in_out, glorot_uniform, he_normal, zeros_init
+
+
+class TestFanInOut:
+    def test_dense(self):
+        assert fan_in_out((10, 20)) == (10, 20)
+
+    def test_conv(self):
+        assert fan_in_out((3, 3, 8, 16)) == (72, 144)
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            fan_in_out((5,))
+
+
+class TestGlorot:
+    def test_bounds(self, rng):
+        w = glorot_uniform(rng, (50, 50))
+        limit = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_variance_scale(self, rng):
+        w = glorot_uniform(rng, (400, 400))
+        expected_var = (2 * np.sqrt(6.0 / 800)) ** 2 / 12
+        np.testing.assert_allclose(w.var(), expected_var, rtol=0.1)
+
+
+class TestHe:
+    def test_std_scale(self, rng):
+        w = he_normal(rng, (500, 100))
+        np.testing.assert_allclose(w.std(), np.sqrt(2.0 / 500), rtol=0.1)
+
+    def test_conv_shape(self, rng):
+        w = he_normal(rng, (3, 3, 4, 8))
+        assert w.shape == (3, 3, 4, 8)
+
+
+def test_zeros(rng):
+    w = zeros_init(rng, (4, 4))
+    np.testing.assert_array_equal(w, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for losses and penalties, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import l2_penalty, proximal_penalty, softmax_cross_entropy
+from tests.conftest import numeric_gradient
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0], [0.0, 100.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_loss(self):
+        k = 4
+        logits = np.zeros((3, k))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        np.testing.assert_allclose(loss, np.log(k), rtol=1e-10)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 4, size=5)
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, analytic = softmax_cross_entropy(logits, labels)
+        num = numeric_gradient(loss, logits)
+        np.testing.assert_allclose(analytic, num, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.standard_normal((6, 3))
+        labels = rng.integers(0, 3, size=6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            softmax_cross_entropy(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            softmax_cross_entropy(np.zeros(3), np.zeros(1, dtype=int))
+
+    def test_loss_is_finite_for_extreme_logits(self):
+        logits = np.array([[1e4, -1e4, 0.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+
+class TestL2Penalty:
+    def test_value_and_grad(self):
+        params = {"W": np.array([3.0, 4.0])}
+        loss, grads = l2_penalty(params, 0.1)
+        np.testing.assert_allclose(loss, 0.5 * 0.1 * 25.0)
+        np.testing.assert_allclose(grads["W"], 0.1 * params["W"])
+
+    def test_zero_lambda(self):
+        loss, grads = l2_penalty({"W": np.ones(3)}, 0.0)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grads["W"], 0.0)
+
+    def test_negative_lambda_raises(self):
+        with pytest.raises(ValueError):
+            l2_penalty({}, -1.0)
+
+
+class TestProximalPenalty:
+    def test_zero_at_anchor(self, rng):
+        w = {"W": rng.standard_normal((3, 3))}
+        loss, grads = proximal_penalty(w, {"W": w["W"].copy()}, mu=1.0)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grads["W"], 0.0)
+
+    def test_value_and_grad(self):
+        params = {"W": np.array([2.0])}
+        anchor = {"W": np.array([0.0])}
+        loss, grads = proximal_penalty(params, anchor, mu=0.5)
+        np.testing.assert_allclose(loss, 0.5 * 0.5 * 4.0)
+        np.testing.assert_allclose(grads["W"], [1.0])
+
+    def test_key_mismatch_raises(self):
+        with pytest.raises(KeyError, match="mismatch"):
+            proximal_penalty({"W": np.zeros(1)}, {"V": np.zeros(1)}, mu=0.1)
+
+    def test_negative_mu_raises(self):
+        with pytest.raises(ValueError):
+            proximal_penalty({}, {}, mu=-0.1)
+
+    def test_gradient_matches_numeric(self, rng):
+        w = rng.standard_normal(4)
+        anchor = {"W": rng.standard_normal(4)}
+        params = {"W": w}
+
+        def loss():
+            return proximal_penalty(params, anchor, mu=0.7)[0]
+
+        _, grads = proximal_penalty(params, anchor, mu=0.7)
+        num = numeric_gradient(loss, w)
+        np.testing.assert_allclose(grads["W"], num, atol=1e-7)

@@ -1,0 +1,186 @@
+"""Tests for the Sequential container and its federated weight interface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dense, Flatten, ReLU, RMSprop, SGD, Sequential, build_mlp
+from tests.conftest import make_tiny_dataset
+
+
+def tiny_model(seed=0, in_dim=16, classes=3):
+    return Sequential(
+        [Dense(8), ReLU(), Dense(classes)], input_shape=(in_dim,), rng=seed
+    )
+
+
+class TestConstruction:
+    def test_shapes_propagate(self):
+        m = Sequential([Flatten(), Dense(5)], input_shape=(2, 3, 1), rng=0)
+        assert m.output_shape == (5,)
+
+    def test_empty_layers_raises(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Sequential([], input_shape=(4,))
+
+    def test_deterministic_init(self):
+        a, b = tiny_model(seed=42), tiny_model(seed=42)
+        np.testing.assert_array_equal(a.get_flat_weights(), b.get_flat_weights())
+
+    def test_different_seeds_differ(self):
+        a, b = tiny_model(seed=1), tiny_model(seed=2)
+        assert not np.array_equal(a.get_flat_weights(), b.get_flat_weights())
+
+    def test_input_shape_checked(self, rng):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="input shape"):
+            m.forward(rng.standard_normal((2, 7)))
+
+
+class TestWeightInterface:
+    def test_get_set_round_trip(self, rng):
+        m = tiny_model()
+        ws = m.get_weights()
+        m2 = tiny_model(seed=99)
+        m2.set_weights(ws)
+        x = rng.standard_normal((4, 16))
+        np.testing.assert_allclose(m.forward(x), m2.forward(x))
+
+    def test_get_weights_returns_copies(self):
+        m = tiny_model()
+        ws = m.get_weights()
+        ws[0][:] = 0.0
+        assert not np.array_equal(m.get_weights()[0], ws[0])
+
+    def test_flat_round_trip(self, rng):
+        m = tiny_model()
+        flat = m.get_flat_weights()
+        assert flat.shape == (m.num_params(),)
+        m2 = tiny_model(seed=7)
+        m2.set_flat_weights(flat)
+        np.testing.assert_allclose(m2.get_flat_weights(), flat)
+        x = rng.standard_normal((3, 16))
+        np.testing.assert_allclose(m.forward(x), m2.forward(x))
+
+    def test_num_params(self):
+        m = tiny_model(in_dim=16, classes=3)
+        assert m.num_params() == 16 * 8 + 8 + 8 * 3 + 3
+
+    def test_set_weights_shape_mismatch(self):
+        m = tiny_model()
+        ws = m.get_weights()
+        ws[0] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.set_weights(ws)
+
+    def test_set_weights_count_mismatch(self):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="expected"):
+            m.set_weights(m.get_weights()[:-1])
+
+    def test_set_flat_wrong_size(self):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="values"):
+            m.set_flat_weights(np.zeros(m.num_params() + 1))
+
+    def test_clone_architecture(self, rng):
+        m = tiny_model()
+        clone = m.clone_architecture(rng=5)
+        assert clone.num_params() == m.num_params()
+        assert not np.array_equal(clone.get_flat_weights(), m.get_flat_weights())
+        clone.set_flat_weights(m.get_flat_weights())
+        x = rng.standard_normal((2, 16))
+        np.testing.assert_allclose(clone.forward(x), m.forward(x))
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        data = make_tiny_dataset(n=60, num_classes=3)
+        m = build_mlp(data.sample_shape, 3, hidden=(16,), rng=0)
+        opt = RMSprop(lr=0.01, decay=1.0)
+        first = m.fit_epoch(data.x, data.y, opt, batch_size=10, rng=0)
+        last = first
+        for e in range(10):
+            last = m.fit_epoch(data.x, data.y, opt, batch_size=10, rng=e + 1)
+        assert last < first
+
+    def test_learns_separable_task(self):
+        data = make_tiny_dataset(n=90, num_classes=3, difficulty=0.1)
+        m = build_mlp(data.sample_shape, 3, hidden=(16,), rng=0)
+        opt = SGD(lr=0.5)
+        for e in range(30):
+            m.fit_epoch(data.x, data.y, opt, batch_size=10, rng=e)
+        assert m.evaluate(data.x, data.y) > 0.9
+
+    def test_train_step_returns_finite_loss(self, rng):
+        m = tiny_model()
+        x = rng.standard_normal((10, 16))
+        y = rng.integers(0, 3, size=10)
+        loss = m.train_step(x, y, SGD(lr=0.01))
+        assert np.isfinite(loss)
+
+    def test_prox_term_pulls_towards_anchor(self, rng):
+        data = make_tiny_dataset(n=40, num_classes=3)
+        m_free = build_mlp(data.sample_shape, 3, hidden=(8,), rng=0)
+        m_prox = build_mlp(data.sample_shape, 3, hidden=(8,), rng=0)
+        anchor_flat = m_free.get_flat_weights()
+        anchor = m_prox.get_weights()
+        for e in range(5):
+            m_free.fit_epoch(data.x, data.y, SGD(lr=0.2), 10, rng=e)
+            # keep lr * mu < 2 so the proximal quadratic is stable
+            m_prox.fit_epoch(
+                data.x, data.y, SGD(lr=0.2), 10, rng=e,
+                prox_anchor=anchor, prox_mu=3.0,
+            )
+        drift_free = np.linalg.norm(m_free.get_flat_weights() - anchor_flat)
+        drift_prox = np.linalg.norm(m_prox.get_flat_weights() - anchor_flat)
+        assert drift_prox < drift_free
+
+    def test_prox_without_anchor_raises(self, rng):
+        m = tiny_model()
+        x = rng.standard_normal((4, 16))
+        y = rng.integers(0, 3, size=4)
+        with pytest.raises(ValueError, match="anchor"):
+            m.train_step(x, y, SGD(lr=0.1), prox_mu=0.1)
+
+    def test_empty_dataset_raises(self):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="empty"):
+            m.fit_epoch(np.zeros((0, 16)), np.zeros(0, dtype=int), SGD(lr=0.1), 4)
+
+    def test_shuffle_deterministic_given_seed(self):
+        data = make_tiny_dataset(n=40)
+        m1 = build_mlp(data.sample_shape, 3, hidden=(8,), rng=0)
+        m2 = build_mlp(data.sample_shape, 3, hidden=(8,), rng=0)
+        m1.fit_epoch(data.x, data.y, SGD(lr=0.1), 8, rng=3)
+        m2.fit_epoch(data.x, data.y, SGD(lr=0.1), 8, rng=3)
+        np.testing.assert_array_equal(m1.get_flat_weights(), m2.get_flat_weights())
+
+
+class TestEvaluate:
+    def test_predict_shape(self, rng):
+        m = tiny_model()
+        preds = m.predict(rng.standard_normal((7, 16)))
+        assert preds.shape == (7,)
+        assert preds.dtype == np.int64
+
+    def test_empty_eval_raises(self):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="empty"):
+            m.evaluate(np.zeros((0, 16)), np.zeros(0, dtype=int))
+
+    def test_accuracy_range(self, rng):
+        m = tiny_model()
+        acc = m.evaluate(rng.standard_normal((20, 16)), rng.integers(0, 3, 20))
+        assert 0.0 <= acc <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_flat_weights_round_trip_property(seed):
+    """set_flat_weights(get_flat_weights()) is an exact identity."""
+    m = Sequential([Dense(6), ReLU(), Dense(2)], input_shape=(5,), rng=seed)
+    flat = m.get_flat_weights()
+    m.set_flat_weights(flat)
+    np.testing.assert_array_equal(m.get_flat_weights(), flat)

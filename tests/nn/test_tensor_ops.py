@@ -1,0 +1,170 @@
+"""Unit + property tests for the low-level tensor kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import tensor_ops as T
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = T.one_hot(np.array([0, 2, 1]), 3)
+        assert out.shape == (3, 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rows_sum_to_one(self):
+        out = T.one_hot(np.array([1, 1, 4]), 5)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_empty(self):
+        out = T.one_hot(np.empty(0, dtype=int), 4)
+        assert out.shape == (0, 4)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            T.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError, match="out of range"):
+            T.one_hot(np.array([-1]), 3)
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            T.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSoftmax:
+    def test_rows_are_distributions(self, rng):
+        logits = rng.standard_normal((8, 5)) * 10
+        p = T.softmax(logits)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            T.softmax(logits), T.softmax(logits + 100.0), atol=1e-12
+        )
+
+    def test_extreme_values_stable(self):
+        logits = np.array([[1000.0, -1000.0, 0.0]])
+        p = T.softmax(logits)
+        assert np.isfinite(p).all()
+        np.testing.assert_allclose(p[0, 0], 1.0, atol=1e-12)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(
+            T.log_softmax(logits), np.log(T.softmax(logits)), atol=1e-10
+        )
+
+
+class TestPadding:
+    def test_pad_shapes(self, rng):
+        x = rng.standard_normal((2, 4, 5, 3))
+        out = T.pad_nhwc(x, 2, 1)
+        assert out.shape == (2, 8, 7, 3)
+
+    def test_zero_pad_is_identity(self, rng):
+        x = rng.standard_normal((1, 3, 3, 1))
+        assert T.pad_nhwc(x, 0, 0) is x
+
+    def test_content_preserved(self, rng):
+        x = rng.standard_normal((1, 3, 3, 2))
+        out = T.pad_nhwc(x, 1, 1)
+        np.testing.assert_array_equal(out[:, 1:-1, 1:-1, :], x)
+        assert out[:, 0].sum() == 0.0
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [(28, 3, 1, 0, 26), (28, 3, 1, 1, 28), (32, 2, 2, 0, 16), (5, 5, 1, 0, 1)],
+    )
+    def test_known_values(self, size, k, s, p, expected):
+        assert T.conv_out_size(size, k, s, p) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            T.conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((2, 5, 5, 3))
+        cols, (oh, ow) = T.im2col(x, 3, 3, 1, 0)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (2 * 9, 27)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.standard_normal((2, 4, 4, 3))
+        cols, (oh, ow) = T.im2col(x, 1, 1, 1, 0)
+        np.testing.assert_allclose(cols.reshape(2, 4, 4, 3), x)
+
+    def test_patch_content(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        cols, _ = T.im2col(x, 2, 2, 2, 0)
+        # first patch is the top-left 2x2 block
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+
+    def test_col2im_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> -- exact adjointness."""
+        x = rng.standard_normal((2, 6, 6, 2))
+        for stride, pad in [(1, 0), (1, 1), (2, 0)]:
+            cols, _ = T.im2col(x, 3, 3, stride, pad)
+            y = rng.standard_normal(cols.shape)
+            lhs = float(np.sum(cols * y))
+            back = T.col2im(y, x.shape, 3, 3, stride, pad)
+            rhs = float(np.sum(x * back))
+            np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+
+class TestPooling:
+    def test_forward_known(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out, arg = T.pool2d_forward(x, 2, 2, 2)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_max(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out, arg = T.pool2d_forward(x, 2, 2, 2)
+        grad = np.ones_like(out)
+        dx = T.pool2d_backward(grad, arg, x.shape, 2, 2, 2)
+        expected = np.zeros((1, 4, 4, 1))
+        for i, j in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[0, i, j, 0] = 1.0
+        np.testing.assert_array_equal(dx, expected)
+
+    def test_gradient_sum_conserved_non_overlapping(self, rng):
+        x = rng.standard_normal((3, 8, 8, 2))
+        out, arg = T.pool2d_forward(x, 2, 2, 2)
+        grad = rng.standard_normal(out.shape)
+        dx = T.pool2d_backward(grad, arg, x.shape, 2, 2, 2)
+        np.testing.assert_allclose(dx.sum(), grad.sum(), rtol=1e-10)
+
+    def test_overlapping_windows(self, rng):
+        x = rng.standard_normal((1, 5, 5, 1))
+        out, arg = T.pool2d_forward(x, 3, 3, 1)
+        assert out.shape == (1, 3, 3, 1)
+        grad = rng.standard_normal(out.shape)
+        dx = T.pool2d_backward(grad, arg, x.shape, 3, 3, 1)
+        np.testing.assert_allclose(dx.sum(), grad.sum(), rtol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    h=st.integers(4, 8),
+    c=st.integers(1, 3),
+    k=st.integers(1, 3),
+    stride=st.integers(1, 2),
+)
+def test_im2col_col2im_adjoint_property(n, h, c, k, stride):
+    """Adjointness holds for arbitrary geometry (property-based)."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, h, h, c))
+    cols, _ = T.im2col(x, k, k, stride, 0)
+    y = rng.standard_normal(cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * T.col2im(y, x.shape, k, k, stride, 0)))
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9)

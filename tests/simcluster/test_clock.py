@@ -1,0 +1,43 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.simcluster.clock import SimulatedClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimulatedClock()
+        c.advance(1.5)
+        c.advance(2.5)
+        assert c.now == 4.0
+
+    def test_advance_returns_new_time(self):
+        c = SimulatedClock()
+        assert c.advance(3.0) == 3.0
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(ValueError, match="backwards"):
+            SimulatedClock().advance(-1.0)
+
+    def test_marks(self):
+        c = SimulatedClock()
+        c.advance(1.0)
+        c.mark()
+        c.advance(2.0)
+        c.mark()
+        assert c.marks == [1.0, 3.0]
+
+    def test_reset(self):
+        c = SimulatedClock(start=5.0)
+        c.advance(1.0)
+        c.mark()
+        c.reset()
+        assert c.now == 0.0 and c.marks == []
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)

@@ -1,0 +1,53 @@
+"""Tests for the communication model."""
+
+import numpy as np
+import pytest
+
+from repro.simcluster.network import CommModel
+from repro.simcluster.resources import ResourceSpec
+
+
+def spec(bw):
+    return ResourceSpec(cpu_fraction=1.0, bandwidth_mbps=bw)
+
+
+class TestCommModel:
+    def test_transfer_time_scales_with_size(self):
+        m = CommModel(rtt=0.0, jitter_sigma=0.0)
+        t1 = m.mean_round_trip(1_000, spec(100.0))
+        t2 = m.mean_round_trip(10_000, spec(100.0))
+        np.testing.assert_allclose(t2 / t1, 10.0)
+
+    def test_transfer_time_inverse_in_bandwidth(self):
+        m = CommModel(rtt=0.0, jitter_sigma=0.0)
+        t_fast = m.mean_round_trip(10_000, spec(1000.0))
+        t_slow = m.mean_round_trip(10_000, spec(10.0))
+        np.testing.assert_allclose(t_slow / t_fast, 100.0)
+
+    def test_known_value(self):
+        # 10^6 params * 64 bits * 2 directions at 100 Mbps = 1.28 s + rtt
+        m = CommModel(rtt=0.05, jitter_sigma=0.0)
+        np.testing.assert_allclose(
+            m.sample_round_trip(1_000_000, spec(100.0)), 0.05 + 2 * 0.64
+        )
+
+    def test_rtt_floor(self):
+        m = CommModel(rtt=0.2, jitter_sigma=0.0)
+        assert m.sample_round_trip(0, spec(100.0)) == 0.2
+
+    def test_jitter_sampling(self):
+        m = CommModel(rtt=0.05, jitter_sigma=0.3)
+        rng = np.random.default_rng(0)
+        draws = [m.sample_round_trip(10_000, spec(100.0), rng=rng) for _ in range(2000)]
+        np.testing.assert_allclose(
+            np.mean(draws), m.mean_round_trip(10_000, spec(100.0)), rtol=0.05
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CommModel(rtt=-1.0)
+        with pytest.raises(ValueError):
+            CommModel(jitter_sigma=-0.1)
+        m = CommModel()
+        with pytest.raises(ValueError):
+            m.sample_round_trip(-5, spec(10.0))

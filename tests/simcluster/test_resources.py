@@ -1,0 +1,70 @@
+"""Tests for resource specs and group assignment."""
+
+import numpy as np
+import pytest
+
+from repro.simcluster.resources import (
+    CASE_STUDY_CPU_GROUPS,
+    CIFAR_CPU_GROUPS,
+    MNIST_CPU_GROUPS,
+    ResourceSpec,
+    assign_resource_groups,
+)
+
+
+class TestResourceSpec:
+    def test_valid(self):
+        spec = ResourceSpec(cpu_fraction=0.5, group=2)
+        assert spec.cpu_fraction == 0.5
+
+    def test_invalid_cpu(self):
+        with pytest.raises(ValueError):
+            ResourceSpec(cpu_fraction=0.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            ResourceSpec(cpu_fraction=1.0, bandwidth_mbps=-1)
+
+
+class TestPaperAllocations:
+    def test_mnist_groups(self):
+        assert tuple(MNIST_CPU_GROUPS) == (2.0, 1.0, 0.75, 0.5, 0.25)
+
+    def test_cifar_groups(self):
+        assert tuple(CIFAR_CPU_GROUPS) == (4.0, 2.0, 1.0, 0.5, 0.1)
+
+    def test_case_study_groups(self):
+        np.testing.assert_allclose(CASE_STUDY_CPU_GROUPS, (4, 2, 1, 1 / 3, 0.2))
+
+
+class TestAssignment:
+    def test_equal_clients_per_group(self):
+        specs = assign_resource_groups(50, CIFAR_CPU_GROUPS)
+        counts = np.bincount([s.group for s in specs])
+        np.testing.assert_array_equal(counts, [10] * 5)
+
+    def test_deterministic_block_layout(self):
+        specs = assign_resource_groups(10, (2.0, 1.0))
+        assert [s.group for s in specs] == [0] * 5 + [1] * 5
+
+    def test_shuffle_preserves_balance(self):
+        specs = assign_resource_groups(20, (4.0, 1.0), shuffle=True, rng=0)
+        counts = np.bincount([s.group for s in specs])
+        np.testing.assert_array_equal(counts, [10, 10])
+
+    def test_shuffle_deterministic(self):
+        a = assign_resource_groups(20, (4.0, 1.0), shuffle=True, rng=3)
+        b = assign_resource_groups(20, (4.0, 1.0), shuffle=True, rng=3)
+        assert [s.group for s in a] == [s.group for s in b]
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="divisible"):
+            assign_resource_groups(7, (1.0, 2.0))
+
+    def test_empty_groups_raise(self):
+        with pytest.raises(ValueError):
+            assign_resource_groups(4, ())
+
+    def test_negative_cpu_raises(self):
+        with pytest.raises(ValueError):
+            assign_resource_groups(4, (1.0, -2.0))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_SCENARIO = [
+    "--num-clients", "10",
+    "--clients-per-round", "2",
+    "--train-size", "300",
+    "--test-size", "60",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "adaptive"
+        assert args.dataset == "cifar10"
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["run", "--policy", "uniform", "--rounds", "4"] + FAST_SCENARIO)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 rounds" in out
+        assert "tier latencies" in out
+
+    def test_run_vanilla_has_no_tiers(self, capsys):
+        rc = main(["run", "--policy", "vanilla", "--rounds", "3"] + FAST_SCENARIO)
+        assert rc == 0
+        assert "tier latencies" not in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--policies", "vanilla", "fast", "--rounds", "4"]
+            + FAST_SCENARIO
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup vs vanilla" in out
+        assert "final accuracy" in out
+
+    def test_estimate(self, capsys):
+        rc = main(["estimate", "--rounds", "100"] + FAST_SCENARIO)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tier" in out
+        assert "Eq. 6" in out
+
+    def test_privacy(self, capsys):
+        rc = main(["privacy", "--pool", "50", "--cohort", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "q_max" in out
+        assert "uniform: q=0.1000" in out

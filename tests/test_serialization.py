@@ -1,0 +1,100 @@
+"""Tests for model/history persistence."""
+
+import numpy as np
+import pytest
+
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.nn import build_linear, build_mlp
+from repro.serialization import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    load_weights,
+    save_history,
+    save_weights,
+)
+
+
+class TestWeights:
+    def test_round_trip(self, tmp_path, rng):
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=0)
+        path = save_weights(model, tmp_path / "ckpt.npz")
+        fresh = build_mlp((4, 4, 1), 3, hidden=(8,), rng=99)
+        load_weights(fresh, path)
+        x = rng.standard_normal((5, 4, 4, 1))
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x))
+
+    def test_suffix_added(self, tmp_path):
+        model = build_linear((2, 2, 1), 2, rng=0)
+        path = save_weights(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        small = build_linear((2, 2, 1), 2, rng=0)
+        path = save_weights(small, tmp_path / "w.npz")
+        big = build_linear((4, 4, 1), 3, rng=0)
+        with pytest.raises(ValueError):
+            load_weights(big, path)
+
+    def test_many_tensors_order_preserved(self, tmp_path, rng):
+        model = build_mlp((3, 3, 1), 4, hidden=(5, 6, 7), rng=1)
+        path = save_weights(model, tmp_path / "deep.npz")
+        fresh = build_mlp((3, 3, 1), 4, hidden=(5, 6, 7), rng=2)
+        load_weights(fresh, path)
+        for a, b in zip(model.get_weights(), fresh.get_weights()):
+            np.testing.assert_array_equal(a, b)
+
+
+def sample_history():
+    h = TrainingHistory()
+    h.append(
+        RoundRecord(
+            round_idx=0, round_latency=1.5, sim_time=1.5, accuracy=0.4,
+            selected=(1, 2), tier=0, tier_accuracies={0: 0.4, 1: 0.3},
+        )
+    )
+    h.append(
+        RoundRecord(
+            round_idx=1, round_latency=2.0, sim_time=3.5, accuracy=None,
+            selected=(3,), tier=None, dropped=(4,),
+        )
+    )
+    return h
+
+
+class TestHistory:
+    def test_dict_round_trip(self):
+        h = sample_history()
+        back = history_from_dict(history_to_dict(h))
+        assert len(back) == 2
+        assert back.records[0].tier_accuracies == {0: 0.4, 1: 0.3}
+        assert back.records[1].accuracy is None
+        assert back.records[1].dropped == (4,)
+        np.testing.assert_allclose(back.times, h.times)
+
+    def test_file_round_trip(self, tmp_path):
+        h = sample_history()
+        path = save_history(h, tmp_path / "run.json")
+        back = load_history(path)
+        assert back.records[0].selected == (1, 2)
+        assert back.total_time == h.total_time
+
+    def test_missing_records_key(self):
+        with pytest.raises(KeyError):
+            history_from_dict({})
+
+    def test_real_run_round_trips(self, tmp_path):
+        from repro.experiments import ScenarioConfig, run_policy
+
+        cfg = ScenarioConfig(
+            num_clients=10, clients_per_round=2, train_size=300,
+            test_size=60, shape=(4, 4, 1),
+        )
+        res = run_policy(cfg, "adaptive", rounds=5, seed=0)
+        path = save_history(res.history, tmp_path / "adaptive.json")
+        back = load_history(path)
+        np.testing.assert_allclose(back.round_latencies, res.history.round_latencies)
+        _, a = back.accuracy_series()
+        _, b = res.history.accuracy_series()
+        np.testing.assert_allclose(a, b)

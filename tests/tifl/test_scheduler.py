@@ -1,0 +1,91 @@
+"""Tests for the tier scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.tifl.policies import StaticTierPolicy
+from repro.tifl.scheduler import TierScheduler
+from repro.tifl.tiering import build_tiers
+
+
+def make_assignment(per_tier=6, tiers=3):
+    lats = {}
+    cid = 0
+    for base in np.linspace(1.0, 10.0, tiers):
+        for _ in range(per_tier):
+            lats[cid] = float(base)
+            cid += 1
+    return build_tiers(lats, num_tiers=tiers)
+
+
+class TestSelect:
+    def test_cohort_from_single_tier(self):
+        asg = make_assignment()
+        sched = TierScheduler(asg, StaticTierPolicy([1 / 3] * 3), 4, rng=0)
+        for r in range(20):
+            plan = sched.select(r, asg.all_clients())
+            assert plan.tier is not None
+            members = set(asg.members(plan.tier))
+            assert set(plan.clients) <= members
+            assert len(plan.clients) == 4
+
+    def test_uniform_within_tier(self):
+        asg = make_assignment(per_tier=8, tiers=2)
+        sched = TierScheduler(asg, StaticTierPolicy([1.0, 0.0]), 2, rng=0)
+        counts = np.zeros(8)
+        for r in range(3000):
+            for c in sched.select(r, asg.all_clients()).clients:
+                counts[c] += 1
+        expected = 3000 * 2 / 8
+        assert np.all(np.abs(counts - expected) < expected * 0.2)
+
+    def test_respects_available_subset(self):
+        asg = make_assignment(per_tier=6, tiers=2)
+        sched = TierScheduler(asg, StaticTierPolicy([0.5, 0.5]), 3, rng=0)
+        available = [c for c in asg.all_clients() if c != 0]
+        for r in range(30):
+            plan = sched.select(r, available)
+            assert 0 not in plan.clients
+
+    def test_depleted_tier_becomes_ineligible(self):
+        """When a tier cannot field |C| clients it is skipped."""
+        asg = make_assignment(per_tier=4, tiers=2)
+        sched = TierScheduler(asg, StaticTierPolicy([1.0, 0.0]), 3, rng=0)
+        # remove tier-0 clients from the available pool
+        available = list(asg.members(1))
+        plan = sched.select(0, available)
+        assert plan.tier == 1
+
+    def test_no_tier_can_field_cohort(self):
+        asg = make_assignment(per_tier=3, tiers=2)
+        sched = TierScheduler(asg, StaticTierPolicy([0.5, 0.5]), 3, rng=0)
+        with pytest.raises(RuntimeError, match="full cohort"):
+            sched.select(0, list(asg.members(0))[:2])
+
+    def test_cohort_larger_than_every_tier_rejected_at_build(self):
+        asg = make_assignment(per_tier=3, tiers=2)
+        with pytest.raises(ValueError, match="no tier holds"):
+            TierScheduler(asg, StaticTierPolicy([0.5, 0.5]), 10, rng=0)
+
+    def test_invalid_cohort_size(self):
+        asg = make_assignment()
+        with pytest.raises(ValueError):
+            TierScheduler(asg, StaticTierPolicy([1 / 3] * 3), 0)
+
+
+class TestFeedback:
+    def test_tier_accuracy_forwarded_to_policy(self):
+        asg = make_assignment()
+
+        class Recorder(StaticTierPolicy):
+            def __init__(self):
+                super().__init__([1 / 3] * 3)
+                self.seen = {}
+
+            def record_tier_accuracies(self, round_idx, accs):
+                self.seen[round_idx] = accs
+
+        pol = Recorder()
+        sched = TierScheduler(asg, pol, 2, rng=0)
+        sched.record_tier_accuracies(7, {0: 0.5, 1: 0.6, 2: 0.7})
+        assert pol.seen == {7: {0: 0.5, 1: 0.6, 2: 0.7}}

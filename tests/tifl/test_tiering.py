@@ -1,0 +1,146 @@
+"""Unit + property tests for the tiering algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tifl.tiering import TierAssignment, build_tiers
+
+
+def five_group_latencies(per_group=10, seed=0):
+    """Latency table mimicking the paper's 5 CPU groups."""
+    rng = np.random.default_rng(seed)
+    lats = {}
+    cid = 0
+    for base in (0.4, 0.6, 1.0, 1.8, 8.0):
+        for _ in range(per_group):
+            lats[cid] = base * float(rng.uniform(0.95, 1.05))
+            cid += 1
+    return lats
+
+
+class TestBuildTiers:
+    def test_five_groups_give_five_tiers(self):
+        asg = build_tiers(five_group_latencies(), num_tiers=5)
+        assert asg.num_tiers == 5
+        np.testing.assert_array_equal(asg.sizes, [10] * 5)
+
+    def test_mean_latencies_increasing(self):
+        asg = build_tiers(five_group_latencies(), num_tiers=5)
+        means = asg.mean_latencies
+        assert np.all(np.diff(means) > 0)
+
+    def test_every_client_in_exactly_one_tier(self):
+        lats = five_group_latencies()
+        asg = build_tiers(lats, num_tiers=5)
+        seen = [c for t in asg.tiers for c in t.client_ids]
+        assert sorted(seen) == sorted(lats)
+
+    def test_tier_of_lookup(self):
+        lats = five_group_latencies()
+        asg = build_tiers(lats, num_tiers=5)
+        # the fastest client is in tier 0, the slowest in the last tier
+        fastest = min(lats, key=lats.get)
+        slowest = max(lats, key=lats.get)
+        assert asg.tier_of(fastest) == 0
+        assert asg.tier_of(slowest) == asg.num_tiers - 1
+
+    def test_unknown_client_raises(self):
+        asg = build_tiers({0: 1.0, 1: 2.0}, num_tiers=2)
+        with pytest.raises(KeyError):
+            asg.tier_of(42)
+
+    def test_identical_latencies_single_tier(self):
+        asg = build_tiers({i: 1.0 for i in range(8)}, num_tiers=5)
+        assert asg.num_tiers == 1
+        assert asg.tiers[0].size == 8
+
+    def test_fewer_clients_than_tiers(self):
+        asg = build_tiers({0: 1.0, 1: 5.0}, num_tiers=5)
+        assert 1 <= asg.num_tiers <= 2
+
+    def test_width_method_collapses_skewed(self):
+        """Equal-width on a heavy-tailed spread yields fewer tiers --
+        the documented reason quantile is the default."""
+        lats = five_group_latencies()
+        wide = build_tiers(lats, num_tiers=5, method="width")
+        quant = build_tiers(lats, num_tiers=5, method="quantile")
+        assert quant.num_tiers >= wide.num_tiers
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_tiers({}, num_tiers=3)
+        with pytest.raises(ValueError):
+            build_tiers({0: 1.0}, num_tiers=0)
+        with pytest.raises(ValueError):
+            build_tiers({0: float("inf")}, num_tiers=2)
+        with pytest.raises(ValueError):
+            # needs >= 2 distinct latencies: degenerate inputs short-circuit
+            # to a single tier before the method is consulted
+            build_tiers({0: 1.0, 1: 2.0}, num_tiers=2, method="kmeans")
+
+    def test_describe_renders(self):
+        asg = build_tiers(five_group_latencies(), num_tiers=5)
+        text = asg.describe()
+        assert "tier" in text and len(text.splitlines()) == 6
+
+
+class TestTierAssignment:
+    def test_duplicate_client_rejected(self):
+        from repro.tifl.tiering import Tier
+
+        t0 = Tier(0, (1, 2), 1.0, 0.9, 1.1)
+        t1 = Tier(1, (2, 3), 2.0, 1.9, 2.1)
+        with pytest.raises(ValueError, match="multiple"):
+            TierAssignment(tiers=[t0, t1])
+
+    def test_decreasing_means_rejected(self):
+        from repro.tifl.tiering import Tier
+
+        t0 = Tier(0, (1,), 2.0, 2.0, 2.0)
+        t1 = Tier(1, (2,), 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TierAssignment(tiers=[t0, t1])
+
+    def test_members(self):
+        # width split: edges [1, 5, 9] put the two fast clients in tier 0
+        asg = build_tiers({0: 1.0, 1: 1.1, 2: 9.0}, num_tiers=2, method="width")
+        assert set(asg.members(asg.num_tiers - 1)) == {2}
+
+
+# ---------------------------------------------------------------------------
+# property-based invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    lats=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=60),
+    m=st.integers(1, 8),
+    method=st.sampled_from(["width", "quantile"]),
+)
+def test_tiering_invariants_property(lats, m, method):
+    table = {i: v for i, v in enumerate(lats)}
+    asg = build_tiers(table, num_tiers=m, method=method)
+    # partition: every client in exactly one tier
+    seen = sorted(c for t in asg.tiers for c in t.client_ids)
+    assert seen == sorted(table)
+    # at most m tiers, means non-decreasing
+    assert 1 <= asg.num_tiers <= m
+    means = asg.mean_latencies
+    assert np.all(np.diff(means) >= -1e-12)
+    # within-tier latency ranges do not cross tier ordering
+    for a, b in zip(asg.tiers, asg.tiers[1:]):
+        assert a.max_latency <= b.min_latency + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    per_group=st.integers(1, 10),
+    seed=st.integers(0, 500),
+)
+def test_quantile_recovers_separated_groups(per_group, seed):
+    """Well-separated latency groups are recovered exactly by quantile split."""
+    lats = five_group_latencies(per_group=per_group, seed=seed)
+    asg = build_tiers(lats, num_tiers=5, method="quantile")
+    assert asg.num_tiers == 5
+    np.testing.assert_array_equal(asg.sizes, [per_group] * 5)
