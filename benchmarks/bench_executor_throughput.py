@@ -1,0 +1,154 @@
+"""Executor throughput: wall-clock speedup of parallel client training.
+
+TiFL's testbed trains the selected cohort *concurrently*; this benchmark
+measures how close each :mod:`repro.execution` backend gets to that on
+the current hardware.  It builds a 50-client MNIST-scale federation
+(28x28x1 inputs, 10 classes, an MLP of ~50k parameters), runs identical
+full-cohort rounds through the serial / thread / process backends, and
+reports seconds-per-round plus speedup over serial -- after first
+verifying that every backend produced **bit-identical** global weights
+(the determinism contract, so the speedup is never bought with drift).
+
+Speedup is hardware-dependent: the process backend needs real cores
+(``nproc``) to win; on a single-core container it can only break even
+minus IPC overhead.  The core count is printed with the results for that
+reason.
+
+Usage::
+
+    python benchmarks/bench_executor_throughput.py               # full run
+    python benchmarks/bench_executor_throughput.py --rounds 1    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import TrainingConfig  # noqa: E402
+from repro.data.datasets import Dataset  # noqa: E402
+from repro.data.synthetic import SyntheticSpec, class_prototypes, generate_synthetic  # noqa: E402
+from repro.execution import TrainRequest, create_executor  # noqa: E402
+from repro.fl.aggregator import fedavg  # noqa: E402
+from repro.nn.zoo import build_mlp  # noqa: E402
+from repro.simcluster.client import SimClient  # noqa: E402
+from repro.simcluster.latency import LatencyModel  # noqa: E402
+from repro.simcluster.network import CommModel  # noqa: E402
+from repro.simcluster.resources import ResourceSpec  # noqa: E402
+
+MNIST_SHAPE = (28, 28, 1)
+NUM_CLASSES = 10
+
+
+def build_federation(num_clients: int, samples_per_client: int, seed: int):
+    """50 MNIST-scale clients over shared prototypes + one global model."""
+    spec = SyntheticSpec(shape=MNIST_SHAPE, num_classes=NUM_CLASSES, difficulty=0.5)
+    protos = class_prototypes(spec, rng=seed)
+    clients = []
+    for cid in range(num_clients):
+        labels = np.arange(samples_per_client) % NUM_CLASSES
+        x, y = generate_synthetic(
+            spec, samples_per_client, rng=seed + 1 + cid, labels=labels,
+            prototypes=protos,
+        )
+        data = Dataset(x, y, NUM_CLASSES, name=f"client{cid}")
+        clients.append(
+            SimClient(
+                client_id=cid,
+                data=data,
+                spec=ResourceSpec(cpu_fraction=1.0, group=0),
+                latency_model=LatencyModel(noise_sigma=0.0),
+                comm_model=CommModel(jitter_sigma=0.0),
+                holdout_fraction=0.0,
+                rng=seed + cid,
+            )
+        )
+    model = build_mlp(MNIST_SHAPE, NUM_CLASSES, hidden=(64,), rng=seed)
+    return clients, model
+
+
+def bench_backend(
+    backend: str,
+    workers: int,
+    clients,
+    model,
+    training: TrainingConfig,
+    rounds: int,
+):
+    """Time full-cohort rounds; returns (secs_per_round, final_weights)."""
+    pool = {c.client_id: c for c in clients}
+    global_weights = model.get_flat_weights()
+    requests = [TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)]
+    with create_executor(backend, workers=workers) as executor:
+        executor.bind(pool, model, training)
+        # Warm-up outside the timer: spawns workers / builds replicas.
+        executor.train_cohort(0, requests[:1], global_weights)
+        start = time.perf_counter()
+        for r in range(rounds):
+            updates = executor.train_cohort(r + 1, requests, global_weights)
+            global_weights = fedavg(
+                [u.flat_weights for u in updates],
+                [float(u.num_samples) for u in updates],
+            )
+        elapsed = time.perf_counter() - start
+    return elapsed / rounds, global_weights
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=50)
+    ap.add_argument("--samples-per-client", type=int, default=120)
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--backends", nargs="+", default=["serial", "thread", "process"],
+        choices=["serial", "thread", "process"],
+    )
+    args = ap.parse_args(argv)
+    training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    print(
+        f"executor throughput: {args.clients} clients x "
+        f"{args.samples_per_client} samples, {args.rounds} round(s), "
+        f"{args.workers} workers, {cores} usable core(s)"
+    )
+
+    results = {}
+    for backend in args.backends:
+        # Fresh identically-seeded federation per backend: client RNG
+        # streams advance during training, so each backend must start
+        # from the same state for the bit-identity check to hold.
+        clients, model = build_federation(
+            args.clients, args.samples_per_client, args.seed
+        )
+        workers = 1 if backend == "serial" else args.workers
+        secs, weights = bench_backend(
+            backend, workers, clients, model, training, args.rounds
+        )
+        results[backend] = (secs, weights)
+
+    if "serial" in results:
+        ref = results["serial"][1]
+        for backend, (_, weights) in results.items():
+            tag = "bit-identical" if np.array_equal(ref, weights) else "DIVERGED"
+            print(f"  {backend:8s} vs serial weights: {tag}")
+            if tag == "DIVERGED":
+                return 1
+
+    base = results.get("serial", next(iter(results.values())))[0]
+    print(f"\n  {'backend':8s} {'s/round':>10s} {'speedup':>9s}")
+    for backend, (secs, _) in results.items():
+        print(f"  {backend:8s} {secs:10.3f} {base / secs:8.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

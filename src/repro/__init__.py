@@ -30,6 +30,13 @@ from repro.config import (
     PAPER_SYNTHETIC_TRAINING,
     TrainingConfig,
 )
+from repro.execution import (
+    ClientExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
 from repro.fl import FLServer, RandomSelector, TrainingHistory, fedavg
 from repro.tifl import (
     AdaptiveTierPolicy,
@@ -47,6 +54,11 @@ __all__ = [
     "TrainingConfig",
     "PAPER_SYNTHETIC_TRAINING",
     "PAPER_FEMNIST_TRAINING",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "create_executor",
     "fedavg",
     "FLServer",
     "RandomSelector",

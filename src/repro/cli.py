@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.execution import EXECUTOR_BACKENDS
 from repro.experiments import (
     ScenarioConfig,
     format_table,
@@ -43,6 +44,13 @@ from repro.tifl.policies import CIFAR_POLICIES, MNIST_POLICIES
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", default="cifar10",
                    choices=["mnist", "fmnist", "cifar10", "femnist"])
@@ -57,6 +65,12 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--test-size", type=int, default=400)
     p.add_argument("--model", default="linear")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", default="serial",
+                   choices=list(EXECUTOR_BACKENDS),
+                   help="client-training backend (all are bit-identical; "
+                        "thread/process add concurrency)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker count for the thread/process executor")
 
 
 def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
@@ -75,7 +89,10 @@ def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
 
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _scenario_config(args)
-    result = run_policy(cfg, args.policy, rounds=args.rounds, seed=args.seed)
+    result = run_policy(
+        cfg, args.policy, rounds=args.rounds, seed=args.seed,
+        executor=args.executor, workers=args.workers,
+    )
     print(result.history.summary())
     if result.tier_latencies is not None:
         print("tier latencies [s]:", np.round(result.tier_latencies, 3).tolist())
@@ -88,7 +105,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     cfg = _scenario_config(args)
     results = run_policies(
-        cfg, args.policies, rounds=args.rounds, seed=args.seed, repeats=args.repeats
+        cfg, args.policies, rounds=args.rounds, seed=args.seed,
+        repeats=args.repeats, executor=args.executor, workers=args.workers,
     )
     times = {
         p: float(np.mean([r.total_time for r in runs]))

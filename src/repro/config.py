@@ -34,6 +34,10 @@ class TrainingConfig:
     prox_mu:
         FedProx proximal coefficient; 0 disables the proximal term
         (plain FedAvg).
+    executor / workers:
+        Default client-execution backend (``"serial" | "thread" |
+        "process"``, see :mod:`repro.execution`) and its worker count.
+        Servers use these unless an explicit executor is passed to them.
     """
 
     optimizer: str = "rmsprop"
@@ -43,12 +47,21 @@ class TrainingConfig:
     epochs: int = 1
     momentum: float = 0.0
     prox_mu: float = 0.0
+    executor: str = "serial"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("rmsprop", "sgd"):
             raise ValueError(
                 f"optimizer must be 'rmsprop' or 'sgd', got {self.optimizer!r}"
             )
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                "executor must be 'serial', 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
         if not 0.0 < self.lr_decay <= 1.0:

@@ -1,0 +1,78 @@
+"""Pluggable client-training execution backends.
+
+The TiFL testbed trains every selected client *concurrently* on real
+hardware; this package gives the reproduction the same property.  Pick a
+backend by name through :func:`create_executor` (what the servers, the
+experiment runner and the CLI's ``--executor`` flag do) or construct one
+directly:
+
+>>> from repro.execution import create_executor
+>>> executor = create_executor("process", workers=4)
+
+All backends satisfy the determinism contract documented in
+:mod:`repro.execution.base`: given the same cohort and global weights
+they produce bit-identical updates in the same deterministic order, so
+switching backends never changes a training trajectory -- only its
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.execution.base import (
+    ClientExecutor,
+    ExecutorError,
+    TrainRequest,
+    order_updates,
+)
+from repro.execution.process import ProcessExecutor
+from repro.execution.serial import SerialExecutor
+from repro.execution.thread import ThreadExecutor
+
+__all__ = [
+    "ClientExecutor",
+    "ExecutorError",
+    "TrainRequest",
+    "order_updates",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_BACKENDS",
+    "create_executor",
+    "resolve_executor",
+]
+
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def create_executor(backend: str, workers: int = 1) -> ClientExecutor:
+    """Instantiate a backend by name (``serial`` | ``thread`` | ``process``).
+
+    ``workers`` must be >= 1 (the constructors raise otherwise -- a typo'd
+    worker count should fail loudly, not degrade to serial speed).
+    """
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(workers=workers)
+    if backend == "process":
+        return ProcessExecutor(workers=workers)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; expected one of {EXECUTOR_BACKENDS}"
+    )
+
+
+def resolve_executor(
+    executor: Union[str, ClientExecutor, None], workers: Optional[int] = None
+) -> ClientExecutor:
+    """Accept a backend name, a ready instance, or ``None`` (-> serial)."""
+    if executor is None:
+        executor = "serial"
+    if isinstance(executor, ClientExecutor):
+        return executor
+    if isinstance(executor, str):
+        return create_executor(executor, workers=1 if workers is None else workers)
+    raise TypeError(
+        f"executor must be a backend name or ClientExecutor, got {type(executor)!r}"
+    )

@@ -1,0 +1,204 @@
+"""The client-training executor contract.
+
+The FL servers in :mod:`repro.fl` delegate the *real* work of a round --
+running every selected client's local gradient-descent pass -- to a
+:class:`ClientExecutor`.  Three backends implement the contract:
+
+* :class:`repro.execution.serial.SerialExecutor` -- the seed behaviour:
+  clients train one after another inside the server's own model shell.
+* :class:`repro.execution.thread.ThreadExecutor` -- a thread pool where
+  each worker checks a private workspace replica out of a bounded pool
+  (memory = ``workers x model``, not ``clients x model``).
+* :class:`repro.execution.process.ProcessExecutor` -- persistent worker
+  processes; every client is *pinned* to one worker so its training RNG
+  stream lives (and advances) in exactly one place, and the global flat
+  weight vector is broadcast through read-only shared memory.
+
+Determinism contract
+--------------------
+``train_cohort`` must return one :class:`ClientUpdate` per request, in
+**request order** -- never in completion order.  The server builds the
+request list deterministically (from the cohort the selector and the
+latency model produced), so the FedAvg summation order -- and therefore
+the global weights -- are bit-identical across all three backends.  The
+equivalence test in ``tests/execution/test_executors.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.nn.model import Sequential
+from repro.simcluster.client import ClientUpdate, SimClient
+
+__all__ = [
+    "TrainRequest",
+    "ClientExecutor",
+    "ExecutorError",
+    "order_updates",
+]
+
+
+class ExecutorError(RuntimeError):
+    """A backend failed to produce an update for a requested client."""
+
+
+@dataclass(frozen=True)
+class TrainRequest:
+    """One client's work order for a round."""
+
+    client_id: int
+    epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+
+
+def order_updates(
+    updates: Sequence[ClientUpdate], requests: Sequence[TrainRequest]
+) -> List[ClientUpdate]:
+    """Reorder completion-ordered ``updates`` into request order.
+
+    The deterministic-merge guarantee of the execution layer: whatever
+    order workers finish in, the server always aggregates in the order it
+    asked for.  Raises :class:`ExecutorError` on missing or duplicate
+    client updates.
+    """
+    by_id: Dict[int, ClientUpdate] = {}
+    for u in updates:
+        if u.client_id in by_id:
+            raise ExecutorError(f"duplicate update for client {u.client_id}")
+        by_id[u.client_id] = u
+    missing = [r.client_id for r in requests if r.client_id not in by_id]
+    if missing:
+        raise ExecutorError(f"no update produced for clients {missing}")
+    extra = set(by_id) - {r.client_id for r in requests}
+    if extra:
+        raise ExecutorError(f"updates for clients never requested: {sorted(extra)}")
+    return [by_id[r.client_id] for r in requests]
+
+
+class ClientExecutor:
+    """Abstract pluggable backend that trains a cohort of clients.
+
+    Lifecycle: the server calls :meth:`bind` once with its client pool,
+    model and training config, then :meth:`train_cohort` every round, and
+    finally :meth:`close`.  Backends allocate their worker resources
+    lazily on the first cohort, so constructing an executor is free.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._clients: Optional[Dict[int, SimClient]] = None
+        self._model: Optional[Sequential] = None
+        self._training: Optional[TrainingConfig] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        clients: Mapping[int, SimClient],
+        model: Sequential,
+        training: TrainingConfig,
+    ) -> None:
+        """Attach the server's client pool, model shell and hyperparameters.
+
+        Idempotent for the same pool; rebinding to a *different* pool is an
+        error whether or not workers have started -- one executor instance
+        serves one federation (sharing it across servers would train the
+        wrong clients' data).
+        """
+        if self._clients is not None:
+            if dict(clients) != self._clients or model is not self._model:
+                raise ExecutorError(
+                    f"{self.name} executor is already bound to a different "
+                    "client pool; create a fresh executor instead"
+                )
+            if self._started() and training != self._training:
+                # Started process workers hold the config they were forked
+                # with; accepting a new one here would silently diverge
+                # from the serial schedule.
+                raise ExecutorError(
+                    f"{self.name} executor already started with a different "
+                    "TrainingConfig; create a fresh executor instead"
+                )
+            self._training = training
+            return
+        self._clients = dict(clients)
+        self._model = model
+        self._training = training
+
+    def _require_bound(self) -> Dict[int, SimClient]:
+        if self._closed:
+            raise ExecutorError(f"{self.name} executor used after close()")
+        if self._clients is None or self._model is None or self._training is None:
+            raise ExecutorError(f"{self.name} executor used before bind()")
+        return self._clients
+
+    def _check_requests(self, requests: Sequence[TrainRequest]) -> Dict[int, SimClient]:
+        """Bound / known / no-duplicates precondition shared by every backend."""
+        clients = self._require_bound()
+        unknown = [r.client_id for r in requests if r.client_id not in clients]
+        if unknown:
+            raise ExecutorError(f"requests for unknown clients: {unknown}")
+        ids = [r.client_id for r in requests]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({c for c in ids if ids.count(c) > 1})
+            raise ExecutorError(f"duplicate clients in cohort: {dupes}")
+        return clients
+
+    def _started(self) -> bool:
+        """Whether worker resources have been allocated (backend hook)."""
+        return False
+
+    # ------------------------------------------------------------------
+    def train_cohort(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]] = None,
+    ) -> List[ClientUpdate]:
+        """Train every requested client from ``global_weights``.
+
+        Returns updates in request order (see module docstring).
+        ``latencies`` optionally stamps each update with the simulated
+        response latency the server already measured.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources; the executor is unusable afterwards.
+
+        Subclasses must call ``super().close()`` so later ``train_cohort``
+        calls raise instead of silently restarting workers.
+        """
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _stamp(
+        self,
+        client_id: int,
+        flat_weights: np.ndarray,
+        num_samples: int,
+        latencies: Optional[Mapping[int, float]],
+    ) -> ClientUpdate:
+        latency = float(latencies[client_id]) if latencies and client_id in latencies else 0.0
+        return ClientUpdate(
+            client_id=client_id,
+            flat_weights=flat_weights,
+            num_samples=num_samples,
+            latency=latency,
+        )

@@ -1,0 +1,270 @@
+"""Process-pool executor: pinned workers + shared-memory weight broadcast.
+
+Design (the memory / determinism contract):
+
+* **Pinned clients.**  The sorted client-id list is dealt round-robin
+  over ``workers`` persistent processes at start-up.  A client always
+  trains in its owning worker, so its ``_train_rng`` shuffle stream
+  advances in exactly one address space, exactly as it would under the
+  serial schedule -- the property that makes the process backend
+  bit-identical to :class:`repro.execution.serial.SerialExecutor`.  Each
+  update ships the advanced RNG state back to the parent's client object,
+  so the parent pool remains the single source of truth and can later be
+  reused with any backend or a fresh executor.
+* **One replica per worker.**  The model shell shipped to each worker at
+  start-up *is* that worker's private workspace replica (weights are
+  overwritten at the start of every local pass), so memory is
+  ``workers x model``, not ``clients x model``.
+* **Shared-memory broadcast.**  The global flat-weight vector is written
+  once per round into an anonymous shared array
+  (``multiprocessing.RawArray``); workers map it as a read-only numpy
+  view, so broadcasting costs O(1) copies regardless of cohort size.
+  Worker results (the updated weight vectors) return over a queue.
+* **Deterministic merge.**  Results arrive in completion order and are
+  reordered into request order before the server ever sees them.
+
+The start method defaults to ``fork`` where available (cheap: the client
+datasets are shared copy-on-write) and falls back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.execution.base import ClientExecutor, ExecutorError, TrainRequest, order_updates
+from repro.nn.model import Sequential
+from repro.simcluster.client import ClientUpdate, SimClient
+
+__all__ = ["ProcessExecutor"]
+
+_Job = Tuple[int, int]  # (client_id, epochs)
+
+
+def _worker_main(
+    worker_id: int,
+    clients: Dict[int, SimClient],
+    workspace: Sequential,
+    training: TrainingConfig,
+    shared_weights,
+    num_params: int,
+    task_q,
+    result_q,
+) -> None:
+    """Worker loop: train pinned clients against the broadcast weights."""
+    global_flat = np.frombuffer(shared_weights, dtype=np.float64, count=num_params)
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            break
+        seq, round_idx, jobs = msg
+        factory = training.optimizer_factory(round_idx)
+        for client_id, epochs in jobs:
+            try:
+                client = clients[client_id]
+                w = client.train(
+                    workspace,
+                    global_flat,
+                    factory,
+                    batch_size=training.batch_size,
+                    epochs=epochs,
+                    prox_mu=training.prox_mu,
+                )
+                # Ship the advanced training-RNG state home with the
+                # update: the parent pool stays the single source of
+                # truth, so the same clients can later be reused with any
+                # backend (or a fresh executor) without replaying streams.
+                rng = getattr(client, "_train_rng", None)
+                state = rng.bit_generator.state if rng is not None else None
+                result_q.put(
+                    (seq, "ok", client_id, w, client.num_train_samples, state)
+                )
+            except BaseException:
+                result_q.put(
+                    (seq, "err", client_id, traceback.format_exc(), 0, None)
+                )
+
+
+class ProcessExecutor(ClientExecutor):
+    """Train the cohort across persistent, client-pinned worker processes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+        result_timeout: float = 600.0,
+    ) -> None:
+        super().__init__()
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if result_timeout <= 0:
+            raise ValueError(f"result_timeout must be positive, got {result_timeout}")
+        self.workers = int(workers)
+        self.result_timeout = float(result_timeout)
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._procs: List[mp.process.BaseProcess] = []
+        self._task_qs: List = []
+        self._result_q = None
+        self._shared = None
+        self._owner: Dict[int, int] = {}  # client_id -> worker index
+        self._seq = 0  # cohort sequence number; guards against stale results
+
+    # ------------------------------------------------------------------
+    def _started(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def num_workers_started(self) -> int:
+        return len(self._procs)
+
+    def owner_of(self, client_id: int) -> int:
+        """Worker index a client is pinned to (stable for the run)."""
+        if not self._started():
+            raise ExecutorError("executor not started yet")
+        return self._owner[client_id]
+
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        clients = self._require_bound()
+        n_workers = min(self.workers, len(clients))
+        ids = sorted(clients)
+        self._owner = {cid: i % n_workers for i, cid in enumerate(ids)}
+        num_params = self._model.num_params()
+        self._shared = self._ctx.RawArray("d", max(num_params, 1))
+        self._result_q = self._ctx.Queue()
+        for wid in range(n_workers):
+            owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
+            task_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    owned,
+                    self._model,
+                    self._training,
+                    self._shared,
+                    num_params,
+                    task_q,
+                    self._result_q,
+                ),
+                daemon=True,
+                name=f"repro-exec-{wid}",
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def train_cohort(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]] = None,
+    ) -> List[ClientUpdate]:
+        self._check_requests(requests)
+        if not requests:
+            return []
+        self._ensure_started()
+        self._seq += 1
+        seq = self._seq
+
+        # Broadcast: one write into the shared segment, visible to every
+        # worker before its round message arrives (queue send orders it).
+        flat = np.asarray(global_weights, dtype=np.float64).ravel()
+        view = np.frombuffer(self._shared, dtype=np.float64, count=flat.size)
+        view[:] = flat
+
+        per_worker: Dict[int, List[_Job]] = {}
+        for req in requests:
+            per_worker.setdefault(self._owner[req.client_id], []).append(
+                (req.client_id, req.epochs)
+            )
+        for wid, jobs in per_worker.items():
+            self._task_qs[wid].put((seq, round_idx, jobs))
+
+        updates: List[ClientUpdate] = []
+        failures: List[str] = []
+        received = 0
+        waited = 0.0
+        while received < len(requests):
+            # Short poll interval so a dead worker (OOM-kill, factory
+            # error escaping the per-client try) fails the round in
+            # seconds, not after the full result_timeout.
+            try:
+                msg_seq, status, cid, payload, n_samples, rng_state = (
+                    self._result_q.get(timeout=min(1.0, self.result_timeout))
+                )
+            except queue_mod.Empty:
+                waited += min(1.0, self.result_timeout)
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise ExecutorError(
+                        f"worker process(es) died mid-round: {dead}"
+                    )
+                if waited >= self.result_timeout:
+                    raise ExecutorError("timed out waiting for client updates")
+                continue
+            if msg_seq != seq:
+                # Stale result from a cohort that previously timed out --
+                # a worker was slow, not dead.  Discard it so it is never
+                # merged.  NOTE: that client's pinned training RNG still
+                # advanced for the abandoned pass, so a timeout-retry is
+                # *correct* (right weights merged, right order) but not
+                # bit-identical to an untimed-out serial run -- same as a
+                # physical testbed re-running a client.
+                continue
+            received += 1
+            if status == "err":
+                failures.append(f"client {cid}:\n{payload}")
+            else:
+                if rng_state is not None:
+                    rng = getattr(self._clients[cid], "_train_rng", None)
+                    if rng is not None:
+                        rng.bit_generator.state = rng_state
+                updates.append(self._stamp(cid, payload, n_samples, latencies))
+        if failures:
+            raise ExecutorError(
+                "client training failed in worker process:\n" + "\n".join(failures)
+            )
+        return order_updates(updates, requests)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        super().close()
+        for task_q in self._task_qs:
+            try:
+                task_q.put(None)
+            except (ValueError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for task_q in self._task_qs:
+            task_q.close()
+        if self._result_q is not None:
+            self._result_q.close()
+            self._result_q = None
+        self._procs = []
+        self._task_qs = []
+        self._shared = None
+        self._owner = {}
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            if self._procs:
+                self.close()
+        except Exception:
+            pass

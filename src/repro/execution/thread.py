@@ -1,0 +1,139 @@
+"""Thread-pool executor with a bounded pool of workspace replicas.
+
+Each in-flight training task checks a private :class:`Sequential` replica
+out of a pool capped at ``workers`` instances -- replicas are created
+lazily on first demand and reused forever after, so memory is
+``workers x model`` regardless of cohort or pool size.
+
+Correctness under concurrency: a client's local pass touches only (a) its
+own private dataset, (b) its own ``_train_rng`` stream, and (c) the
+replica it has exclusively checked out -- there is no shared mutable
+state, so the floating-point operations of each client's pass are
+identical to the serial schedule and results are bit-identical.
+
+numpy releases the GIL inside its kernels, so genuinely concurrent
+speedup appears once per-client work is dominated by BLAS time; for tiny
+models this backend mostly serves as the cheap-to-test concurrency
+reference for :class:`repro.execution.process.ProcessExecutor`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.execution.base import ClientExecutor, ExecutorError, TrainRequest, order_updates
+from repro.nn.model import Sequential
+from repro.simcluster.client import ClientUpdate
+
+__all__ = ["ThreadExecutor"]
+
+
+class ThreadExecutor(ClientExecutor):
+    """Train the cohort on a thread pool with replica checkout."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__()
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = int(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._replicas: "queue.Queue[Sequential]" = queue.Queue()
+        self._created = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas_created(self) -> int:
+        """How many workspace replicas exist (tested to stay <= workers)."""
+        return self._created
+
+    def _started(self) -> bool:
+        return self._pool is not None
+
+    def _acquire_replica(self) -> Sequential:
+        try:
+            return self._replicas.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self.workers:
+                self._created += 1
+                # Replica init weights are throwaway: train() overwrites
+                # them with the broadcast global vector on entry.
+                return self._model.clone_architecture(rng=self._created)
+        return self._replicas.get()
+
+    def _release_replica(self, replica: Sequential) -> None:
+        self._replicas.put(replica)
+
+    # ------------------------------------------------------------------
+    def _train_one(
+        self,
+        req: TrainRequest,
+        round_idx: int,
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]],
+    ) -> ClientUpdate:
+        client = self._clients[req.client_id]
+        replica = self._acquire_replica()
+        try:
+            factory = self._training.optimizer_factory(round_idx)
+            w = client.train(
+                replica,
+                global_weights,
+                factory,
+                batch_size=self._training.batch_size,
+                epochs=req.epochs,
+                prox_mu=self._training.prox_mu,
+            )
+        finally:
+            self._release_replica(replica)
+        return self._stamp(req.client_id, w, client.num_train_samples, latencies)
+
+    def train_cohort(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]] = None,
+    ) -> List[ClientUpdate]:
+        self._check_requests(requests)
+        if not requests:
+            return []
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        futures = [
+            self._pool.submit(self._train_one, req, round_idx, global_weights, latencies)
+            for req in requests
+        ]
+        updates: List[ClientUpdate] = []
+        error: Optional[BaseException] = None
+        for fut in as_completed(futures):
+            try:
+                updates.append(fut.result())
+            except BaseException as exc:  # keep draining so the pool settles
+                error = error or exc
+        if error is not None:
+            raise ExecutorError(f"client training failed: {error}") from error
+        return order_updates(updates, requests)
+
+    def close(self) -> None:
+        super().close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        while True:
+            try:
+                self._replicas.get_nowait()
+            except queue.Empty:
+                break
+        self._created = 0

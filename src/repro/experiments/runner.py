@@ -68,6 +68,8 @@ def run_policy(
     adaptive_interval: int = 10,
     scenario: Optional[Scenario] = None,
     server_kwargs: Optional[dict] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Train ``rounds`` rounds under ``policy`` on the scenario ``cfg``.
 
@@ -78,6 +80,10 @@ def run_policy(
     Pass ``scenario`` to reuse a prebuilt federation (single-policy use);
     by default the scenario is rebuilt from ``(cfg, seed)`` so that
     results are comparable across policies.
+
+    ``executor`` / ``workers`` pick the client-execution backend
+    (:mod:`repro.execution`); all backends yield bit-identical histories,
+    so parallel execution never perturbs a comparison.
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
@@ -87,13 +93,17 @@ def run_policy(
     )
     selector_rng = derive(seed, 101)
     kwargs = dict(server_kwargs or {})
+    if executor is not None:
+        kwargs.setdefault("executor", executor)
+    if workers is not None:
+        kwargs.setdefault("workers", workers)
 
     if isinstance(policy, str) and policy in _UNTIERED:
         if policy == "vanilla":
             selector = RandomSelector(scn.clients_per_round, rng=selector_rng)
         else:
             selector = OverSelector(scn.clients_per_round, rng=selector_rng)
-        server = FLServer(
+        with FLServer(
             clients=scn.clients,
             model=scn.model,
             selector=selector,
@@ -102,11 +112,11 @@ def run_policy(
             eval_every=eval_every,
             rng=derive(seed, 202),
             **kwargs,
-        )
-        history = server.run(rounds)
+        ) as server:
+            history = server.run(rounds)
         return ExperimentResult(policy=_policy_label(policy), history=history)
 
-    server = TiFLServer(
+    with TiFLServer(
         clients=scn.clients,
         model=scn.model,
         test_data=scn.test_data,
@@ -121,9 +131,9 @@ def run_policy(
         eval_every=eval_every,
         rng=derive(seed, 303),
         **kwargs,
-    )
-    history = server.run(rounds)
-    probs = server.tier_policy.tier_probs(rounds - 1)
+    ) as server:
+        history = server.run(rounds)
+        probs = server.tier_policy.tier_probs(rounds - 1)
     return ExperimentResult(
         policy=_policy_label(policy),
         history=history,

@@ -27,12 +27,13 @@ server against synchronous vanilla and TiFL.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
 from repro.data.datasets import Dataset
+from repro.execution import ClientExecutor, TrainRequest, resolve_executor
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.nn.model import Sequential
 from repro.rng import RngLike, make_rng
@@ -75,6 +76,8 @@ class AsyncFLServer:
         training: TrainingConfig = PAPER_SYNTHETIC_TRAINING,
         eval_every: int = 1,
         rng: RngLike = None,
+        executor: Union[str, ClientExecutor, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if not clients:
             raise ValueError("the client pool must be non-empty")
@@ -101,6 +104,11 @@ class AsyncFLServer:
         self.history = TrainingHistory()
         self.updates_applied = 0
         self.staleness_log: List[int] = []
+        self.executor: ClientExecutor = resolve_executor(
+            executor if executor is not None else training.executor,
+            workers if workers is not None else training.workers,
+        )
+        self.executor.bind(self.clients, self.model, self.training)
 
     # ------------------------------------------------------------------
     def _dispatch(
@@ -141,18 +149,17 @@ class AsyncFLServer:
         for _ in range(self.concurrency):
             self._dispatch(idle.pop(), now, heap)
 
-        factory = self.training.optimizer_factory(0)
         while self.updates_applied < num_updates:
             now, client_id, base_version, base_weights = heapq.heappop(heap)
-            client = self.clients[client_id]
-            new_weights = client.train(
-                self.model,
+            # The event loop applies one update at a time, but routing the
+            # local pass through the executor keeps the worker-pinned RNG
+            # streams (process backend) consistent with the sync servers.
+            (update,) = self.executor.train_cohort(
+                self.updates_applied,
+                [TrainRequest(client_id, epochs=self.training.epochs)],
                 base_weights,
-                self.training.optimizer_factory(self.updates_applied),
-                batch_size=self.training.batch_size,
-                epochs=self.training.epochs,
-                prox_mu=self.training.prox_mu,
             )
+            new_weights = update.flat_weights
             staleness = self.updates_applied - base_version
             self.staleness_log.append(staleness)
             a = self._mixing_weight(staleness)
@@ -187,3 +194,14 @@ class AsyncFLServer:
         if not self.staleness_log:
             raise ValueError("no updates have been applied yet")
         return float(np.mean(self.staleness_log))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor workers (no-op for the serial backend)."""
+        self.executor.close()
+
+    def __enter__(self) -> "AsyncFLServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

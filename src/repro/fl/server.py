@@ -18,12 +18,13 @@ selection-agnostic (the paper's "non-intrusive" claim).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
 from repro.data.datasets import Dataset
+from repro.execution import ClientExecutor, TrainRequest, resolve_executor
 from repro.fl.aggregator import HierarchicalAggregator, fedavg
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import ClientSelector, SelectionPlan
@@ -68,6 +69,13 @@ class FLServer:
         ``dropout_timeout`` seconds and leaves the global model unchanged.
     eval_every:
         Evaluate global accuracy every this many rounds (1 = every round).
+    executor / workers:
+        Client-execution backend (``"serial" | "thread" | "process"`` or a
+        ready :class:`~repro.execution.ClientExecutor`) and worker count.
+        ``None`` defers to ``training.executor`` / ``training.workers``.
+        All backends are bit-identical (see :mod:`repro.execution`); the
+        parallel ones only change wall-clock time.  Call :meth:`close`
+        (or use the server as a context manager) to release workers.
     """
 
     def __init__(
@@ -84,6 +92,8 @@ class FLServer:
         epochs_for: Optional[EpochsFor] = None,
         clock: Optional[SimulatedClock] = None,
         rng: RngLike = None,
+        executor: Union[str, ClientExecutor, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if not clients:
             raise ValueError("the client pool must be non-empty")
@@ -114,6 +124,11 @@ class FLServer:
         self.global_weights = model.get_flat_weights()
         self.history = TrainingHistory()
         self.excluded: set = set()  # permanently excluded (profiler dropouts)
+        self.executor: ClientExecutor = resolve_executor(
+            executor if executor is not None else training.executor,
+            workers if workers is not None else training.workers,
+        )
+        self.executor.bind(self.clients, self.model, self.training)
 
     # ------------------------------------------------------------------
     @property
@@ -187,21 +202,18 @@ class FLServer:
         latencies = self._measure_latencies(plan, round_idx)
         kept, dropped, round_latency = self._resolve_cohort(plan, latencies)
 
-        factory = self.training.optimizer_factory(round_idx)
-        new_weights: List[np.ndarray] = []
-        sizes: List[float] = []
-        for cid in kept:
-            client = self.clients[cid]
-            w = client.train(
-                self.model,
-                self.global_weights,
-                factory,
-                batch_size=self.training.batch_size,
-                epochs=self.epochs_for(cid, round_idx),
-                prox_mu=self.training.prox_mu,
-            )
-            new_weights.append(w)
-            sizes.append(float(client.num_train_samples))
+        # Lines 4-7 of Alg. 1: the executor trains the cohort (possibly in
+        # parallel) and hands updates back in request order, so the FedAvg
+        # summation below is bit-identical across backends.
+        requests = [
+            TrainRequest(cid, epochs=self.epochs_for(cid, round_idx))
+            for cid in kept
+        ]
+        updates = self.executor.train_cohort(
+            round_idx, requests, self.global_weights, latencies=latencies
+        )
+        new_weights: List[np.ndarray] = [u.flat_weights for u in updates]
+        sizes: List[float] = [float(u.num_samples) for u in updates]
 
         if new_weights:
             if self.aggregator is not None:
@@ -241,3 +253,14 @@ class FLServer:
         for r in range(start_round, start_round + num_rounds):
             self.run_round(r)
         return self.history
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor workers (no-op for the serial backend)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FLServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

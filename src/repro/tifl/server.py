@@ -55,6 +55,11 @@ class TiFLServer(FLServer):
     tier_eval_every:
         Evaluate per-tier accuracies every this many rounds (the adaptive
         policy consumes them; static policies skip the work by default).
+    executor / workers:
+        Client-execution backend and worker count, forwarded to
+        :class:`~repro.fl.server.FLServer` (see :mod:`repro.execution`).
+        Profiling and tier evaluation stay in the server process; only
+        the local training passes run on the backend.
     """
 
     def __init__(
@@ -78,6 +83,8 @@ class TiFLServer(FLServer):
         training: TrainingConfig = PAPER_SYNTHETIC_TRAINING,
         fault: Optional[FaultInjector] = None,
         rng: RngLike = None,
+        executor=None,
+        workers: Optional[int] = None,
         **server_kwargs,
     ) -> None:
         base_rng = make_rng(rng)
@@ -134,6 +141,8 @@ class TiFLServer(FLServer):
             training=training,
             fault=fault,
             rng=server_rng,
+            executor=executor,
+            workers=workers,
             **server_kwargs,
         )
         if self.profiling.dropouts:

@@ -1,0 +1,1 @@
+"""Test package (gives duplicate basenames like test_server.py unique import paths)."""

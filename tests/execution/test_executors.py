@@ -1,0 +1,399 @@
+"""Tests for the pluggable client-execution backends.
+
+The load-bearing guarantee: serial, thread and process backends produce
+**bit-identical** global weights and training histories, so choosing a
+backend is purely a wall-clock decision.  Plus unit tests for the
+worker-replica pool, client pinning, deterministic merge order under
+shuffled completion, and failure propagation out of worker processes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.fl.aggregator import fedavg
+from repro.execution import (
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    TrainRequest,
+    create_executor,
+    order_updates,
+    resolve_executor,
+)
+from repro.fl.async_server import AsyncFLServer
+from repro.fl.selection import RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_mlp
+from repro.simcluster.client import ClientUpdate
+from repro.tifl.server import TiFLServer
+from tests.conftest import make_test_client, make_tiny_dataset
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+
+
+def make_pool(num_clients=6, seed=7):
+    return [make_test_client(client_id=i, seed=seed) for i in range(num_clients)]
+
+
+def make_server(executor, workers, seed=7, num_clients=6, per_round=3):
+    clients = make_pool(num_clients=num_clients, seed=seed)
+    model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=seed)
+    test = make_tiny_dataset(n=30, seed=999)
+    return FLServer(
+        clients=clients,
+        model=model,
+        selector=RandomSelector(per_round, rng=seed),
+        test_data=test,
+        training=TRAIN,
+        rng=seed,
+        executor=executor,
+        workers=workers,
+    )
+
+
+def run_training(executor, workers, rounds=4):
+    with make_server(executor, workers) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history
+
+
+def assert_histories_identical(a, b, backend):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.round_idx == rb.round_idx
+        assert ra.selected == rb.selected, backend
+        assert ra.dropped == rb.dropped
+        assert ra.round_latency == rb.round_latency, backend
+        assert ra.sim_time == rb.sim_time
+        assert ra.accuracy == rb.accuracy, backend
+
+
+class TestBackendEquivalence:
+    """Serial, thread and process runs must be bit-for-bit identical."""
+
+    def test_all_backends_bit_identical(self):
+        ref_weights, ref_history = run_training("serial", 1)
+        for backend, workers in [("thread", 3), ("process", 2)]:
+            weights, history = run_training(backend, workers)
+            assert np.array_equal(ref_weights, weights), (
+                f"{backend} backend diverged from serial"
+            )
+            assert_histories_identical(ref_history, history, backend)
+
+    def test_process_backend_multi_epoch_and_shuffles(self):
+        """Worker-pinned RNG streams must track the serial schedule even
+        when local epochs vary per client and per round."""
+
+        def epochs_for(cid, r):
+            return 1 + (cid + r) % 2
+
+        results = {}
+        for backend, workers in [("serial", 1), ("process", 3)]:
+            clients = make_pool(num_clients=5, seed=11)
+            model = build_mlp((4, 4, 1), 3, hidden=(6,), rng=11)
+            with FLServer(
+                clients=clients,
+                model=model,
+                selector=RandomSelector(3, rng=1),
+                test_data=make_tiny_dataset(n=20, seed=998),
+                training=TRAIN,
+                epochs_for=epochs_for,
+                rng=1,
+                executor=backend,
+                workers=workers,
+            ) as server:
+                server.run(3)
+                results[backend] = server.global_weights.copy()
+        assert np.array_equal(results["serial"], results["process"])
+
+    def test_tifl_server_with_thread_backend(self):
+        results = {}
+        for backend in ["serial", "thread"]:
+            # spread of cpu fractions so quantile tiering yields 2 tiers
+            clients = [
+                make_test_client(client_id=i, seed=3, cpu=1.0 / (1 + i))
+                for i in range(8)
+            ]
+            model = build_mlp((4, 4, 1), 3, hidden=(6,), rng=3)
+            with TiFLServer(
+                clients=clients,
+                model=model,
+                test_data=make_tiny_dataset(n=20, seed=997),
+                clients_per_round=3,
+                policy="uniform",
+                num_tiers=2,
+                sync_rounds=2,
+                training=TRAIN,
+                rng=5,
+                executor=backend,
+                workers=2,
+            ) as server:
+                server.run(3)
+                results[backend] = server.global_weights.copy()
+        assert np.array_equal(results["serial"], results["thread"])
+
+    def test_async_server_with_executor(self):
+        results = {}
+        for backend in ["serial", "thread"]:
+            clients = make_pool(num_clients=5, seed=2)
+            model = build_mlp((4, 4, 1), 3, hidden=(6,), rng=2)
+            with AsyncFLServer(
+                clients=clients,
+                model=model,
+                test_data=make_tiny_dataset(n=20, seed=996),
+                concurrency=2,
+                training=TRAIN,
+                rng=4,
+                executor=backend,
+                workers=2,
+            ) as server:
+                server.run(6)
+                results[backend] = server.global_weights.copy()
+        assert np.array_equal(results["serial"], results["thread"])
+
+
+class _SlowFakeClient:
+    """Duck-typed client whose completion order reverses request order."""
+
+    def __init__(self, client_id, delay):
+        self.client_id = client_id
+        self.num_train_samples = 10
+        self._delay = delay
+
+    def train(self, workspace, global_weights, factory, **kwargs):
+        time.sleep(self._delay)
+        return np.asarray(global_weights, dtype=np.float64) + self.client_id
+
+
+class _FailingClient:
+    def __init__(self, client_id):
+        self.client_id = client_id
+        self.num_train_samples = 10
+
+    def train(self, *args, **kwargs):
+        raise RuntimeError("boom from worker")
+
+
+class TestMergeOrder:
+    def test_order_updates_reorders_shuffled_completion(self):
+        requests = [TrainRequest(cid) for cid in (5, 1, 9, 3)]
+        shuffled = [
+            ClientUpdate(cid, np.full(2, float(cid)), 1, 0.0) for cid in (3, 9, 5, 1)
+        ]
+        ordered = order_updates(shuffled, requests)
+        assert [u.client_id for u in ordered] == [5, 1, 9, 3]
+
+    def test_order_updates_rejects_missing_and_duplicates(self):
+        requests = [TrainRequest(1), TrainRequest(2)]
+        u1 = ClientUpdate(1, np.zeros(1), 1, 0.0)
+        with pytest.raises(ExecutorError, match="no update"):
+            order_updates([u1], requests)
+        with pytest.raises(ExecutorError, match="duplicate"):
+            order_updates([u1, u1, ClientUpdate(2, np.zeros(1), 1, 0.0)], requests)
+        with pytest.raises(ExecutorError, match="never requested"):
+            order_updates(
+                [u1, ClientUpdate(2, np.zeros(1), 1, 0.0), ClientUpdate(7, np.zeros(1), 1, 0.0)],
+                requests,
+            )
+
+    def test_thread_backend_returns_request_order_under_reversed_completion(self):
+        n = 4
+        clients = {
+            cid: _SlowFakeClient(cid, delay=0.02 * (n - cid)) for cid in range(n)
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=0)
+        with ThreadExecutor(workers=n) as ex:
+            ex.bind(clients, model, TRAIN)
+            requests = [TrainRequest(cid) for cid in range(n)]
+            weights = np.zeros(3)
+            updates = ex.train_cohort(0, requests, weights)
+        assert [u.client_id for u in updates] == [r.client_id for r in requests]
+        for u in updates:
+            np.testing.assert_array_equal(u.flat_weights, weights + u.client_id)
+
+
+class TestThreadReplicaPool:
+    def test_replicas_capped_at_workers_and_reused(self):
+        clients = make_pool(num_clients=8, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with ThreadExecutor(workers=2) as ex:
+            ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+            g = model.get_flat_weights()
+            for r in range(3):  # 24 tasks over 3 rounds, still only 2 replicas
+                ex.train_cohort(r, [TrainRequest(c.client_id) for c in clients], g)
+            assert 1 <= ex.replicas_created <= 2
+
+    def test_lazy_start(self):
+        ex = ThreadExecutor(workers=2)
+        assert not ex._started()
+        ex.close()
+
+
+class TestProcessBackend:
+    def test_clients_pinned_round_robin(self):
+        clients = make_pool(num_clients=5, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with ProcessExecutor(workers=2) as ex:
+            ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+            g = model.get_flat_weights()
+            ex.train_cohort(0, [TrainRequest(c.client_id) for c in clients], g)
+            assert ex.num_workers_started == 2
+            assert [ex.owner_of(cid) for cid in range(5)] == [0, 1, 0, 1, 0]
+
+    def test_worker_count_capped_by_pool_size(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with ProcessExecutor(workers=8) as ex:
+            ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+            ex.train_cohort(
+                0,
+                [TrainRequest(c.client_id) for c in clients],
+                model.get_flat_weights(),
+            )
+            assert ex.num_workers_started == 2
+
+    def test_worker_failure_surfaces_as_executor_error(self):
+        clients = {0: _FailingClient(0)}
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with ProcessExecutor(workers=1) as ex:
+            ex.bind(clients, model, TRAIN)
+            with pytest.raises(ExecutorError, match="boom from worker"):
+                ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
+
+    def test_rng_state_syncs_back_to_parent_pool(self):
+        """A pool trained through a process executor must be reusable by
+        any later executor without replaying shuffle streams: phase 2
+        (serial) must see the streams where phase 1 (process) left them."""
+
+        def two_phase(first_backend):
+            clients = make_pool(num_clients=3, seed=21)
+            pool = {c.client_id: c for c in clients}
+            model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=21)
+            g = model.get_flat_weights()
+            reqs = [TrainRequest(cid) for cid in sorted(pool)]
+            with create_executor(first_backend, workers=2) as ex:
+                ex.bind(pool, model, TRAIN)
+                ups = ex.train_cohort(0, reqs, g)
+            g1 = fedavg(
+                [u.flat_weights for u in ups], [float(u.num_samples) for u in ups]
+            )
+            with create_executor("serial") as ex:
+                ex.bind(pool, model, TRAIN)
+                ups = ex.train_cohort(1, reqs, g1)
+            return fedavg(
+                [u.flat_weights for u in ups], [float(u.num_samples) for u in ups]
+            )
+
+        assert np.array_equal(two_phase("serial"), two_phase("process"))
+
+    def test_closed_executor_refuses_further_work(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        for make in (SerialExecutor, lambda: ThreadExecutor(1), lambda: ProcessExecutor(1)):
+            ex = make()
+            ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+            ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
+            ex.close()
+            with pytest.raises(ExecutorError, match="after close"):
+                ex.train_cohort(1, [TrainRequest(0)], model.get_flat_weights())
+
+    def test_unknown_client_rejected_by_every_backend(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        for make in (SerialExecutor, lambda: ThreadExecutor(1), lambda: ProcessExecutor(1)):
+            with make() as ex:
+                ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+                with pytest.raises(ExecutorError, match="unknown"):
+                    ex.train_cohort(0, [TrainRequest(99)], model.get_flat_weights())
+
+
+class TestFactoryAndConfig:
+    def test_create_executor_names(self):
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("thread", workers=3), ThreadExecutor)
+        assert isinstance(create_executor("process", workers=3), ProcessExecutor)
+        with pytest.raises(ValueError, match="unknown executor"):
+            create_executor("gpu")
+        with pytest.raises(ValueError, match="workers"):
+            create_executor("thread", workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            create_executor("process", workers=-4)
+
+    def test_duplicate_requests_rejected_by_every_backend(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        for make in (SerialExecutor, lambda: ThreadExecutor(1)):
+            with make() as ex:
+                ex.bind({c.client_id: c for c in clients}, model, TRAIN)
+                with pytest.raises(ExecutorError, match="duplicate clients"):
+                    ex.train_cohort(
+                        0,
+                        [TrainRequest(0), TrainRequest(0)],
+                        model.get_flat_weights(),
+                    )
+
+    def test_started_executor_rejects_new_training_config(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        pool = {c.client_id: c for c in clients}
+        with ThreadExecutor(workers=1) as ex:
+            ex.bind(pool, model, TRAIN)
+            ex.bind(pool, model, TRAIN.with_(lr=0.5))  # fine before start
+            ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
+            with pytest.raises(ExecutorError, match="TrainingConfig"):
+                ex.bind(pool, model, TRAIN.with_(lr=0.9))
+
+    def test_resolve_executor_passthrough_and_default(self):
+        ex = ThreadExecutor(workers=2)
+        assert resolve_executor(ex) is ex
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        with pytest.raises(TypeError):
+            resolve_executor(3.14)
+
+    def test_training_config_carries_executor_defaults(self):
+        cfg = TrainingConfig(executor="thread", workers=4)
+        server = make_server(None, None)
+        assert isinstance(server.executor, SerialExecutor)
+        server.close()
+        clients = make_pool(num_clients=3, seed=0)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=0)
+        with FLServer(
+            clients=clients,
+            model=model,
+            selector=RandomSelector(2, rng=0),
+            test_data=make_tiny_dataset(n=20, seed=995),
+            training=cfg,
+            rng=0,
+        ) as server:
+            assert isinstance(server.executor, ThreadExecutor)
+            assert server.executor.workers == 4
+
+    def test_training_config_validates_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            TrainingConfig(executor="quantum")
+        with pytest.raises(ValueError, match="workers"):
+            TrainingConfig(workers=0)
+
+    def test_unbound_executor_raises(self):
+        with pytest.raises(ExecutorError, match="before bind"):
+            SerialExecutor().train_cohort(0, [TrainRequest(0)], np.zeros(1))
+
+    def test_rebind_to_other_pool_raises_even_before_start(self):
+        clients = make_pool(num_clients=2, seed=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        pool = {c.client_id: c for c in clients}
+        other = make_pool(num_clients=1, seed=9)
+        with ThreadExecutor(workers=1) as ex:
+            ex.bind(pool, model, TRAIN)
+            # sharing one executor across federations is rejected even
+            # before any worker has started (it would train wrong data)
+            with pytest.raises(ExecutorError, match="different client pool"):
+                ex.bind({9: other[0]}, build_mlp((4, 4, 1), 3, hidden=(4,), rng=9), TRAIN)
+            ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
+            ex.bind(pool, model, TRAIN)  # same-pool rebind stays idempotent
+            with pytest.raises(ExecutorError, match="different client pool"):
+                ex.bind({9: other[0]}, model, TRAIN)

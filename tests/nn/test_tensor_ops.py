@@ -168,3 +168,68 @@ def test_im2col_col2im_adjoint_property(n, h, c, k, stride):
     lhs = float(np.sum(cols * y))
     rhs = float(np.sum(x * T.col2im(y, x.shape, k, k, stride, 0)))
     np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 2),
+    h=st.integers(4, 7),
+    w=st.integers(4, 7),
+    c=st.integers(1, 2),
+    kh=st.integers(1, 3),
+    kw=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    pad=st.integers(0, 2),
+)
+def test_col2im_adjoint_with_padding_property(n, h, w, c, kh, kw, stride, pad):
+    """<im2col(x), y> == <x, col2im(y)> over rectangular kernels AND padding.
+
+    Extends the pad=0 square-kernel property above to the full parameter
+    space the conv layers actually use.
+    """
+    rng = np.random.default_rng(n * 1000 + h * 100 + kh * 10 + pad)
+    x = rng.standard_normal((n, h, w, c))
+    cols, _ = T.im2col(x, kh, kw, stride, pad)
+    y = rng.standard_normal(cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * T.col2im(y, x.shape, kh, kw, stride, pad)))
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(2, 8),
+    scale=st.floats(0.01, 50.0),
+    seed=st.integers(0, 10_000),
+)
+def test_log_softmax_equals_log_of_softmax_property(rows, cols, scale, seed):
+    """log_softmax == log(softmax) within tolerance across logit scales,
+    and exp(log_softmax) stays a valid distribution."""
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((rows, cols)) * scale
+    ls = T.log_softmax(logits)
+    np.testing.assert_allclose(ls, np.log(T.softmax(logits)), atol=1e-8)
+    np.testing.assert_allclose(np.exp(ls).sum(axis=1), 1.0, atol=1e-10)
+    assert np.all(ls <= 1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_classes=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 20),
+)
+def test_one_hot_round_trip_property(num_classes, seed, n):
+    """argmax inverts one_hot for any in-range labels; each boundary
+    violation (-1 below, num_classes above) is rejected."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    out = T.one_hot(labels, num_classes)
+    np.testing.assert_array_equal(np.argmax(out, axis=1), labels)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0)
+    for bad in (-1, num_classes):
+        corrupted = labels.copy()
+        corrupted[0] = bad
+        with pytest.raises(ValueError, match="out of range"):
+            T.one_hot(corrupted, num_classes)
