@@ -1,0 +1,151 @@
+"""Distributed-executor loopback benchmark: s/round and bytes-on-wire.
+
+Runs identical full-cohort rounds through the in-process backends and
+through the distributed coordinator driving real worker subprocesses on
+127.0.0.1, then reports seconds-per-round, the distributed backend's
+network cost (one-time setup bytes for shipping clients + model, and
+steady-state bytes per round for weight broadcast + updates), and -- the
+non-negotiable -- bit-identity of every backend's final global weights.
+
+Loopback numbers are the *floor* for distributed overhead: real networks
+add propagation delay on top, but serialization cost, protocol chatter
+and bytes-on-wire are exactly what a multi-node deployment will see.
+
+Usage::
+
+    python benchmarks/bench_distributed_loopback.py                # full run
+    python benchmarks/bench_distributed_loopback.py --rounds 2 \\
+        --clients 10 --samples-per-client 60                       # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import TrainingConfig  # noqa: E402
+from repro.execution import TrainRequest, create_executor  # noqa: E402
+from repro.distributed import (  # noqa: E402
+    DistributedExecutor,
+    spawn_local_workers,
+    terminate_workers,
+)
+from repro.fl.aggregator import fedavg  # noqa: E402
+
+sys.path.insert(0, os.path.dirname(__file__))
+from bench_executor_throughput import build_federation  # noqa: E402
+
+
+def bench_backend(backend, workers, clients, model, training, rounds):
+    """Time full-cohort rounds; returns (s/round, weights, wire_stats)."""
+    pool = {c.client_id: c for c in clients}
+    global_weights = model.get_flat_weights()
+    requests = [TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)]
+    procs = []
+    if backend == "distributed":
+        executor = DistributedExecutor(workers=workers)
+        executor.bind(pool, model, training)
+        procs = spawn_local_workers(executor.listen(), workers)
+    else:
+        executor = create_executor(backend, workers=workers)
+        executor.bind(pool, model, training)
+    wire = None
+    try:
+        # Warm-up outside the timer: registration, client shipment,
+        # replica/worker start-up.
+        executor.train_cohort(0, requests[:1], global_weights)
+        setup_bytes = (
+            executor.bytes_sent + executor.bytes_received
+            if backend == "distributed"
+            else 0
+        )
+        start = time.perf_counter()
+        for r in range(rounds):
+            updates = executor.train_cohort(r + 1, requests, global_weights)
+            global_weights = fedavg(
+                [u.flat_weights for u in updates],
+                [float(u.num_samples) for u in updates],
+            )
+        elapsed = time.perf_counter() - start
+        if backend == "distributed":
+            total = executor.bytes_sent + executor.bytes_received
+            wire = {
+                "setup_bytes": setup_bytes,
+                "bytes_per_round": (total - setup_bytes) / rounds,
+            }
+    finally:
+        executor.close()
+        if procs:
+            terminate_workers(procs)
+    return elapsed / rounds, global_weights, wire
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=50)
+    ap.add_argument("--samples-per-client", type=int, default=120)
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--backends", nargs="+", default=["serial", "process", "distributed"],
+        choices=["serial", "thread", "process", "distributed"],
+    )
+    args = ap.parse_args(argv)
+    training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
+
+    print(
+        f"distributed loopback: {args.clients} clients x "
+        f"{args.samples_per_client} samples, {args.rounds} round(s), "
+        f"{args.workers} worker(s)"
+    )
+
+    results = {}
+    for backend in args.backends:
+        # Fresh identically-seeded federation per backend (client RNG
+        # streams advance during training).
+        clients, model = build_federation(
+            args.clients, args.samples_per_client, args.seed
+        )
+        workers = 1 if backend == "serial" else args.workers
+        secs, weights, wire = bench_backend(
+            backend, workers, clients, model, training, args.rounds
+        )
+        results[backend] = (secs, weights, wire)
+
+    identical = True
+    if "serial" in results:
+        ref = results["serial"][1]
+        for backend, (_, weights, _) in results.items():
+            same = np.array_equal(ref, weights)
+            identical &= same
+            if not same:
+                print(f"  WARNING: {backend} weights diverged from serial!")
+
+    base = results.get("serial", next(iter(results.values())))[0]
+    print(f"{'backend':<14} {'s/round':>10} {'vs serial':>10} {'wire/round':>12}")
+    for backend, (secs, _, wire) in results.items():
+        per_round = (
+            f"{wire['bytes_per_round'] / 1e6:.2f} MB" if wire else "-"
+        )
+        print(
+            f"{backend:<14} {secs:>10.3f} {base / secs:>9.2f}x {per_round:>12}"
+        )
+    for backend, (_, _, wire) in results.items():
+        if wire:
+            print(
+                f"{backend} one-time setup (registration + client shipment): "
+                f"{wire['setup_bytes'] / 1e6:.2f} MB"
+            )
+    print(f"bit-identical across backends: {identical}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ The package is layered bottom-up (see DESIGN.md):
 * :mod:`repro.tifl` -- TiFL itself: profiling, tiering, static policies
   (Table 1), adaptive tier selection (Alg. 2), the Eq. 6 estimator,
 * :mod:`repro.experiments` -- scenario builders and runners that
-  regenerate every table and figure of the paper.
+  regenerate every table and figure of the paper,
+* :mod:`repro.distributed` -- multi-node client execution over TCP
+  behind the same executor contract (coordinator + worker agents).
 
 Quickstart::
 
@@ -50,6 +52,19 @@ from repro.tifl import (
 
 __version__ = "1.0.0"
 
+_LAZY_DISTRIBUTED = ("DistributedExecutor", "WorkerAgent")
+
+
+def __getattr__(name: str):
+    # The networking stack loads only when actually asked for, so plain
+    # `import repro` stays cheap for in-process users (the same reason
+    # repro.execution.create_executor imports the backend lazily).
+    if name in _LAZY_DISTRIBUTED:
+        import repro.distributed
+
+        return getattr(repro.distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "TrainingConfig",
     "PAPER_SYNTHETIC_TRAINING",
@@ -58,6 +73,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "WorkerAgent",
     "create_executor",
     "fedavg",
     "FLServer",

@@ -6,6 +6,7 @@ Commands
 ``compare``  train several policies on identical federations
 ``estimate`` profile a scenario and print Eq. 6 predictions per policy
 ``privacy``  print the Sec. 4.6 amplification table for a pool/cohort
+``worker``   join a distributed coordinator as a training agent
 
 Examples::
 
@@ -13,6 +14,13 @@ Examples::
     python -m repro.cli compare --policies vanilla uniform fast --rounds 80
     python -m repro.cli estimate --dataset mnist --rounds 500
     python -m repro.cli privacy --pool 50 --cohort 5 --eps 0.5
+
+Multi-node training (see :mod:`repro.distributed`): start the
+coordinator, then one worker agent per node::
+
+    python -m repro.cli run --executor distributed --workers 2 \\
+        --connect 0.0.0.0:7777 --rounds 60          # coordinator
+    python -m repro.cli worker --connect coord-host:7777   # each worker
 """
 
 from __future__ import annotations
@@ -65,12 +73,43 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--test-size", type=int, default=400)
     p.add_argument("--model", default="linear")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    """Client-execution flags -- only for commands that actually train.
+
+    The ``estimate`` subcommand deliberately does not register these: it
+    profiles latencies without running a single training pass, so an
+    ``--executor`` there would be accepted and silently ignored.
+    """
     p.add_argument("--executor", default="serial",
                    choices=list(EXECUTOR_BACKENDS),
                    help="client-training backend (all are bit-identical; "
-                        "thread/process add concurrency)")
+                        "thread/process add concurrency, distributed spans "
+                        "machines)")
     p.add_argument("--workers", type=_positive_int, default=1,
-                   help="worker count for the thread/process executor")
+                   help="worker count for the thread/process executor, or "
+                        "how many agents must join a distributed run")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="distributed executor endpoint: the coordinator "
+                        "listens here and workers connect to it")
+
+
+def _make_executor(args: argparse.Namespace):
+    """Backend name to pass through, or a listening coordinator instance."""
+    if args.executor != "distributed":
+        return args.executor
+    from repro.distributed import DistributedExecutor
+
+    executor = DistributedExecutor(workers=args.workers, endpoint=args.connect)
+    endpoint = executor.listen()
+    print(
+        f"[distributed] coordinator listening on {endpoint}; waiting for "
+        f"{args.workers} worker(s) -- start each with: "
+        f"python -m repro.cli worker --connect {endpoint}",
+        file=sys.stderr,
+    )
+    return executor
 
 
 def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
@@ -91,7 +130,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     cfg = _scenario_config(args)
     result = run_policy(
         cfg, args.policy, rounds=args.rounds, seed=args.seed,
-        executor=args.executor, workers=args.workers,
+        executor=_make_executor(args), workers=args.workers,
     )
     print(result.history.summary())
     if result.tier_latencies is not None:
@@ -103,6 +142,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.executor == "distributed":
+        # Each policy trains a fresh federation and an executor binds one
+        # federation for life (its workers hold that pool's data), so one
+        # coordinator cannot serve a comparison sweep.
+        print(
+            "error: `compare` trains several independent federations; the "
+            "distributed executor serves exactly one. Use `run` per policy.",
+            file=sys.stderr,
+        )
+        return 2
     cfg = _scenario_config(args)
     results = run_policies(
         cfg, args.policies, rounds=args.rounds, seed=args.seed,
@@ -167,6 +216,20 @@ def cmd_privacy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import WorkerAgent, parse_endpoint
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    agent = WorkerAgent(
+        host, port, capacity=args.capacity, connect_timeout=args.connect_timeout
+    )
+    return agent.run()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="TiFL reproduction command line"
@@ -175,12 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="train one policy")
     _add_scenario_args(p_run)
+    _add_executor_args(p_run)
     p_run.add_argument("--policy", default="adaptive")
     p_run.add_argument("--rounds", type=int, default=60)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="train several policies")
     _add_scenario_args(p_cmp)
+    _add_executor_args(p_cmp)
     p_cmp.add_argument("--policies", nargs="+",
                        default=["vanilla", "uniform", "adaptive"])
     p_cmp.add_argument("--rounds", type=int, default=60)
@@ -201,6 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_priv.add_argument("--eps", type=float, default=0.5)
     p_priv.add_argument("--delta", type=float, default=1e-5)
     p_priv.set_defaults(func=cmd_privacy)
+
+    p_wrk = sub.add_parser(
+        "worker", help="join a distributed coordinator as a training agent"
+    )
+    p_wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="coordinator endpoint to connect to")
+    p_wrk.add_argument("--capacity", type=_positive_int, default=1,
+                       help="relative share of clients to pin to this worker")
+    p_wrk.add_argument("--connect-timeout", type=float, default=30.0,
+                       help="seconds to keep retrying the initial connect")
+    p_wrk.set_defaults(func=cmd_worker)
     return parser
 
 

@@ -10,11 +10,36 @@ SGD with lr 0.004.  The learning-rate decay is applied *per global round*
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.nn.optimizers import SGD, Optimizer, RMSprop
 
-__all__ = ["TrainingConfig", "PAPER_SYNTHETIC_TRAINING", "PAPER_FEMNIST_TRAINING"]
+__all__ = [
+    "TrainingConfig",
+    "PAPER_SYNTHETIC_TRAINING",
+    "PAPER_FEMNIST_TRAINING",
+    "parse_endpoint",
+]
+
+
+def parse_endpoint(endpoint: str) -> "tuple[str, int]":
+    """Split a ``"host:port"`` string; raises ``ValueError`` when malformed.
+
+    The single source of truth for endpoint syntax -- used both by
+    :class:`TrainingConfig` validation and by :mod:`repro.distributed`
+    (which re-exports it), so the two can never drift apart.  Lives here
+    rather than in the distributed package because config must not import
+    the networking stack.
+    """
+    host, sep, port_s = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint must look like 'host:port', got {endpoint!r}")
+    if not port_s.isdigit():
+        raise ValueError(f"endpoint port must be an integer, got {port_s!r}")
+    port = int(port_s)
+    if port > 65535:
+        raise ValueError(f"endpoint port out of range: {port}")
+    return host, port
 
 
 @dataclass(frozen=True)
@@ -36,8 +61,14 @@ class TrainingConfig:
         (plain FedAvg).
     executor / workers:
         Default client-execution backend (``"serial" | "thread" |
-        "process"``, see :mod:`repro.execution`) and its worker count.
-        Servers use these unless an explicit executor is passed to them.
+        "process" | "distributed"``, see :mod:`repro.execution`) and its
+        worker count.  Servers use these unless an explicit executor is
+        passed to them.
+    endpoint:
+        ``host:port`` the ``distributed`` coordinator listens on (worker
+        agents connect to it); ignored by the in-process backends.
+        ``None`` lets the coordinator default to a loopback ephemeral
+        port.
     """
 
     optimizer: str = "rmsprop"
@@ -49,19 +80,22 @@ class TrainingConfig:
     prox_mu: float = 0.0
     executor: str = "serial"
     workers: int = 1
+    endpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("rmsprop", "sgd"):
             raise ValueError(
                 f"optimizer must be 'rmsprop' or 'sgd', got {self.optimizer!r}"
             )
-        if self.executor not in ("serial", "thread", "process"):
+        if self.executor not in ("serial", "thread", "process", "distributed"):
             raise ValueError(
-                "executor must be 'serial', 'thread' or 'process', "
-                f"got {self.executor!r}"
+                "executor must be 'serial', 'thread', 'process' or "
+                f"'distributed', got {self.executor!r}"
             )
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.endpoint is not None:
+            parse_endpoint(self.endpoint)
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
         if not 0.0 < self.lr_decay <= 1.0:

@@ -1,0 +1,605 @@
+"""The coordinator side: a :class:`ClientExecutor` over TCP workers.
+
+:class:`DistributedExecutor` satisfies the PR 1 execution contract
+(:mod:`repro.execution.base`) with worker *processes on other machines*:
+
+* **Registration.**  :meth:`listen` binds the endpoint; the executor
+  then waits (lazily, on the first cohort) until ``workers`` agents have
+  completed the versioned handshake.  Each worker advertises a
+  ``capacity`` used as its weight when clients are pinned.
+* **Pinning.**  The sorted client-id list is dealt round-robin over a
+  capacity-weighted worker cycle -- the same scheme as
+  :class:`repro.execution.process.ProcessExecutor`, so every client's
+  training RNG stream advances in exactly one address space.
+* **Rounds.**  The global flat weight vector is broadcast once per
+  participating worker per round (raw float64, bit-exact); jobs are
+  dispatched per worker; updates stream back in completion order and are
+  reordered into request order before the server sees them.  Every
+  update carries the client's advanced RNG state, which is applied to
+  the coordinator's authoritative client pool immediately.
+* **Worker loss.**  A dead worker (EOF, send failure, or heartbeat
+  silence) has its pinned clients re-dealt over the survivors and
+  re-shipped *with their current RNG state*; its unfinished jobs for the
+  in-flight round are re-dispatched.  Because a client's state only
+  advances when its UPDATE has been merged, replayed work is bit-identical
+  to the serial schedule -- the worker-kill equivalence test in
+  ``tests/distributed`` enforces this.
+* **Liveness.**  The coordinator PINGs quiet workers while waiting;
+  workers answer PONG from a dedicated thread even mid-training, so
+  only a truly hung or killed process trips the heartbeat limit.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import socket
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.distributed import protocol as proto
+from repro.distributed.transport import Connection, ConnectionClosed, FrameError
+from repro.execution.base import (
+    ClientExecutor,
+    ExecutorError,
+    TrainRequest,
+    order_updates,
+)
+from repro.simcluster.client import ClientUpdate
+
+__all__ = ["DistributedExecutor"]
+
+_Job = Tuple[int, int]  # (client_id, epochs)
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one registered worker."""
+
+    def __init__(self, worker_id: int, conn: Connection, capacity: int, pid: int) -> None:
+        self.id = worker_id
+        self.conn = conn
+        self.capacity = capacity
+        self.pid = pid
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.reader: Optional[threading.Thread] = None
+
+
+class DistributedExecutor(ClientExecutor):
+    """Train cohorts across worker agents connected over TCP.
+
+    Parameters
+    ----------
+    workers:
+        How many worker agents must register before the first cohort runs.
+    endpoint:
+        ``"host:port"`` to listen on; port ``0`` picks an ephemeral port
+        (read the bound address back from :attr:`endpoint` after
+        :meth:`listen`).
+    accept_timeout:
+        Seconds to wait for all workers to register.
+    result_timeout:
+        Per-cohort ceiling on waiting for updates.
+    heartbeat_interval / heartbeat_misses:
+        A worker silent for ``interval`` seconds is PINGed; silent for
+        ``interval * misses`` seconds it is declared dead and its clients
+        are reassigned.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        endpoint: Optional[str] = None,
+        accept_timeout: float = 60.0,
+        result_timeout: float = 600.0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 5,
+    ) -> None:
+        super().__init__()
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if accept_timeout <= 0 or result_timeout <= 0:
+            raise ValueError("accept_timeout and result_timeout must be positive")
+        if heartbeat_interval <= 0 or heartbeat_misses < 1:
+            raise ValueError("heartbeat_interval/misses must be positive")
+        self.workers = int(workers)
+        self._requested_endpoint = endpoint or "127.0.0.1:0"
+        proto.parse_endpoint(self._requested_endpoint)  # validate early
+        self.accept_timeout = float(accept_timeout)
+        self.result_timeout = float(result_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_misses = int(heartbeat_misses)
+
+        self._listener: Optional[socket.socket] = None
+        self._bound_endpoint: Optional[str] = None
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._owner: Dict[int, int] = {}  # client_id -> worker_id
+        self._events: "queue_mod.Queue[Tuple[int, Optional[int], Optional[bytes]]]" = (
+            queue_mod.Queue()
+        )
+        self._seq = 0
+        self._assigned = False
+        self._signature: Optional[str] = None
+        self._closed_bytes_sent = 0
+        self._closed_bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def listen(self) -> str:
+        """Bind and listen on the endpoint; returns the bound ``host:port``.
+
+        Idempotent.  Call this *before* launching workers when using an
+        ephemeral port (``:0``) so they have a real address to connect to.
+        """
+        if self._closed:
+            raise ExecutorError("distributed executor used after close()")
+        if self._listener is None:
+            host, port = proto.parse_endpoint(self._requested_endpoint)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen(max(self.workers, 8))
+            self._listener = sock
+            bound_host, bound_port = sock.getsockname()[:2]
+            self._bound_endpoint = f"{bound_host}:{bound_port}"
+        return self._bound_endpoint  # type: ignore[return-value]
+
+    @property
+    def endpoint(self) -> Optional[str]:
+        """The bound ``host:port`` (``None`` before :meth:`listen`)."""
+        return self._bound_endpoint
+
+    def _started(self) -> bool:
+        return self._assigned
+
+    @property
+    def num_workers_started(self) -> int:
+        return sum(1 for h in self._handles.values() if h.alive)
+
+    def owner_of(self, client_id: int) -> int:
+        """Worker id a client is currently pinned to."""
+        if not self._assigned:
+            raise ExecutorError("executor not started yet")
+        return self._owner[client_id]
+
+    def worker_pid(self, worker_id: int) -> int:
+        """OS pid the worker advertised at registration (for tooling/tests)."""
+        return self._handles[worker_id].pid
+
+    # ------------------------------------------------------------------
+    # byte accounting (reported by the loopback benchmark)
+    # ------------------------------------------------------------------
+    @property
+    def bytes_sent(self) -> int:
+        return self._closed_bytes_sent + sum(
+            h.conn.bytes_sent for h in self._handles.values() if h.alive
+        )
+
+    @property
+    def bytes_received(self) -> int:
+        return self._closed_bytes_received + sum(
+            h.conn.bytes_received for h in self._handles.values() if h.alive
+        )
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _handshake(self, conn: Connection) -> Optional[Tuple[int, int]]:
+        """Run the coordinator side of the handshake on a new connection.
+
+        Returns ``(capacity, pid)`` on success; on any mismatch sends
+        ``REJECT``, closes the connection and returns ``None``.
+        """
+        try:
+            msg_type, payload = conn.recv(timeout=10.0)
+            if msg_type != proto.MsgType.HELLO:
+                conn.send(
+                    proto.MsgType.REJECT,
+                    proto.encode_reject(f"expected HELLO, got type {msg_type}"),
+                )
+                conn.close()
+                return None
+            hello = proto.decode_hello(payload)
+        except (proto.ProtocolError, ConnectionClosed, OSError, socket.timeout) as exc:
+            try:
+                conn.send(proto.MsgType.REJECT, proto.encode_reject(str(exc)))
+            except OSError:
+                pass
+            conn.close()
+            return None
+        if hello["version"] != proto.PROTOCOL_VERSION:
+            try:
+                conn.send(
+                    proto.MsgType.REJECT,
+                    proto.encode_reject(
+                        f"protocol version mismatch: coordinator speaks "
+                        f"{proto.PROTOCOL_VERSION}, worker speaks {hello['version']}"
+                    ),
+                )
+            except OSError:
+                pass
+            conn.close()
+            return None
+        return hello["capacity"], hello["pid"]
+
+    def _accept_workers(self) -> None:
+        """Block until ``self.workers`` agents have registered."""
+        assert self._listener is not None
+        deadline = time.monotonic() + self.accept_timeout
+        while len(self._handles) < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ExecutorError(
+                    f"only {len(self._handles)}/{self.workers} workers "
+                    f"registered within {self.accept_timeout:.0f}s"
+                )
+            self._listener.settimeout(min(remaining, 1.0))
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            conn = Connection(sock)
+            result = self._handshake(conn)
+            if result is None:
+                continue
+            capacity, pid = result
+            wid = len(self._handles)
+            try:
+                conn.send(
+                    proto.MsgType.WELCOME,
+                    proto.encode_welcome(
+                        proto.PROTOCOL_VERSION, wid, self._signature,
+                        self._model.num_params(),
+                    ),
+                )
+            except OSError:
+                # Peer vanished between HELLO and WELCOME: skip it and
+                # keep accepting -- one flaky connection must not abort
+                # the whole registration window.
+                conn.close()
+                continue
+            self._handles[wid] = _WorkerHandle(wid, conn, capacity, pid)
+
+    def _worker_cycle(self, worker_ids: Sequence[int]) -> List[int]:
+        """Capacity-weighted deal cycle (a capacity-2 worker appears twice)."""
+        cycle: List[int] = []
+        for wid in worker_ids:
+            cycle.extend([wid] * self._handles[wid].capacity)
+        return cycle
+
+    def _ensure_started(self) -> None:
+        if self._assigned:
+            return
+        clients = self._require_bound()
+        self._signature = proto.model_signature(self._model)
+        self.listen()
+        self._accept_workers()
+
+        cycle = self._worker_cycle(sorted(self._handles))
+        ids = sorted(clients)
+        self._owner = {cid: cycle[i % len(cycle)] for i, cid in enumerate(ids)}
+        for wid, handle in sorted(self._handles.items()):
+            owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
+            handle.conn.send(
+                proto.MsgType.ASSIGN,
+                proto.encode_assign(
+                    owned, self._training, self._signature, model=self._model
+                ),
+            )
+            handle.reader = threading.Thread(
+                target=self._reader, args=(handle,), daemon=True,
+                name=f"repro-dist-reader-{wid}",
+            )
+            handle.reader.start()
+        self._assigned = True
+
+    def _reader(self, handle: _WorkerHandle) -> None:
+        """Per-worker receive loop feeding the central event queue."""
+        while True:
+            try:
+                msg_type, payload = handle.conn.recv()
+            except (ConnectionClosed, OSError, FrameError):
+                # A corrupt stream (FrameError) is as dead as a closed one:
+                # report the loss so the round reassigns, never hang.
+                self._events.put((handle.id, None, None))
+                return
+            handle.last_seen = time.monotonic()
+            if msg_type == proto.MsgType.PONG:
+                continue
+            self._events.put((handle.id, msg_type, payload))
+            if msg_type == proto.MsgType.BYE:
+                return
+
+    # ------------------------------------------------------------------
+    # worker-loss handling
+    # ------------------------------------------------------------------
+    def _live_ids(self) -> List[int]:
+        return sorted(wid for wid, h in self._handles.items() if h.alive)
+
+    def _retire(self, wid: int) -> None:
+        handle = self._handles[wid]
+        if not handle.alive:
+            return
+        handle.alive = False
+        self._closed_bytes_sent += handle.conn.bytes_sent
+        self._closed_bytes_received += handle.conn.bytes_received
+        handle.conn.close()
+
+    def _handle_worker_death(
+        self,
+        wid: int,
+        seq: int,
+        round_idx: int,
+        pending: Dict[int, List[_Job]],
+        broadcasted: Set[int],
+        weights_blob: bytes,
+        reason: str,
+    ) -> None:
+        """Reassign a dead worker's clients and re-dispatch its jobs.
+
+        The coordinator pool's RNG states are authoritative (synced on
+        every merged UPDATE), so re-shipping a client replays exactly the
+        stream position the serial schedule would be at.
+        """
+        if not self._handles.get(wid) or not self._handles[wid].alive:
+            pending.pop(wid, None)
+            return
+        self._retire(wid)
+        survivors = self._live_ids()
+        if not survivors:
+            raise ExecutorError(
+                f"all distributed workers are gone (last failure: worker "
+                f"{wid}: {reason})"
+            )
+
+        orphans = sorted(cid for cid, owner in self._owner.items() if owner == wid)
+        cycle = self._worker_cycle(survivors)
+        for i, cid in enumerate(orphans):
+            self._owner[cid] = cycle[i % len(cycle)]
+
+        # Re-ship every orphaned client (future rounds need the pinning);
+        # model shells already live on the survivors.
+        by_target: Dict[int, Dict[int, object]] = {}
+        for cid in orphans:
+            by_target.setdefault(self._owner[cid], {})[cid] = self._clients[cid]
+        outstanding = pending.pop(wid, [])
+        jobs_by_target: Dict[int, List[_Job]] = {}
+        for cid, epochs in outstanding:
+            jobs_by_target.setdefault(self._owner[cid], []).append((cid, epochs))
+
+        for target in sorted(set(by_target) | set(jobs_by_target)):
+            try:
+                handle = self._handles[target]
+                if target in by_target:
+                    handle.conn.send(
+                        proto.MsgType.ASSIGN,
+                        proto.encode_assign(
+                            by_target[target], self._training, self._signature
+                        ),
+                    )
+                jobs = jobs_by_target.get(target)
+                if jobs:
+                    if target not in broadcasted:
+                        handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                        broadcasted.add(target)
+                    handle.conn.send(
+                        proto.MsgType.TRAIN, proto.encode_train(seq, round_idx, jobs)
+                    )
+                    pending.setdefault(target, []).extend(jobs)
+            except OSError as exc:
+                # The replacement died too -- recurse onto the next survivor.
+                self._handle_worker_death(
+                    target, seq, round_idx, pending, broadcasted, weights_blob,
+                    f"send failed during reassignment: {exc}",
+                )
+
+    def _check_heartbeats(self, pending: Dict[int, List[_Job]]) -> List[Tuple[int, str]]:
+        """PING quiet busy workers; return those past the miss limit."""
+        now = time.monotonic()
+        dead: List[Tuple[int, str]] = []
+        for wid in list(pending):
+            handle = self._handles[wid]
+            if not handle.alive:
+                continue
+            silent = now - handle.last_seen
+            if silent > self.heartbeat_interval * self.heartbeat_misses:
+                dead.append(
+                    (wid, f"no heartbeat for {silent:.1f}s (process hung?)")
+                )
+            elif silent > self.heartbeat_interval:
+                try:
+                    handle.conn.send(proto.MsgType.PING)
+                except OSError as exc:
+                    dead.append((wid, f"ping failed: {exc}"))
+        return dead
+
+    # ------------------------------------------------------------------
+    # the round
+    # ------------------------------------------------------------------
+    def _on_update_received(self, worker_id: int, client_id: int) -> None:
+        """Test hook: called after each merged update (no-op)."""
+
+    def train_cohort(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]] = None,
+    ) -> List[ClientUpdate]:
+        self._check_requests(requests)
+        if not requests:
+            return []
+        self._ensure_started()
+        self._seq += 1
+        seq = self._seq
+        weights_blob = proto.encode_broadcast(seq, np.asarray(global_weights))
+
+        pending: Dict[int, List[_Job]] = {}
+        for req in requests:
+            pending.setdefault(self._owner[req.client_id], []).append(
+                (req.client_id, req.epochs)
+            )
+        broadcasted: Set[int] = set()
+        # Dispatch from a snapshot: a death during this loop reassigns the
+        # dead worker's jobs into `pending` (and dispatches them), so
+        # sending `pending[wid]` here would dispatch the reassigned jobs a
+        # second time -- the duplicate UPDATE would be discarded, but the
+        # survivor's local RNG streams would advance twice and every later
+        # round would silently diverge from the serial schedule.
+        initial_jobs = {wid: list(jobs) for wid, jobs in pending.items()}
+        for wid in sorted(initial_jobs):
+            handle = self._handles[wid]
+            if not handle.alive:
+                # Retired by an earlier iteration's death handling; its
+                # whole pending list (these jobs included) was already
+                # reassigned and dispatched.
+                continue
+            try:
+                if wid not in broadcasted:
+                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                    broadcasted.add(wid)
+                handle.conn.send(
+                    proto.MsgType.TRAIN,
+                    proto.encode_train(seq, round_idx, initial_jobs[wid]),
+                )
+            except OSError as exc:
+                self._handle_worker_death(
+                    wid, seq, round_idx, pending, broadcasted, weights_blob,
+                    f"send failed: {exc}",
+                )
+
+        updates: List[ClientUpdate] = []
+        failures: List[str] = []
+        done: Set[int] = set()
+        deadline = time.monotonic() + self.result_timeout
+
+        def _outstanding() -> int:
+            return sum(len(jobs) for jobs in pending.values())
+
+        while _outstanding() > 0:
+            if time.monotonic() > deadline:
+                raise ExecutorError(
+                    f"timed out after {self.result_timeout:.0f}s waiting for "
+                    f"{_outstanding()} client update(s)"
+                )
+            try:
+                wid, msg_type, payload = self._events.get(
+                    timeout=self.heartbeat_interval
+                )
+            except queue_mod.Empty:
+                for dead_wid, reason in self._check_heartbeats(pending):
+                    self._handle_worker_death(
+                        dead_wid, seq, round_idx, pending, broadcasted,
+                        weights_blob, reason,
+                    )
+                continue
+
+            if msg_type is None or msg_type == proto.MsgType.BYE:
+                self._handle_worker_death(
+                    wid, seq, round_idx, pending, broadcasted, weights_blob,
+                    "connection lost",
+                )
+                continue
+            if msg_type == proto.MsgType.REJECT:
+                reason = proto.decode_reject(payload)
+                self._handle_worker_death(
+                    wid, seq, round_idx, pending, broadcasted, weights_blob,
+                    f"worker refused to continue: {reason}",
+                )
+                continue
+            if msg_type == proto.MsgType.UPDATE:
+                msg_seq, cid, n_samples, rng_state, w = proto.decode_update(payload)
+                if msg_seq != seq:
+                    # Stale result from an abandoned cohort (see the
+                    # equivalent note in ProcessExecutor.train_cohort).
+                    continue
+                # Clear the job from *every* worker's pending list: a dead
+                # worker's in-flight update can land after its job was
+                # already reassigned, and the replica's copy must not keep
+                # the round open.
+                for owner_wid in pending:
+                    pending[owner_wid] = [
+                        j for j in pending[owner_wid] if j[0] != cid
+                    ]
+                if cid in done:
+                    # Duplicate from a reassignment race: both the dead
+                    # worker and its replacement trained the same pinned
+                    # RNG state, so the copies are bit-identical -- merge
+                    # only the first.
+                    continue
+                done.add(cid)
+                if rng_state is not None:
+                    rng = getattr(self._clients[cid], "_train_rng", None)
+                    if rng is not None:
+                        rng.bit_generator.state = rng_state
+                updates.append(self._stamp(cid, w, n_samples, latencies))
+                self._on_update_received(wid, cid)
+                continue
+            if msg_type == proto.MsgType.TRAINFAIL:
+                msg_seq, cid, tb = proto.decode_trainfail(payload)
+                if msg_seq != seq:
+                    continue
+                for owner_wid in pending:
+                    pending[owner_wid] = [
+                        j for j in pending[owner_wid] if j[0] != cid
+                    ]
+                if cid in done:
+                    continue
+                done.add(cid)
+                failures.append(f"client {cid} (worker {wid}):\n{tb}")
+                continue
+            # Unknown frame from a registered worker: protocol violation.
+            self._handle_worker_death(
+                wid, seq, round_idx, pending, broadcasted, weights_blob,
+                f"unexpected message type {msg_type}",
+            )
+
+        if failures:
+            raise ExecutorError(
+                "client training failed on worker agent(s):\n" + "\n".join(failures)
+            )
+        return order_updates(updates, requests)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        live = [h for h in self._handles.values() if h.alive]
+        for handle in live:
+            try:
+                handle.conn.send(proto.MsgType.SHUTDOWN)
+            except OSError:
+                pass
+        # Give workers a moment to BYE so their exit is clean, then drop.
+        deadline = time.monotonic() + 5.0
+        waiting = {h.id for h in live}
+        while waiting and time.monotonic() < deadline:
+            try:
+                wid, msg_type, _ = self._events.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if msg_type is None or msg_type == proto.MsgType.BYE:
+                waiting.discard(wid)
+        for handle in live:
+            self._retire(handle.id)
+        for handle in self._handles.values():
+            if handle.reader is not None:
+                handle.reader.join(timeout=2.0)
+        self._handles = {}
+        self._owner = {}
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            if not self._closed and (self._handles or self._listener):
+                self.close()
+        except Exception:
+            pass

@@ -1,0 +1,324 @@
+"""Message types and codecs of the coordinator/worker wire protocol.
+
+One protocol message = one frame (:mod:`repro.distributed.transport`).
+The conversation:
+
+.. code-block:: text
+
+    worker                        coordinator
+      | -- HELLO {version, capacity, pid} -->|   handshake
+      |<-- WELCOME {version, worker_id,      |
+      |            model_signature,          |
+      |            num_params} --------------|   (or REJECT {reason})
+      |<-- ASSIGN {clients, model, training, |   pinning: the worker now
+      |           signature} ----------------|   owns these clients
+      |                                      |
+      |<-- BROADCAST {seq, weights} ---------|   per round, weights reuse
+      |<-- TRAIN {seq, round, jobs} ---------|   repro.serialization
+      | -- UPDATE {seq, cid, n, rng, w} ---->|   one per client, carries
+      | -- TRAINFAIL {seq, cid, tb} -------->|   the advanced RNG state
+      |                                      |
+      |<-- PING -----------------------------|   liveness (answered by a
+      | -- PONG ---------------------------->|   dedicated worker thread)
+      |<-- SHUTDOWN -------------------------|   clean teardown
+      | -- BYE ----------------------------->|
+
+Versioning and safety checks:
+
+* ``HELLO.version`` must equal :data:`PROTOCOL_VERSION` or the
+  coordinator answers ``REJECT`` and drops the connection -- a worker
+  from a different release can never silently join.
+* ``WELCOME.model_signature`` commits the coordinator to one
+  architecture; the worker recomputes the signature of the model it
+  receives in ``ASSIGN`` and refuses to train on a mismatch.
+
+Control messages are JSON (small, debuggable); client shipping uses
+pickle (the payload *is* Python objects: datasets, RNG streams); weight
+vectors travel as raw little-endian float64 via
+:func:`repro.serialization.flat_weights_to_bytes` -- bit-exact, no
+pickle overhead on the per-round hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import struct
+from enum import IntEnum
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# parse_endpoint is canonically defined next to TrainingConfig (which
+# validates its endpoint field with it) and re-exported here.
+from repro.config import TrainingConfig, parse_endpoint
+from repro.nn.model import Sequential
+from repro.serialization import flat_weights_from_bytes, flat_weights_to_bytes
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MsgType",
+    "ProtocolError",
+    "model_signature",
+    "parse_endpoint",
+    "encode_hello",
+    "decode_hello",
+    "encode_welcome",
+    "decode_welcome",
+    "encode_reject",
+    "decode_reject",
+    "encode_assign",
+    "decode_assign",
+    "encode_broadcast",
+    "decode_broadcast",
+    "encode_train",
+    "decode_train",
+    "encode_update",
+    "decode_update",
+    "encode_trainfail",
+    "decode_trainfail",
+]
+
+#: Bump on any wire-incompatible change; checked in the handshake.
+PROTOCOL_VERSION = 1
+
+
+class MsgType(IntEnum):
+    """Frame type byte of every protocol message."""
+
+    HELLO = 1
+    WELCOME = 2
+    REJECT = 3
+    ASSIGN = 4
+    BROADCAST = 5
+    TRAIN = 6
+    UPDATE = 7
+    TRAINFAIL = 8
+    PING = 9
+    PONG = 10
+    SHUTDOWN = 11
+    BYE = 12
+
+
+class ProtocolError(RuntimeError):
+    """A peer sent something the protocol does not allow."""
+
+
+# ----------------------------------------------------------------------
+# endpoint + signature helpers
+# ----------------------------------------------------------------------
+def model_signature(model: Sequential) -> str:
+    """Architecture fingerprint checked across the coordinator/worker pair.
+
+    Covers input shape, the ordered layer classes, every parameter
+    tensor's name and shape, and the total parameter count -- everything
+    that determines whether a flat weight vector from one process means
+    the same thing in another.  Weight *values* are deliberately
+    excluded: they change every round.
+    """
+    desc = {
+        "input_shape": list(model.input_shape),
+        "layers": [
+            [
+                type(layer).__name__,
+                {name: list(layer.params[name].shape) for name in sorted(layer.params)},
+            ]
+            for layer in model.layers
+        ],
+        "num_params": model.num_params(),
+    }
+    blob = json.dumps(desc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# JSON control messages
+# ----------------------------------------------------------------------
+def _decode_json(payload: bytes, required: Sequence[str], what: str) -> Dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed {what} payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"{what} payload must be a JSON object")
+    missing = [k for k in required if k not in obj]
+    if missing:
+        raise ProtocolError(f"{what} payload missing keys {missing}")
+    return obj
+
+
+def encode_hello(version: int, capacity: int, pid: int) -> bytes:
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    return json.dumps(
+        {"version": int(version), "capacity": int(capacity), "pid": int(pid)}
+    ).encode("utf-8")
+
+
+def decode_hello(payload: bytes) -> Dict[str, int]:
+    obj = _decode_json(payload, ("version", "capacity", "pid"), "HELLO")
+    out = {k: int(obj[k]) for k in ("version", "capacity", "pid")}
+    if out["capacity"] < 1:
+        raise ProtocolError(f"HELLO capacity must be >= 1, got {out['capacity']}")
+    return out
+
+
+def encode_welcome(
+    version: int, worker_id: int, model_sig: str, num_params: int
+) -> bytes:
+    return json.dumps(
+        {
+            "version": int(version),
+            "worker_id": int(worker_id),
+            "model_signature": str(model_sig),
+            "num_params": int(num_params),
+        }
+    ).encode("utf-8")
+
+
+def decode_welcome(payload: bytes) -> Dict[str, Any]:
+    obj = _decode_json(
+        payload, ("version", "worker_id", "model_signature", "num_params"), "WELCOME"
+    )
+    return {
+        "version": int(obj["version"]),
+        "worker_id": int(obj["worker_id"]),
+        "model_signature": str(obj["model_signature"]),
+        "num_params": int(obj["num_params"]),
+    }
+
+
+def encode_reject(reason: str) -> bytes:
+    return json.dumps({"reason": str(reason)}).encode("utf-8")
+
+
+def decode_reject(payload: bytes) -> str:
+    return str(_decode_json(payload, ("reason",), "REJECT")["reason"])
+
+
+def encode_train(seq: int, round_idx: int, jobs: Sequence[Tuple[int, int]]) -> bytes:
+    return json.dumps(
+        {
+            "seq": int(seq),
+            "round_idx": int(round_idx),
+            "jobs": [[int(cid), int(epochs)] for cid, epochs in jobs],
+        }
+    ).encode("utf-8")
+
+
+def decode_train(payload: bytes) -> Tuple[int, int, List[Tuple[int, int]]]:
+    obj = _decode_json(payload, ("seq", "round_idx", "jobs"), "TRAIN")
+    jobs = [(int(cid), int(epochs)) for cid, epochs in obj["jobs"]]
+    return int(obj["seq"]), int(obj["round_idx"]), jobs
+
+
+def encode_trainfail(seq: int, client_id: int, tb: str) -> bytes:
+    return json.dumps(
+        {"seq": int(seq), "client_id": int(client_id), "traceback": str(tb)}
+    ).encode("utf-8")
+
+
+def decode_trainfail(payload: bytes) -> Tuple[int, int, str]:
+    obj = _decode_json(payload, ("seq", "client_id", "traceback"), "TRAINFAIL")
+    return int(obj["seq"]), int(obj["client_id"]), str(obj["traceback"])
+
+
+# ----------------------------------------------------------------------
+# ASSIGN: pickled client shipment
+# ----------------------------------------------------------------------
+def encode_assign(
+    clients: Dict[int, Any],
+    training: TrainingConfig,
+    signature: str,
+    model: Optional[Sequential] = None,
+) -> bytes:
+    """Ship pinned clients (and, on first assignment, the model shell).
+
+    The pickled client objects carry their private datasets *and* the
+    current state of their RNG streams -- which is exactly what makes
+    mid-round reassignment after a worker loss bit-identical: the
+    coordinator's pool is kept in sync by every UPDATE, so a reshipped
+    client resumes precisely where the serial schedule says it should.
+    """
+    return pickle.dumps(
+        {
+            "clients": dict(clients),
+            "training": training,
+            "signature": str(signature),
+            "model": model,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_assign(payload: bytes) -> Dict[str, Any]:
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"malformed ASSIGN payload: {exc}") from exc
+    if not isinstance(obj, dict) or not {
+        "clients",
+        "training",
+        "signature",
+        "model",
+    } <= set(obj):
+        raise ProtocolError("ASSIGN payload missing required keys")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# BROADCAST / UPDATE: the binary hot path
+# ----------------------------------------------------------------------
+_BROADCAST_HEADER = struct.Struct("!IQ")  # (seq, num_params)
+_UPDATE_HEADER = struct.Struct("!IIQI")  # (seq, client_id, num_samples, rng_len)
+
+
+def encode_broadcast(seq: int, flat_weights: np.ndarray) -> bytes:
+    blob = flat_weights_to_bytes(flat_weights)
+    return _BROADCAST_HEADER.pack(int(seq), len(blob) // 8) + blob
+
+
+def decode_broadcast(payload: bytes) -> Tuple[int, np.ndarray]:
+    if len(payload) < _BROADCAST_HEADER.size:
+        raise ProtocolError("truncated BROADCAST payload")
+    seq, count = _BROADCAST_HEADER.unpack_from(payload)
+    try:
+        weights = flat_weights_from_bytes(
+            payload[_BROADCAST_HEADER.size :], expected_size=count
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"malformed BROADCAST payload: {exc}") from exc
+    return int(seq), weights
+
+
+def encode_update(
+    seq: int,
+    client_id: int,
+    num_samples: int,
+    rng_state: Optional[dict],
+    flat_weights: np.ndarray,
+) -> bytes:
+    rng_blob = pickle.dumps(rng_state, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        _UPDATE_HEADER.pack(int(seq), int(client_id), int(num_samples), len(rng_blob))
+        + rng_blob
+        + flat_weights_to_bytes(flat_weights)
+    )
+
+
+def decode_update(payload: bytes) -> Tuple[int, int, int, Optional[dict], np.ndarray]:
+    if len(payload) < _UPDATE_HEADER.size:
+        raise ProtocolError("truncated UPDATE payload")
+    seq, client_id, num_samples, rng_len = _UPDATE_HEADER.unpack_from(payload)
+    rng_end = _UPDATE_HEADER.size + rng_len
+    if len(payload) < rng_end:
+        raise ProtocolError("truncated UPDATE rng-state blob")
+    try:
+        rng_state = pickle.loads(payload[_UPDATE_HEADER.size : rng_end])
+        weights = flat_weights_from_bytes(payload[rng_end:])
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed UPDATE payload: {exc}") from exc
+    return int(seq), int(client_id), int(num_samples), rng_state, weights

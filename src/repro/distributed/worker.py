@@ -1,0 +1,295 @@
+"""The worker side: a standalone agent process that trains pinned clients.
+
+Launched as ``python -m repro.cli worker --connect HOST:PORT`` on any
+machine that can reach the coordinator.  The agent owns no configuration
+of its own -- everything (clients, model shell, training hyperparameters)
+arrives over the wire, so a fleet of identical agents can serve any
+federation.
+
+Determinism mirrors :func:`repro.execution.process._worker_main`: each
+TRAIN message builds one optimizer factory for the round, clients train
+sequentially in dispatch order inside the single workspace model, and
+every UPDATE ships the client's advanced training-RNG state back so the
+coordinator's pool remains the single source of truth.
+
+A dedicated reader thread answers PING with PONG even while a long
+local pass is running, so a busy worker is never mistaken for a dead
+one; only a killed or genuinely hung process trips the coordinator's
+heartbeat limit.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from repro.config import TrainingConfig
+from repro.distributed import protocol as proto
+from repro.distributed.transport import Connection, ConnectionClosed, FrameError
+from repro.nn.model import Sequential
+
+__all__ = ["WorkerAgent"]
+
+#: Worker process exit codes (asserted by the test-suite).
+EXIT_OK = 0
+EXIT_CONNECTION_LOST = 1
+EXIT_REJECTED = 2
+EXIT_PROTOCOL_ERROR = 3
+
+
+class WorkerAgent:
+    """One distributed training agent.
+
+    Parameters
+    ----------
+    host / port:
+        Coordinator endpoint to connect to.
+    capacity:
+        Relative share of clients this worker should be pinned
+        (advertised in the handshake; a capacity-2 worker owns roughly
+        twice the clients of a capacity-1 worker).
+    connect_timeout / retry_interval:
+        The agent retries the initial TCP connect until
+        ``connect_timeout`` elapses, so workers may be launched slightly
+        before the coordinator listens.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        capacity: int = 1,
+        connect_timeout: float = 30.0,
+        retry_interval: float = 0.2,
+        log=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.host = host
+        self.port = int(port)
+        self.capacity = int(capacity)
+        self.connect_timeout = float(connect_timeout)
+        self.retry_interval = float(retry_interval)
+        self._log_stream = log if log is not None else sys.stderr
+
+        self.worker_id: Optional[int] = None
+        self._expected_signature: Optional[str] = None
+        self._expected_num_params: Optional[int] = None
+        self._clients: Dict[int, object] = {}
+        self._workspace: Optional[Sequential] = None
+        self._training: Optional[TrainingConfig] = None
+        self._broadcast: Optional[Tuple[int, "object"]] = None  # (seq, weights)
+
+    def _log(self, msg: str) -> None:
+        wid = "?" if self.worker_id is None else self.worker_id
+        print(f"[worker {wid}] {msg}", file=self._log_stream, flush=True)
+
+    # ------------------------------------------------------------------
+    # connection + handshake
+    # ------------------------------------------------------------------
+    def _connect(self) -> Connection:
+        deadline = time.monotonic() + self.connect_timeout
+        last_err: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                sock.settimeout(None)
+                return Connection(sock)
+            except OSError as exc:
+                last_err = exc
+                time.sleep(self.retry_interval)
+        raise ConnectionError(
+            f"could not reach coordinator at {self.host}:{self.port} within "
+            f"{self.connect_timeout:.0f}s: {last_err}"
+        )
+
+    def _handshake(self, conn: Connection) -> Optional[int]:
+        """HELLO/WELCOME exchange; returns an exit code on failure."""
+        conn.send(
+            proto.MsgType.HELLO,
+            proto.encode_hello(proto.PROTOCOL_VERSION, self.capacity, os.getpid()),
+        )
+        msg_type, payload = conn.recv(timeout=self.connect_timeout)
+        if msg_type == proto.MsgType.REJECT:
+            self._log(f"rejected by coordinator: {proto.decode_reject(payload)}")
+            return EXIT_REJECTED
+        if msg_type != proto.MsgType.WELCOME:
+            self._log(f"expected WELCOME, got message type {msg_type}")
+            return EXIT_PROTOCOL_ERROR
+        welcome = proto.decode_welcome(payload)
+        if welcome["version"] != proto.PROTOCOL_VERSION:
+            self._log(
+                f"coordinator speaks protocol {welcome['version']}, "
+                f"this worker speaks {proto.PROTOCOL_VERSION}"
+            )
+            return EXIT_PROTOCOL_ERROR
+        self.worker_id = welcome["worker_id"]
+        self._expected_signature = welcome["model_signature"]
+        self._expected_num_params = welcome["num_params"]
+        self._log(
+            f"registered with coordinator (capacity {self.capacity}, "
+            f"model {self._expected_signature[:12]}..., "
+            f"{self._expected_num_params} params)"
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def _verify_assignment(self, model: Optional[Sequential], signature: str) -> None:
+        """Refuse to train on an architecture the handshake did not promise."""
+        if signature != self._expected_signature:
+            raise proto.ProtocolError(
+                f"ASSIGN signature {signature[:12]}... does not match the "
+                f"handshake signature {str(self._expected_signature)[:12]}..."
+            )
+        if model is not None:
+            actual = proto.model_signature(model)
+            if actual != self._expected_signature:
+                raise proto.ProtocolError(
+                    f"shipped model has signature {actual[:12]}... but the "
+                    f"handshake promised {str(self._expected_signature)[:12]}..."
+                )
+
+    def _handle_assign(self, payload: bytes) -> None:
+        assignment = proto.decode_assign(payload)
+        model = assignment["model"]
+        self._verify_assignment(model, assignment["signature"])
+        if model is not None:
+            self._workspace = model
+        if self._workspace is None:
+            raise proto.ProtocolError(
+                "received a model-less ASSIGN before the model shell arrived"
+            )
+        self._training = assignment["training"]
+        self._clients.update(assignment["clients"])
+        self._log(
+            f"assigned {len(assignment['clients'])} client(s); "
+            f"now own {sorted(self._clients)}"
+        )
+
+    def _handle_train(self, conn: Connection, payload: bytes) -> None:
+        seq, round_idx, jobs = proto.decode_train(payload)
+        if self._broadcast is None or self._broadcast[0] != seq:
+            have = None if self._broadcast is None else self._broadcast[0]
+            raise proto.ProtocolError(
+                f"TRAIN for seq {seq} but the last BROADCAST was seq {have}"
+            )
+        if self._training is None or self._workspace is None:
+            raise proto.ProtocolError("TRAIN before ASSIGN")
+        unknown = [cid for cid, _ in jobs if cid not in self._clients]
+        if unknown:
+            raise proto.ProtocolError(
+                f"TRAIN for clients {unknown} this worker does not own"
+            )
+        global_flat = self._broadcast[1]
+        factory = self._training.optimizer_factory(round_idx)
+        for client_id, epochs in jobs:
+            try:
+                client = self._clients[client_id]
+                w = client.train(
+                    self._workspace,
+                    global_flat,
+                    factory,
+                    batch_size=self._training.batch_size,
+                    epochs=epochs,
+                    prox_mu=self._training.prox_mu,
+                )
+                rng = getattr(client, "_train_rng", None)
+                state = rng.bit_generator.state if rng is not None else None
+                conn.send(
+                    proto.MsgType.UPDATE,
+                    proto.encode_update(
+                        seq, client_id, client.num_train_samples, state, w
+                    ),
+                )
+            except Exception:
+                # Per-client guard mirrors the process backend: a plain
+                # training failure is reported and the worker lives on;
+                # KeyboardInterrupt/SystemExit deliberately propagate.
+                conn.send(
+                    proto.MsgType.TRAINFAIL,
+                    proto.encode_trainfail(seq, client_id, traceback.format_exc()),
+                )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _reader(self, conn: Connection, inbox: "queue_mod.Queue") -> None:
+        """Receive loop: PONG immediately, queue everything else."""
+        while True:
+            try:
+                msg_type, payload = conn.recv()
+            except (ConnectionClosed, OSError, FrameError):
+                # FrameError included: a corrupt stream must surface as a
+                # lost connection, not strand the main loop on inbox.get().
+                inbox.put((None, None))
+                return
+            if msg_type == proto.MsgType.PING:
+                try:
+                    conn.send(proto.MsgType.PONG)
+                except OSError:
+                    inbox.put((None, None))
+                    return
+                continue
+            inbox.put((msg_type, payload))
+            if msg_type == proto.MsgType.SHUTDOWN:
+                return
+
+    def run(self) -> int:
+        """Connect, register, and serve until shutdown; returns exit code."""
+        try:
+            conn = self._connect()
+        except ConnectionError as exc:
+            self._log(str(exc))
+            return EXIT_CONNECTION_LOST
+        try:
+            failure = self._handshake(conn)
+            if failure is not None:
+                return failure
+            inbox: "queue_mod.Queue" = queue_mod.Queue()
+            reader = threading.Thread(
+                target=self._reader, args=(conn, inbox), daemon=True,
+                name="repro-dist-worker-reader",
+            )
+            reader.start()
+            while True:
+                msg_type, payload = inbox.get()
+                if msg_type is None:
+                    self._log("coordinator connection lost")
+                    return EXIT_CONNECTION_LOST
+                if msg_type == proto.MsgType.SHUTDOWN:
+                    conn.send(proto.MsgType.BYE)
+                    self._log("shutdown requested; exiting cleanly")
+                    return EXIT_OK
+                try:
+                    if msg_type == proto.MsgType.ASSIGN:
+                        self._handle_assign(payload)
+                    elif msg_type == proto.MsgType.BROADCAST:
+                        self._broadcast = proto.decode_broadcast(payload)
+                    elif msg_type == proto.MsgType.TRAIN:
+                        self._handle_train(conn, payload)
+                    else:
+                        raise proto.ProtocolError(
+                            f"unexpected message type {msg_type}"
+                        )
+                except proto.ProtocolError as exc:
+                    self._log(f"protocol error: {exc}")
+                    try:
+                        conn.send(proto.MsgType.REJECT, proto.encode_reject(str(exc)))
+                    except OSError:
+                        pass
+                    return EXIT_PROTOCOL_ERROR
+        except (ConnectionClosed, OSError) as exc:
+            self._log(f"connection error: {exc}")
+            return EXIT_CONNECTION_LOST
+        finally:
+            conn.close()

@@ -14,6 +14,11 @@ All backends satisfy the determinism contract documented in
 they produce bit-identical updates in the same deterministic order, so
 switching backends never changes a training trajectory -- only its
 wall-clock time.
+
+The ``distributed`` backend (:mod:`repro.distributed`) extends the same
+contract across machines: a coordinator executor drives worker agent
+processes over TCP.  It is registered here by name but imported lazily,
+so in-process users never pay for the networking stack.
 """
 
 from __future__ import annotations
@@ -43,14 +48,18 @@ __all__ = [
     "resolve_executor",
 ]
 
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "distributed")
 
 
-def create_executor(backend: str, workers: int = 1) -> ClientExecutor:
-    """Instantiate a backend by name (``serial`` | ``thread`` | ``process``).
+def create_executor(
+    backend: str, workers: int = 1, endpoint: Optional[str] = None
+) -> ClientExecutor:
+    """Instantiate a backend by name (one of :data:`EXECUTOR_BACKENDS`).
 
     ``workers`` must be >= 1 (the constructors raise otherwise -- a typo'd
     worker count should fail loudly, not degrade to serial speed).
+    ``endpoint`` is the ``host:port`` the ``distributed`` coordinator
+    listens on (ignored by the in-process backends).
     """
     if backend == "serial":
         return SerialExecutor()
@@ -58,21 +67,38 @@ def create_executor(backend: str, workers: int = 1) -> ClientExecutor:
         return ThreadExecutor(workers=workers)
     if backend == "process":
         return ProcessExecutor(workers=workers)
+    if backend == "distributed":
+        # Imported lazily: the networking stack is only needed when the
+        # distributed backend is actually requested.
+        from repro.distributed.coordinator import DistributedExecutor
+
+        return DistributedExecutor(workers=workers, endpoint=endpoint)
     raise ValueError(
         f"unknown executor backend {backend!r}; expected one of {EXECUTOR_BACKENDS}"
     )
 
 
 def resolve_executor(
-    executor: Union[str, ClientExecutor, None], workers: Optional[int] = None
+    executor: Union[str, ClientExecutor, None],
+    workers: Optional[int] = None,
+    endpoint: Optional[str] = None,
 ) -> ClientExecutor:
-    """Accept a backend name, a ready instance, or ``None`` (-> serial)."""
+    """Accept a backend name, a ready instance, or ``None`` (-> serial).
+
+    When ``executor`` is already a :class:`ClientExecutor` instance it is
+    returned as-is and ``workers`` / ``endpoint`` are **ignored** -- a
+    ready instance was constructed with its own worker count, and resizing
+    a possibly-started pool here would be a silent lie.  Pass a backend
+    *name* if you want ``workers`` to take effect.
+    """
     if executor is None:
         executor = "serial"
     if isinstance(executor, ClientExecutor):
         return executor
     if isinstance(executor, str):
-        return create_executor(executor, workers=1 if workers is None else workers)
+        return create_executor(
+            executor, workers=1 if workers is None else workers, endpoint=endpoint
+        )
     raise TypeError(
         f"executor must be a backend name or ClientExecutor, got {type(executor)!r}"
     )

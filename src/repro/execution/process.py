@@ -84,7 +84,11 @@ def _worker_main(
                 result_q.put(
                     (seq, "ok", client_id, w, client.num_train_samples, state)
                 )
-            except BaseException:
+            except Exception:
+                # Exception, not BaseException: a Ctrl-C delivered to the
+                # process group must kill the worker loop (the parent then
+                # reports dead workers), not be reported as a per-client
+                # training failure.
                 result_q.put(
                     (seq, "err", client_id, traceback.format_exc(), 0, None)
                 )

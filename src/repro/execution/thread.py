@@ -116,11 +116,13 @@ class ThreadExecutor(ClientExecutor):
             for req in requests
         ]
         updates: List[ClientUpdate] = []
-        error: Optional[BaseException] = None
+        error: Optional[Exception] = None
         for fut in as_completed(futures):
             try:
                 updates.append(fut.result())
-            except BaseException as exc:  # keep draining so the pool settles
+            except Exception as exc:  # keep draining so the pool settles;
+                # KeyboardInterrupt/SystemExit propagate as interrupts
+                # instead of masquerading as a training failure
                 error = error or exc
         if error is not None:
             raise ExecutorError(f"client training failed: {error}") from error

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.execution import ClientExecutor
 from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
 from repro.fl.history import TrainingHistory
 from repro.fl.selection import OverSelector, RandomSelector
@@ -68,7 +69,7 @@ def run_policy(
     adaptive_interval: int = 10,
     scenario: Optional[Scenario] = None,
     server_kwargs: Optional[dict] = None,
-    executor: Optional[str] = None,
+    executor: Union[str, "ClientExecutor", None] = None,
     workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Train ``rounds`` rounds under ``policy`` on the scenario ``cfg``.
@@ -83,7 +84,10 @@ def run_policy(
 
     ``executor`` / ``workers`` pick the client-execution backend
     (:mod:`repro.execution`); all backends yield bit-identical histories,
-    so parallel execution never perturbs a comparison.
+    so parallel execution never perturbs a comparison.  ``executor`` may
+    also be a ready :class:`~repro.execution.ClientExecutor` instance
+    (e.g. a listening distributed coordinator), in which case ``workers``
+    is ignored.
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")

@@ -107,6 +107,7 @@ class AsyncFLServer:
         self.executor: ClientExecutor = resolve_executor(
             executor if executor is not None else training.executor,
             workers if workers is not None else training.workers,
+            endpoint=training.endpoint,
         )
         self.executor.bind(self.clients, self.model, self.training)
 

@@ -127,6 +127,7 @@ class FLServer:
         self.executor: ClientExecutor = resolve_executor(
             executor if executor is not None else training.executor,
             workers if workers is not None else training.workers,
+            endpoint=training.endpoint,
         )
         self.executor.bind(self.clients, self.model, self.training)
 

@@ -20,6 +20,7 @@ CIFAR-10 CNN is slower than the MNIST CNN at equal CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -90,6 +91,51 @@ class LatencyModel:
             return work
         factor = float(np.exp(make_rng(rng).normal(0.0, self.noise_sigma)))
         return work * factor
+
+    def sample_compute_cohort(
+        self,
+        num_samples: Union[Sequence[int], np.ndarray],
+        specs: Sequence[ResourceSpec],
+        epochs: Union[int, Sequence[int], np.ndarray] = 1,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Draw a whole cohort's compute latencies in one vectorised pass.
+
+        Equivalent to calling :meth:`sample_compute` once per client with
+        the *same* generator, but the log-normal noise for every client is
+        drawn in a single NumPy call.  numpy's ``Generator.normal`` fills
+        an array from the same bitstream positions the scalar calls would
+        consume, so the per-client draws are **bit-identical** to the loop
+        version (pinned by a regression test) -- this is purely a
+        throughput lever for cohort-scale simulation.
+
+        ``epochs`` may be a scalar or one value per client.  Returns an
+        array of shape ``(len(num_samples),)``.
+        """
+        ns = np.asarray(num_samples, dtype=np.float64)
+        if ns.ndim != 1:
+            raise ValueError(f"num_samples must be 1-D, got shape {ns.shape}")
+        if np.any(ns < 0):
+            raise ValueError("num_samples must be non-negative")
+        if len(specs) != ns.size:
+            raise ValueError(
+                f"got {len(specs)} resource specs for {ns.size} clients"
+            )
+        eps = np.broadcast_to(
+            np.asarray(epochs, dtype=np.float64), ns.shape
+        )
+        if np.any(eps <= 0):
+            raise ValueError("epochs must be positive")
+        cpu = np.asarray([spec.cpu_fraction for spec in specs], dtype=np.float64)
+        # Same association order as the scalar path:
+        # ((epochs * samples) * cost) / cpu, then + base_overhead.
+        work = self.base_overhead + (eps * ns * self.cost_per_sample / cpu)
+        if self.noise_sigma == 0.0 or ns.size == 0:
+            return work
+        factors = np.exp(
+            make_rng(rng).normal(0.0, self.noise_sigma, size=ns.size)
+        )
+        return work * factors
 
     @classmethod
     def for_model_size(

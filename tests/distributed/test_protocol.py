@@ -1,0 +1,253 @@
+"""Tests for the distributed wire protocol: framing, codecs, handshakes.
+
+The framing layer is property-tested (any frame sequence survives any
+chunking of the byte stream); the codec tests pin bit-exact weight
+round-trips; the handshake tests check that version and model-signature
+mismatches are *rejected*, never silently tolerated.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TrainingConfig
+from repro.distributed import protocol as proto
+from repro.distributed.coordinator import DistributedExecutor
+from repro.distributed.transport import (
+    MAX_FRAME_PAYLOAD,
+    Connection,
+    ConnectionClosed,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from repro.distributed.worker import WorkerAgent
+from repro.nn import build_mlp
+from repro.serialization import flat_weights_from_bytes, flat_weights_to_bytes
+from tests.conftest import make_test_client
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.integers(0, 255), st.binary(min_size=0, max_size=2048)
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        chunk=st.integers(1, 64),
+    )
+    def test_round_trip_survives_any_chunking(self, frames, chunk):
+        """Frames always decode intact no matter how TCP fragments them."""
+        stream = b"".join(encode_frame(t, p) for t, p in frames)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[start : start + chunk]))
+        assert out == frames
+        assert decoder.pending_bytes == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.integers(0, 255), payload=st.binary(max_size=512))
+    def test_single_frame_identity(self, t, payload):
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(t, payload))
+        assert frames == [(t, payload)]
+
+    def test_partial_frame_is_buffered_not_lost(self):
+        frame = encode_frame(proto.MsgType.PING, b"abcdef")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(frame[3:]) == [(proto.MsgType.PING, b"abcdef")]
+
+    def test_oversize_announcement_rejected(self):
+        bad = (MAX_FRAME_PAYLOAD + 1).to_bytes(4, "big") + b"\x01"
+        with pytest.raises(FrameError, match="frame limit"):
+            FrameDecoder().feed(bad)
+
+    def test_encode_rejects_bad_type(self):
+        with pytest.raises(FrameError, match="one byte"):
+            encode_frame(300, b"")
+
+    def test_connection_over_socketpair(self):
+        a, b = socket.socketpair()
+        with Connection(a) as ca, Connection(b) as cb:
+            ca.send(proto.MsgType.PING, b"payload")
+            assert cb.recv(timeout=5.0) == (proto.MsgType.PING, b"payload")
+            assert ca.bytes_sent == cb.bytes_received > 0
+
+    def test_connection_eof_raises_connection_closed(self):
+        a, b = socket.socketpair()
+        with Connection(b) as cb:
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                cb.recv(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# codecs
+# ----------------------------------------------------------------------
+class TestCodecs:
+    def test_hello_welcome_reject_round_trip(self):
+        hello = proto.decode_hello(proto.encode_hello(1, 3, 4242))
+        assert hello == {"version": 1, "capacity": 3, "pid": 4242}
+        welcome = proto.decode_welcome(proto.encode_welcome(1, 7, "sig", 163))
+        assert welcome["worker_id"] == 7 and welcome["num_params"] == 163
+        assert proto.decode_reject(proto.encode_reject("nope")) == "nope"
+
+    def test_hello_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            proto.encode_hello(1, 0, 1)
+        bad = b'{"version": 1, "capacity": 0, "pid": 1}'
+        with pytest.raises(proto.ProtocolError, match="capacity"):
+            proto.decode_hello(bad)
+
+    def test_malformed_json_raises_protocol_error(self):
+        with pytest.raises(proto.ProtocolError, match="malformed"):
+            proto.decode_hello(b"\xff\xfe not json")
+        with pytest.raises(proto.ProtocolError, match="missing"):
+            proto.decode_hello(b'{"version": 1}')
+
+    def test_train_round_trip(self):
+        seq, rnd, jobs = proto.decode_train(
+            proto.encode_train(9, 4, [(3, 1), (1, 2)])
+        )
+        assert (seq, rnd, jobs) == (9, 4, [(3, 1), (1, 2)])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=0,
+            max_size=64,
+        )
+    )
+    def test_weights_bytes_round_trip_bit_exact(self, values):
+        """NaNs, infs, signed zeros, subnormals: all bits survive the wire."""
+        arr = np.asarray(values, dtype=np.float64)
+        back = flat_weights_from_bytes(flat_weights_to_bytes(arr), arr.size)
+        assert arr.tobytes() == back.tobytes()
+
+    def test_broadcast_round_trip_and_truncation_guard(self):
+        w = np.array([1.5, -0.0, np.pi], dtype=np.float64)
+        seq, back = proto.decode_broadcast(proto.encode_broadcast(5, w))
+        assert seq == 5 and w.tobytes() == back.tobytes()
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_broadcast(proto.encode_broadcast(5, w)[:-3])
+
+    def test_update_round_trip_carries_rng_state(self):
+        rng = np.random.default_rng(3)
+        rng.normal(size=10)  # advance so the state is non-trivial
+        state = rng.bit_generator.state
+        w = np.linspace(-1, 1, 17)
+        payload = proto.encode_update(2, 11, 30, state, w)
+        seq, cid, n, state_back, w_back = proto.decode_update(payload)
+        assert (seq, cid, n) == (2, 11, 30)
+        assert state_back == state
+        assert w.tobytes() == w_back.tobytes()
+
+    def test_assign_round_trip_ships_clients_and_config(self):
+        client = make_test_client(client_id=4, seed=1)
+        cfg = TrainingConfig(lr=0.02)
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=0)
+        sig = proto.model_signature(model)
+        payload = proto.encode_assign({4: client}, cfg, sig, model=model)
+        out = proto.decode_assign(payload)
+        assert out["signature"] == sig
+        assert out["training"] == cfg
+        assert out["clients"][4].client_id == 4
+        assert out["model"].num_params() == model.num_params()
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_assign(b"not a pickle")
+
+    def test_parse_endpoint(self):
+        assert proto.parse_endpoint("127.0.0.1:0") == ("127.0.0.1", 0)
+        assert proto.parse_endpoint("host.example:65535") == ("host.example", 65535)
+        for bad in ("nohost", ":123", "h:notaport", "h:70000"):
+            with pytest.raises(ValueError):
+                proto.parse_endpoint(bad)
+
+
+# ----------------------------------------------------------------------
+# model signature
+# ----------------------------------------------------------------------
+class TestModelSignature:
+    def test_same_architecture_same_signature(self):
+        a = build_mlp((4, 4, 1), 3, hidden=(8,), rng=0)
+        b = build_mlp((4, 4, 1), 3, hidden=(8,), rng=99)  # different weights
+        assert proto.model_signature(a) == proto.model_signature(b)
+
+    def test_different_architecture_different_signature(self):
+        a = build_mlp((4, 4, 1), 3, hidden=(8,), rng=0)
+        b = build_mlp((4, 4, 1), 3, hidden=(16,), rng=0)
+        c = build_mlp((4, 4, 1), 4, hidden=(8,), rng=0)
+        sigs = {proto.model_signature(m) for m in (a, b, c)}
+        assert len(sigs) == 3
+
+
+# ----------------------------------------------------------------------
+# handshake rejection
+# ----------------------------------------------------------------------
+def _coordinator_pair():
+    """A DistributedExecutor and a raw Connection posing as its peer."""
+    ex = DistributedExecutor(workers=1)
+    a, b = socket.socketpair()
+    return ex, Connection(a), Connection(b)
+
+
+class TestHandshakeRejection:
+    def test_version_mismatch_is_rejected(self):
+        ex, coord_side, worker_side = _coordinator_pair()
+        worker_side.send(
+            proto.MsgType.HELLO,
+            proto.encode_hello(proto.PROTOCOL_VERSION + 1, 1, 123),
+        )
+        assert ex._handshake(coord_side) is None
+        msg_type, payload = worker_side.recv(timeout=5.0)
+        assert msg_type == proto.MsgType.REJECT
+        assert "version mismatch" in proto.decode_reject(payload)
+        worker_side.close()
+        ex.close()
+
+    def test_non_hello_first_frame_is_rejected(self):
+        ex, coord_side, worker_side = _coordinator_pair()
+        worker_side.send(proto.MsgType.PING)
+        assert ex._handshake(coord_side) is None
+        msg_type, payload = worker_side.recv(timeout=5.0)
+        assert msg_type == proto.MsgType.REJECT
+        worker_side.close()
+        ex.close()
+
+    def test_valid_hello_is_accepted(self):
+        ex, coord_side, worker_side = _coordinator_pair()
+        worker_side.send(
+            proto.MsgType.HELLO,
+            proto.encode_hello(proto.PROTOCOL_VERSION, 2, 77),
+        )
+        assert ex._handshake(coord_side) == (2, 77)
+        coord_side.close()
+        worker_side.close()
+        ex.close()
+
+    def test_worker_refuses_signature_mismatch(self):
+        agent = WorkerAgent("127.0.0.1", 1, capacity=1)
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=0)
+        agent._expected_signature = proto.model_signature(model)
+        # Signature string that does not match the handshake commitment.
+        with pytest.raises(proto.ProtocolError, match="does not match"):
+            agent._verify_assignment(model, "deadbeef" * 8)
+        # Shipped model whose architecture differs from the commitment.
+        other = build_mlp((4, 4, 1), 3, hidden=(16,), rng=0)
+        with pytest.raises(proto.ProtocolError, match="promised"):
+            agent._verify_assignment(other, agent._expected_signature)
+        # The matching pair passes.
+        agent._verify_assignment(model, agent._expected_signature)

@@ -26,6 +26,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "imagenet"])
 
+    def test_run_accepts_distributed_executor(self):
+        args = build_parser().parse_args(
+            ["run", "--executor", "distributed", "--workers", "2",
+             "--connect", "127.0.0.1:7777"]
+        )
+        assert args.executor == "distributed"
+        assert args.connect == "127.0.0.1:7777"
+
+    def test_estimate_does_not_register_executor_flags(self):
+        """`estimate` never trains, so accepting --executor/--workers there
+        would be a silently-ignored lie."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--executor", "serial"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--workers", "2"])
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "coord:7777", "--capacity", "3"]
+        )
+        assert args.func.__name__ == "cmd_worker"
+        assert args.connect == "coord:7777"
+        assert args.capacity == 3
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -63,3 +91,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "q_max" in out
         assert "uniform: q=0.1000" in out
+
+
+class TestWorkerCommand:
+    def test_bad_endpoint_fails_fast(self, capsys):
+        rc = main(["worker", "--connect", "nonsense"])
+        assert rc == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_unreachable_coordinator_exits_nonzero(self):
+        # Nothing listens on this port; the agent should give up after its
+        # (short) connect timeout rather than hang.
+        rc = main(
+            ["worker", "--connect", "127.0.0.1:1", "--connect-timeout", "0.5"]
+        )
+        assert rc == 1
+
+    def test_compare_rejects_distributed(self, capsys):
+        rc = main(
+            ["compare", "--executor", "distributed", "--policies", "vanilla"]
+        )
+        assert rc == 2
+        assert "distributed" in capsys.readouterr().err
