@@ -11,7 +11,6 @@ On the combined-heterogeneity federation (the paper's hardest case):
    the sweep should be competitive on a time-budgeted AUC metric.
 """
 
-import numpy as np
 
 from repro.experiments import ScenarioConfig, format_table, save_artifact
 from repro.experiments.analysis import auc_accuracy_over_time

@@ -14,7 +14,6 @@ On the resource-heterogeneous federation:
   paper's cited reason to prefer synchronous + tiering.
 """
 
-import numpy as np
 
 from repro.config import PAPER_SYNTHETIC_TRAINING
 from repro.experiments import ScenarioConfig, format_table, save_artifact

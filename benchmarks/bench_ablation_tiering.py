@@ -14,12 +14,9 @@ resource-heterogeneous federation:
    of natural hardware groups).
 """
 
-import numpy as np
 
 from repro.experiments import ScenarioConfig, format_table, save_artifact
 from repro.experiments.runner import run_policy
-from repro.experiments.scenarios import build_scenario
-from repro.tifl import build_tiers, profile_clients
 
 SEED = 61
 ROUNDS = 80

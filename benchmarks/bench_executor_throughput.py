@@ -23,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -46,7 +47,12 @@ MNIST_SHAPE = (28, 28, 1)
 NUM_CLASSES = 10
 
 
-def build_federation(num_clients: int, samples_per_client: int, seed: int):
+def build_federation(
+    num_clients: int,
+    samples_per_client: int,
+    seed: int,
+    holdout_fraction: float = 0.0,
+):
     """50 MNIST-scale clients over shared prototypes + one global model."""
     spec = SyntheticSpec(shape=MNIST_SHAPE, num_classes=NUM_CLASSES, difficulty=0.5)
     protos = class_prototypes(spec, rng=seed)
@@ -65,7 +71,7 @@ def build_federation(num_clients: int, samples_per_client: int, seed: int):
                 spec=ResourceSpec(cpu_fraction=1.0, group=0),
                 latency_model=LatencyModel(noise_sigma=0.0),
                 comm_model=CommModel(jitter_sigma=0.0),
-                holdout_fraction=0.0,
+                holdout_fraction=holdout_fraction,
                 rng=seed + cid,
             )
         )
@@ -111,6 +117,10 @@ def main(argv=None) -> int:
         "--backends", nargs="+", default=["serial", "thread", "process"],
         choices=["serial", "thread", "process"],
     )
+    ap.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write machine-readable results (consumed by CI bench-trend)",
+    )
     args = ap.parse_args(argv)
     training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
 
@@ -135,19 +145,48 @@ def main(argv=None) -> int:
         )
         results[backend] = (secs, weights)
 
+    # None = not checked (no serial reference requested): the JSON must
+    # never report a passing verdict for a comparison that did not run.
+    identical = None
     if "serial" in results:
+        identical = True
         ref = results["serial"][1]
         for backend, (_, weights) in results.items():
-            tag = "bit-identical" if np.array_equal(ref, weights) else "DIVERGED"
-            print(f"  {backend:8s} vs serial weights: {tag}")
-            if tag == "DIVERGED":
-                return 1
+            same = np.array_equal(ref, weights)
+            identical &= same
+            print(f"  {backend:8s} vs serial weights: "
+                  f"{'bit-identical' if same else 'DIVERGED'}")
 
     base = results.get("serial", next(iter(results.values())))[0]
     print(f"\n  {'backend':8s} {'s/round':>10s} {'speedup':>9s}")
     for backend, (secs, _) in results.items():
         print(f"  {backend:8s} {secs:10.3f} {base / secs:8.2f}x")
-    return 0
+
+    if args.json:
+        payload = {
+            "benchmark": "executor_throughput",
+            "config": {
+                "clients": args.clients,
+                "samples_per_client": args.samples_per_client,
+                "rounds": args.rounds,
+                "workers": args.workers,
+                "seed": args.seed,
+                "cores": cores,
+            },
+            "bit_identical": identical,
+            "backends": {
+                backend: {
+                    "train_s_per_round": secs,
+                    "speedup_vs_serial": base / secs,
+                }
+                for backend, (secs, _) in results.items()
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n  wrote {args.json}")
+    return 1 if identical is False else 0
 
 
 if __name__ == "__main__":

@@ -10,7 +10,6 @@ across policies in the resource case, while in the quantity case ``fast``
 clearly loses accuracy (tier 1 holds only 10% of the data).
 """
 
-import numpy as np
 
 from repro.experiments import (
     ScenarioConfig,

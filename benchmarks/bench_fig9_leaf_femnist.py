@@ -11,7 +11,7 @@ uniform on accuracy while training much faster than vanilla.
 """
 
 from repro.config import TrainingConfig
-from repro.experiments import format_table, run_policy, save_artifact, speedup_table
+from repro.experiments import format_table, save_artifact, speedup_table
 from repro.experiments.scenarios import build_leaf_scenario
 from repro.experiments.tables import series_preview
 from repro.fl.selection import RandomSelector

@@ -1,0 +1,244 @@
+"""Round hot-path benchmark: training, batched evaluation, latency sampling.
+
+The per-round cost of the reproduction has three components this PR
+optimised, and this benchmark measures all three on the current hardware:
+
+1. **Training s/round** per execution backend (cohort training through
+   ``train_cohort`` -- the process backend now returns update weights
+   through shared memory instead of queue pickling).
+2. **Evaluation s/round** per execution backend (the new batched
+   ``evaluate_cohort`` over every client's holdout -- what
+   ``TiFLServer.evaluate_tiers`` does each round).
+3. **Latency-sampling throughput**: v1 per-client ``response_latency``
+   loops vs the v2 cohort stream's two vectorised draws
+   (:class:`repro.simcluster.latency.CohortLatencySampler`).
+
+Before timing anything it verifies the non-negotiable: every backend's
+trained global weights *and* per-client eval accuracies are bit-identical
+to serial.  Divergence exits non-zero (CI's bench-trend job runs this on
+every push; perf numbers are informational on 1-core runners, bit-identity
+is not).
+
+Results are emitted as machine-readable ``BENCH_round_hotpath.json``.
+
+Usage::
+
+    python benchmarks/bench_round_hotpath.py                 # full run
+    python benchmarks/bench_round_hotpath.py --rounds 1 \\
+        --clients 10 --samples-per-client 60                 # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import TrainingConfig  # noqa: E402
+from repro.execution import EvalRequest, TrainRequest, create_executor  # noqa: E402
+from repro.fl.aggregator import fedavg  # noqa: E402
+from repro.simcluster.latency import CohortLatencySampler, LatencyModel  # noqa: E402
+from repro.simcluster.network import CommModel  # noqa: E402
+from repro.simcluster.resources import ResourceSpec  # noqa: E402
+
+sys.path.insert(0, os.path.dirname(__file__))
+from bench_executor_throughput import build_federation  # noqa: E402
+
+
+def bench_backend(backend, workers, clients, model, training, rounds):
+    """Time train and eval rounds; returns (train_s, eval_s, weights, accs)."""
+    pool = {c.client_id: c for c in clients}
+    global_weights = model.get_flat_weights()
+    train_requests = [
+        TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)
+    ]
+    eval_requests = [
+        EvalRequest(cid) for cid in sorted(pool) if len(pool[cid].holdout) > 0
+    ]
+    with create_executor(backend, workers=workers) as executor:
+        executor.bind(pool, model, training)
+        # Warm-up outside the timer: spawns workers / builds replicas.
+        executor.train_cohort(0, train_requests[:1], global_weights)
+        start = time.perf_counter()
+        for r in range(rounds):
+            updates = executor.train_cohort(r + 1, train_requests, global_weights)
+            global_weights = fedavg(
+                [u.flat_weights for u in updates],
+                [float(u.num_samples) for u in updates],
+            )
+        train_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(rounds):
+            accs = executor.evaluate_cohort(eval_requests, global_weights)
+        eval_elapsed = time.perf_counter() - start
+    return train_elapsed / rounds, eval_elapsed / rounds, global_weights, accs
+
+
+def bench_latency_sampling(num_clients, draws, seed):
+    """v1 per-client loop vs v2 cohort stream over a synthetic cohort."""
+    model = LatencyModel(noise_sigma=0.05)
+    comm = CommModel(jitter_sigma=0.02)
+
+    class _Stub:
+        """Latency-relevant surface of SimClient, without the dataset."""
+
+        latency_model = model
+        comm_model = comm
+
+        def __init__(self, cid, n, cpu):
+            self.client_id = cid
+            self.num_train_samples = n
+            self.spec = ResourceSpec(cpu_fraction=cpu, group=0)
+
+        def finalize_latency(self, latency, round_idx=0, fault=None):
+            return latency
+
+    stubs = [
+        _Stub(cid, 100 + cid % 7, 1.0 / (1 + cid % 4)) for cid in range(num_clients)
+    ]
+    num_params = 50_000
+
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    for r in range(draws):
+        for s in stubs:
+            model.sample_compute(s.num_train_samples, s.spec, rng=rng)
+            comm.sample_round_trip(num_params, s.spec, rng=rng)
+    v1 = (time.perf_counter() - start) / draws
+
+    sampler = CohortLatencySampler(seed=seed)
+    start = time.perf_counter()
+    for r in range(draws):
+        sampler.sample_cohort(stubs, num_params, epochs=1, round_idx=r)
+    v2 = (time.perf_counter() - start) / draws
+    return {
+        "cohort_size": num_clients,
+        "per_client_s_per_round": v1,
+        "cohort_s_per_round": v2,
+        "speedup": v1 / v2 if v2 > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=50)
+    ap.add_argument("--samples-per-client", type=int, default=120)
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--latency-cohort", type=int, default=2000,
+                    help="cohort size for the latency-sampling comparison")
+    ap.add_argument("--latency-draws", type=int, default=20)
+    ap.add_argument(
+        "--backends", nargs="+", default=["serial", "thread", "process"],
+        choices=["serial", "thread", "process"],
+    )
+    ap.add_argument(
+        "--json", metavar="PATH", default="BENCH_round_hotpath.json",
+        help="machine-readable output (consumed by CI bench-trend)",
+    )
+    args = ap.parse_args(argv)
+    training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
+
+    cores = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
+    print(
+        f"round hot path: {args.clients} clients x {args.samples_per_client} "
+        f"samples, {args.rounds} round(s), {args.workers} workers, "
+        f"{cores} usable core(s)"
+    )
+
+    results = {}
+    for backend in args.backends:
+        # Fresh identically-seeded federation per backend: client RNG
+        # streams advance during training, so each backend must start
+        # from the same state for the bit-identity check to hold.
+        clients, model = build_federation(
+            args.clients, args.samples_per_client, args.seed,
+            holdout_fraction=0.2,
+        )
+        workers = 1 if backend == "serial" else args.workers
+        results[backend] = bench_backend(
+            backend, workers, clients, model, training, args.rounds
+        )
+
+    # None = not checked (no serial reference requested): the JSON must
+    # never report a passing verdict for a comparison that did not run.
+    identical = None
+    if "serial" in results:
+        identical = True
+        _, _, ref_w, ref_accs = results["serial"]
+        for backend, (_, _, weights, accs) in results.items():
+            w_same = np.array_equal(ref_w, weights)
+            a_same = accs == ref_accs
+            identical &= w_same and a_same
+            print(
+                f"  {backend:8s} weights: "
+                f"{'bit-identical' if w_same else 'DIVERGED'}; eval accs: "
+                f"{'bit-identical' if a_same else 'DIVERGED'}"
+            )
+
+    base_t = results.get("serial", next(iter(results.values())))[0]
+    base_e = results.get("serial", next(iter(results.values())))[1]
+    print(f"\n  {'backend':8s} {'train s/rd':>11s} {'eval s/rd':>10s} "
+          f"{'train x':>8s} {'eval x':>7s}")
+    for backend, (t, e, _, _) in results.items():
+        print(f"  {backend:8s} {t:11.3f} {e:10.3f} "
+              f"{base_t / t:7.2f}x {base_e / e:6.2f}x")
+
+    latency = bench_latency_sampling(
+        args.latency_cohort, args.latency_draws, args.seed
+    )
+    print(
+        f"\n  latency sampling ({latency['cohort_size']} clients/round): "
+        f"per-client {latency['per_client_s_per_round'] * 1e3:.2f} ms, "
+        f"cohort {latency['cohort_s_per_round'] * 1e3:.2f} ms "
+        f"({latency['speedup']:.1f}x)"
+    )
+
+    payload = {
+        "benchmark": "round_hotpath",
+        "config": {
+            "clients": args.clients,
+            "samples_per_client": args.samples_per_client,
+            "rounds": args.rounds,
+            "workers": args.workers,
+            "seed": args.seed,
+            "cores": cores,
+        },
+        "bit_identical": identical,
+        "backends": {
+            backend: {
+                "train_s_per_round": t,
+                "eval_s_per_round": e,
+                "train_speedup_vs_serial": base_t / t,
+                "eval_speedup_vs_serial": base_e / e,
+            }
+            for backend, (t, e, _, _) in results.items()
+        },
+        "latency_sampling": latency,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n  wrote {args.json}")
+
+    if identical is False:
+        print("\n  FAIL: backends diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

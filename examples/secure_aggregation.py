@@ -19,7 +19,6 @@ import numpy as np
 
 from repro.experiments import ScenarioConfig
 from repro.experiments.scenarios import build_scenario
-from repro.fl.aggregator import fedavg
 from repro.fl.secure_agg import PairwiseMasker, SecureAggregator, masked_submissions
 from repro.tifl.server import TiFLServer
 

@@ -13,7 +13,6 @@ federation:
 Run:  python examples/straggler_mitigation.py
 """
 
-import numpy as np
 
 from repro.experiments import ScenarioConfig, format_table, run_policy
 from repro.experiments.scenarios import build_scenario

@@ -9,7 +9,7 @@ SGD with lr 0.004.  The learning-rate decay is applied *per global round*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.nn.optimizers import SGD, Optimizer, RMSprop

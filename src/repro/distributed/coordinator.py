@@ -43,6 +43,7 @@ from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
 from repro.execution.base import (
     ClientExecutor,
+    EvalRequest,
     ExecutorError,
     TrainRequest,
     order_updates,
@@ -330,6 +331,21 @@ class DistributedExecutor(ClientExecutor):
         self._closed_bytes_received += handle.conn.bytes_received
         handle.conn.close()
 
+    def _dispatch_jobs(
+        self, handle: _WorkerHandle, kind: str, seq: int, round_idx: int,
+        jobs: List[_Job],
+    ) -> None:
+        """Send one worker its round work order (TRAIN or EVAL frame)."""
+        if kind == "train":
+            handle.conn.send(
+                proto.MsgType.TRAIN, proto.encode_train(seq, round_idx, jobs)
+            )
+        else:
+            handle.conn.send(
+                proto.MsgType.EVAL,
+                proto.encode_eval(seq, [cid for cid, _ in jobs]),
+            )
+
     def _handle_worker_death(
         self,
         wid: int,
@@ -339,12 +355,16 @@ class DistributedExecutor(ClientExecutor):
         broadcasted: Set[int],
         weights_blob: bytes,
         reason: str,
+        kind: str = "train",
     ) -> None:
         """Reassign a dead worker's clients and re-dispatch its jobs.
 
         The coordinator pool's RNG states are authoritative (synced on
         every merged UPDATE), so re-shipping a client replays exactly the
-        stream position the serial schedule would be at.
+        stream position the serial schedule would be at.  ``kind``
+        selects the frame re-dispatched for pending jobs: training jobs
+        replay as TRAIN, evaluation jobs (which are pure -- no RNG to
+        replay) as EVAL.
         """
         if not self._handles.get(wid) or not self._handles[wid].alive:
             pending.pop(wid, None)
@@ -387,15 +407,13 @@ class DistributedExecutor(ClientExecutor):
                     if target not in broadcasted:
                         handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
                         broadcasted.add(target)
-                    handle.conn.send(
-                        proto.MsgType.TRAIN, proto.encode_train(seq, round_idx, jobs)
-                    )
+                    self._dispatch_jobs(handle, kind, seq, round_idx, jobs)
                     pending.setdefault(target, []).extend(jobs)
             except OSError as exc:
                 # The replacement died too -- recurse onto the next survivor.
                 self._handle_worker_death(
                     target, seq, round_idx, pending, broadcasted, weights_blob,
-                    f"send failed during reassignment: {exc}",
+                    f"send failed during reassignment: {exc}", kind=kind,
                 )
 
     def _check_heartbeats(self, pending: Dict[int, List[_Job]]) -> List[Tuple[int, str]]:
@@ -553,6 +571,12 @@ class DistributedExecutor(ClientExecutor):
                 done.add(cid)
                 failures.append(f"client {cid} (worker {wid}):\n{tb}")
                 continue
+            if msg_type == proto.MsgType.EVAL_RESULT:
+                # Only possible as a straggler from an abandoned
+                # evaluate_cohort -- this cohort's seq is unique to it.
+                msg_seq = proto.decode_eval_result(payload)[0]
+                if msg_seq != seq:
+                    continue
             # Unknown frame from a registered worker: protocol violation.
             self._handle_worker_death(
                 wid, seq, round_idx, pending, broadcasted, weights_blob,
@@ -564,6 +588,128 @@ class DistributedExecutor(ClientExecutor):
                 "client training failed on worker agent(s):\n" + "\n".join(failures)
             )
         return order_updates(updates, requests)
+
+    def evaluate_cohort(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
+        """Batched holdout evaluation with the same failover as training.
+
+        Weights reach the workers through the same BROADCAST frame the
+        training path uses; each owning worker answers one EVAL_RESULT
+        per client.  Evaluation is pure, so a dead worker's unfinished
+        jobs are simply re-dispatched to whoever inherits its clients --
+        no RNG state replay is needed and duplicates are merged
+        first-wins (copies are bit-identical).
+        """
+        self._check_requests(requests)
+        if not requests:
+            return {}
+        self._ensure_started()
+        self._seq += 1
+        seq = self._seq
+        weights_blob = proto.encode_broadcast(seq, np.asarray(flat_weights))
+
+        # Eval jobs reuse the (client_id, epochs) job shape with epochs=0
+        # so death-handling can share the training path's bookkeeping.
+        pending: Dict[int, List[_Job]] = {}
+        for req in requests:
+            pending.setdefault(self._owner[req.client_id], []).append(
+                (req.client_id, 0)
+            )
+        broadcasted: Set[int] = set()
+        initial_jobs = {wid: list(jobs) for wid, jobs in pending.items()}
+        for wid in sorted(initial_jobs):
+            handle = self._handles[wid]
+            if not handle.alive:
+                continue
+            try:
+                if wid not in broadcasted:
+                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                    broadcasted.add(wid)
+                self._dispatch_jobs(handle, "eval", seq, 0, initial_jobs[wid])
+            except OSError as exc:
+                self._handle_worker_death(
+                    wid, seq, 0, pending, broadcasted, weights_blob,
+                    f"send failed: {exc}", kind="eval",
+                )
+
+        accs: Dict[int, float] = {}
+        failures: List[str] = []
+        done: Set[int] = set()
+        deadline = time.monotonic() + self.result_timeout
+
+        def _outstanding() -> int:
+            return sum(len(jobs) for jobs in pending.values())
+
+        while _outstanding() > 0:
+            if time.monotonic() > deadline:
+                raise ExecutorError(
+                    f"timed out after {self.result_timeout:.0f}s waiting for "
+                    f"{_outstanding()} evaluation result(s)"
+                )
+            try:
+                wid, msg_type, payload = self._events.get(
+                    timeout=self.heartbeat_interval
+                )
+            except queue_mod.Empty:
+                for dead_wid, reason in self._check_heartbeats(pending):
+                    self._handle_worker_death(
+                        dead_wid, seq, 0, pending, broadcasted,
+                        weights_blob, reason, kind="eval",
+                    )
+                continue
+
+            if msg_type is None or msg_type == proto.MsgType.BYE:
+                self._handle_worker_death(
+                    wid, seq, 0, pending, broadcasted, weights_blob,
+                    "connection lost", kind="eval",
+                )
+                continue
+            if msg_type == proto.MsgType.REJECT:
+                reason = proto.decode_reject(payload)
+                self._handle_worker_death(
+                    wid, seq, 0, pending, broadcasted, weights_blob,
+                    f"worker refused to continue: {reason}", kind="eval",
+                )
+                continue
+            if msg_type == proto.MsgType.EVAL_RESULT:
+                msg_seq, cid, acc, err = proto.decode_eval_result(payload)
+                if msg_seq != seq:
+                    continue
+                for owner_wid in pending:
+                    pending[owner_wid] = [
+                        j for j in pending[owner_wid] if j[0] != cid
+                    ]
+                if cid in done:
+                    continue
+                done.add(cid)
+                if err is not None:
+                    failures.append(f"client {cid} (worker {wid}):\n{err}")
+                else:
+                    accs[cid] = acc
+                continue
+            if msg_type in (proto.MsgType.UPDATE, proto.MsgType.TRAINFAIL):
+                # Stragglers from an abandoned training cohort; this
+                # cohort's seq is fresh, so theirs can never match.
+                if msg_type == proto.MsgType.UPDATE:
+                    msg_seq = proto.decode_update(payload)[0]
+                else:
+                    msg_seq = proto.decode_trainfail(payload)[0]
+                if msg_seq != seq:
+                    continue
+            self._handle_worker_death(
+                wid, seq, 0, pending, broadcasted, weights_blob,
+                f"unexpected message type {msg_type}", kind="eval",
+            )
+
+        if failures:
+            raise ExecutorError(
+                "client evaluation failed on worker agent(s):\n"
+                + "\n".join(failures)
+            )
+        return {req.client_id: accs[req.client_id] for req in requests}
 
     # ------------------------------------------------------------------
     def close(self) -> None:

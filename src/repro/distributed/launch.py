@@ -35,11 +35,18 @@ def spawn_local_workers(
     capacities: Optional[Sequence[int]] = None,
     python: str = sys.executable,
     stderr=subprocess.DEVNULL,
+    log_dir: Optional[str] = None,
 ) -> List[subprocess.Popen]:
     """Start ``num_workers`` agents pointed at ``endpoint``.
 
     ``capacities`` optionally sets a per-worker ``--capacity``; pass
     ``stderr=None`` to see worker logs on the parent's stderr.
+
+    ``log_dir`` (or the ``REPRO_WORKER_LOG_DIR`` environment variable,
+    which CI sets so worker logs can be uploaded as artifacts when the
+    distributed smoke fails) redirects each worker's stderr to
+    ``<log_dir>/worker-<i>.log``, appending -- several spawns within one
+    test session share the files instead of clobbering each other.
     """
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -47,13 +54,23 @@ def spawn_local_workers(
         raise ValueError(
             f"got {len(capacities)} capacities for {num_workers} workers"
         )
+    if log_dir is None:
+        log_dir = os.environ.get("REPRO_WORKER_LOG_DIR") or None
+    if log_dir is not None:
+        os.makedirs(log_dir, exist_ok=True)
     env = _worker_env()
     procs: List[subprocess.Popen] = []
     for i in range(num_workers):
         cmd = [python, "-m", "repro.cli", "worker", "--connect", endpoint]
         if capacities is not None:
             cmd += ["--capacity", str(capacities[i])]
-        procs.append(subprocess.Popen(cmd, env=env, stderr=stderr))
+        if log_dir is not None:
+            with open(Path(log_dir) / f"worker-{i}.log", "ab") as log_file:
+                # Popen duplicates the fd; closing our handle right after
+                # keeps the parent's descriptor table bounded.
+                procs.append(subprocess.Popen(cmd, env=env, stderr=log_file))
+        else:
+            procs.append(subprocess.Popen(cmd, env=env, stderr=stderr))
     return procs
 
 

@@ -18,6 +18,10 @@ The conversation:
       | -- UPDATE {seq, cid, n, rng, w} ---->|   one per client, carries
       | -- TRAINFAIL {seq, cid, tb} -------->|   the advanced RNG state
       |                                      |
+      |<-- EVAL {seq, clients} --------------|   batched holdout eval
+      | -- EVAL_RESULT {seq, cid,            |   against the last
+      |      accuracy | error} ------------->|   BROADCAST; one per client
+      |                                      |
       |<-- PING -----------------------------|   liveness (answered by a
       | -- PONG ---------------------------->|   dedicated worker thread)
       |<-- SHUTDOWN -------------------------|   clean teardown
@@ -78,10 +82,17 @@ __all__ = [
     "decode_update",
     "encode_trainfail",
     "decode_trainfail",
+    "encode_eval",
+    "decode_eval",
+    "encode_eval_result",
+    "decode_eval_result",
 ]
 
 #: Bump on any wire-incompatible change; checked in the handshake.
-PROTOCOL_VERSION = 1
+#: v2 added the EVAL / EVAL_RESULT frames (batched holdout evaluation);
+#: a v1 peer would silently ignore-or-choke on them, so v1 workers are
+#: REJECTed at the handshake.
+PROTOCOL_VERSION = 2
 
 
 class MsgType(IntEnum):
@@ -99,6 +110,8 @@ class MsgType(IntEnum):
     PONG = 10
     SHUTDOWN = 11
     BYE = 12
+    EVAL = 13
+    EVAL_RESULT = 14
 
 
 class ProtocolError(RuntimeError):
@@ -222,6 +235,59 @@ def encode_trainfail(seq: int, client_id: int, tb: str) -> bytes:
 def decode_trainfail(payload: bytes) -> Tuple[int, int, str]:
     obj = _decode_json(payload, ("seq", "client_id", "traceback"), "TRAINFAIL")
     return int(obj["seq"]), int(obj["client_id"]), str(obj["traceback"])
+
+
+def encode_eval(seq: int, client_ids: Sequence[int]) -> bytes:
+    return json.dumps(
+        {"seq": int(seq), "clients": [int(cid) for cid in client_ids]}
+    ).encode("utf-8")
+
+
+def decode_eval(payload: bytes) -> Tuple[int, List[int]]:
+    obj = _decode_json(payload, ("seq", "clients"), "EVAL")
+    return int(obj["seq"]), [int(cid) for cid in obj["clients"]]
+
+
+def encode_eval_result(
+    seq: int, client_id: int, accuracy: Optional[float], error: Optional[str] = None
+) -> bytes:
+    """One client's holdout accuracy -- or its failure traceback.
+
+    Exactly one of ``accuracy`` / ``error`` must be set.  The accuracy
+    travels as a JSON number: Python's float repr round-trips binary64
+    exactly, so the coordinator reads back the bit-identical value the
+    worker computed.
+    """
+    if (accuracy is None) == (error is None):
+        raise ValueError("exactly one of accuracy / error must be given")
+    return json.dumps(
+        {
+            "seq": int(seq),
+            "client_id": int(client_id),
+            "accuracy": None if accuracy is None else float(accuracy),
+            "error": None if error is None else str(error),
+        }
+    ).encode("utf-8")
+
+
+def decode_eval_result(
+    payload: bytes,
+) -> Tuple[int, int, Optional[float], Optional[str]]:
+    obj = _decode_json(
+        payload, ("seq", "client_id", "accuracy", "error"), "EVAL_RESULT"
+    )
+    accuracy = obj["accuracy"]
+    error = obj["error"]
+    if (accuracy is None) == (error is None):
+        raise ProtocolError(
+            "EVAL_RESULT must carry exactly one of accuracy / error"
+        )
+    return (
+        int(obj["seq"]),
+        int(obj["client_id"]),
+        None if accuracy is None else float(accuracy),
+        None if error is None else str(error),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -220,6 +220,37 @@ class WorkerAgent:
                     proto.encode_trainfail(seq, client_id, traceback.format_exc()),
                 )
 
+    def _handle_eval(self, conn: Connection, payload: bytes) -> None:
+        """Evaluate owned clients' holdouts against the last BROADCAST."""
+        seq, client_ids = proto.decode_eval(payload)
+        if self._broadcast is None or self._broadcast[0] != seq:
+            have = None if self._broadcast is None else self._broadcast[0]
+            raise proto.ProtocolError(
+                f"EVAL for seq {seq} but the last BROADCAST was seq {have}"
+            )
+        if self._workspace is None:
+            raise proto.ProtocolError("EVAL before ASSIGN")
+        unknown = [cid for cid in client_ids if cid not in self._clients]
+        if unknown:
+            raise proto.ProtocolError(
+                f"EVAL for clients {unknown} this worker does not own"
+            )
+        global_flat = self._broadcast[1]
+        for client_id in client_ids:
+            try:
+                acc = self._clients[client_id].evaluate(self._workspace, global_flat)
+                conn.send(
+                    proto.MsgType.EVAL_RESULT,
+                    proto.encode_eval_result(seq, client_id, float(acc)),
+                )
+            except Exception:
+                conn.send(
+                    proto.MsgType.EVAL_RESULT,
+                    proto.encode_eval_result(
+                        seq, client_id, None, traceback.format_exc()
+                    ),
+                )
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -277,6 +308,8 @@ class WorkerAgent:
                         self._broadcast = proto.decode_broadcast(payload)
                     elif msg_type == proto.MsgType.TRAIN:
                         self._handle_train(conn, payload)
+                    elif msg_type == proto.MsgType.EVAL:
+                        self._handle_eval(conn, payload)
                     else:
                         raise proto.ProtocolError(
                             f"unexpected message type {msg_type}"

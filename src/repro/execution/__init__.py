@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 from repro.execution.base import (
     ClientExecutor,
+    EvalRequest,
     ExecutorError,
     TrainRequest,
     order_updates,
@@ -39,6 +40,7 @@ __all__ = [
     "ClientExecutor",
     "ExecutorError",
     "TrainRequest",
+    "EvalRequest",
     "order_updates",
     "SerialExecutor",
     "ThreadExecutor",

@@ -22,12 +22,25 @@ request list deterministically (from the cohort the selector and the
 latency model produced), so the FedAvg summation order -- and therefore
 the global weights -- are bit-identical across all three backends.  The
 equivalence test in ``tests/execution/test_executors.py`` enforces this.
+
+Batched evaluation
+------------------
+Evaluation parallelises exactly like training: :meth:`ClientExecutor.
+evaluate_cohort` takes a batch of :class:`EvalRequest` and returns every
+requested client's holdout accuracy, keyed by client id in request
+order.  Per-client holdout evaluation is pure (no RNG advances, no
+state mutates), so every backend is trivially bit-identical -- enforced
+by ``tests/execution/test_eval_executors.py`` all the same.  Server-held
+datasets (the global test set) go through :meth:`ClientExecutor.
+evaluate_model`; backends whose workers hold local model replicas may
+shard that pass, provided the result stays bit-identical to one serial
+``Sequential.evaluate`` call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,6 +50,7 @@ from repro.simcluster.client import ClientUpdate, SimClient
 
 __all__ = [
     "TrainRequest",
+    "EvalRequest",
     "ClientExecutor",
     "ExecutorError",
     "order_updates",
@@ -57,6 +71,18 @@ class TrainRequest:
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError(f"epochs must be positive, got {self.epochs}")
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One client's holdout-evaluation order.
+
+    Requesting a client whose holdout is empty is an error surfaced as
+    :class:`ExecutorError` -- servers filter (and log) those *before*
+    batching, so the denominator policy lives in one place.
+    """
+
+    client_id: int
 
 
 def order_updates(
@@ -141,7 +167,9 @@ class ClientExecutor:
             raise ExecutorError(f"{self.name} executor used before bind()")
         return self._clients
 
-    def _check_requests(self, requests: Sequence[TrainRequest]) -> Dict[int, SimClient]:
+    def _check_requests(
+        self, requests: Sequence[Union[TrainRequest, EvalRequest]]
+    ) -> Dict[int, SimClient]:
         """Bound / known / no-duplicates precondition shared by every backend."""
         clients = self._require_bound()
         unknown = [r.client_id for r in requests if r.client_id not in clients]
@@ -172,6 +200,36 @@ class ClientExecutor:
         response latency the server already measured.
         """
         raise NotImplementedError
+
+    def evaluate_cohort(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
+        """Evaluate ``flat_weights`` on every requested client's holdout.
+
+        Returns ``{client_id: accuracy}`` with keys inserted in request
+        order.  Evaluation is pure (no client state advances), so the
+        result is bit-identical across every backend; a per-client
+        failure (e.g. an empty holdout) raises :class:`ExecutorError`.
+        """
+        raise NotImplementedError
+
+    def evaluate_model(
+        self, flat_weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> float:
+        """Accuracy of ``flat_weights`` on a server-held dataset.
+
+        Default: one serial pass in the calling process on the bound
+        model shell (exactly the pre-executor behaviour).  Backends
+        holding local replicas may override with a sharded pass, but
+        must stay bit-identical to the serial result; backends whose
+        workers live in other address spaces (process / distributed)
+        keep the default -- the server's test data never ships.
+        """
+        self._require_bound()
+        self._model.set_flat_weights(flat_weights)
+        return self._model.evaluate(x, y)
 
     def close(self) -> None:
         """Release worker resources; the executor is unusable afterwards.

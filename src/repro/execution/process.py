@@ -1,4 +1,4 @@
-"""Process-pool executor: pinned workers + shared-memory weight broadcast.
+"""Process-pool executor: pinned workers + shared-memory weight transport.
 
 Design (the memory / determinism contract):
 
@@ -19,7 +19,18 @@ Design (the memory / determinism contract):
   once per round into an anonymous shared array
   (``multiprocessing.RawArray``); workers map it as a read-only numpy
   view, so broadcasting costs O(1) copies regardless of cohort size.
-  Worker results (the updated weight vectors) return over a queue.
+* **Shared-memory returns.**  Updated weight vectors come back the same
+  way: each worker owns a private return segment (the mirror of the
+  broadcast segment) guarded by a one-slot semaphore.  The worker writes
+  the trained weights into its slot and posts *metadata only* (client
+  id, sample count, advanced RNG state) on the result queue; the parent
+  copies the slot out and releases it.  The per-update weight vector is
+  never pickled, so the return path costs one memcpy instead of a
+  serialise/deserialise round-trip.
+* **Batched evaluation.**  ``evaluate_cohort`` reuses the broadcast
+  segment: workers evaluate their pinned clients' holdouts against the
+  shared weights and return bare floats over the queue (no shared slot
+  needed -- accuracies are scalars).
 * **Deterministic merge.**  Results arrive in completion order and are
   reordered into request order before the server ever sees them.
 
@@ -37,7 +48,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import TrainingConfig
-from repro.execution.base import ClientExecutor, ExecutorError, TrainRequest, order_updates
+from repro.execution.base import (
+    ClientExecutor,
+    EvalRequest,
+    ExecutorError,
+    TrainRequest,
+    order_updates,
+)
 from repro.nn.model import Sequential
 from repro.simcluster.client import ClientUpdate, SimClient
 
@@ -52,46 +69,71 @@ def _worker_main(
     workspace: Sequential,
     training: TrainingConfig,
     shared_weights,
+    return_slot,
+    slot_free,
     num_params: int,
     task_q,
     result_q,
 ) -> None:
-    """Worker loop: train pinned clients against the broadcast weights."""
+    """Worker loop: train/evaluate pinned clients against shared weights."""
     global_flat = np.frombuffer(shared_weights, dtype=np.float64, count=num_params)
+    slot_view = np.frombuffer(return_slot, dtype=np.float64, count=num_params)
     while True:
         msg = task_q.get()
         if msg is None:
             break
-        seq, round_idx, jobs = msg
-        factory = training.optimizer_factory(round_idx)
-        for client_id, epochs in jobs:
-            try:
-                client = clients[client_id]
-                w = client.train(
-                    workspace,
-                    global_flat,
-                    factory,
-                    batch_size=training.batch_size,
-                    epochs=epochs,
-                    prox_mu=training.prox_mu,
-                )
-                # Ship the advanced training-RNG state home with the
-                # update: the parent pool stays the single source of
-                # truth, so the same clients can later be reused with any
-                # backend (or a fresh executor) without replaying streams.
-                rng = getattr(client, "_train_rng", None)
-                state = rng.bit_generator.state if rng is not None else None
-                result_q.put(
-                    (seq, "ok", client_id, w, client.num_train_samples, state)
-                )
-            except Exception:
-                # Exception, not BaseException: a Ctrl-C delivered to the
-                # process group must kill the worker loop (the parent then
-                # reports dead workers), not be reported as a per-client
-                # training failure.
-                result_q.put(
-                    (seq, "err", client_id, traceback.format_exc(), 0, None)
-                )
+        kind = msg[0]
+        if kind == "train":
+            _, seq, round_idx, jobs = msg
+            factory = training.optimizer_factory(round_idx)
+            for client_id, epochs in jobs:
+                try:
+                    client = clients[client_id]
+                    w = client.train(
+                        workspace,
+                        global_flat,
+                        factory,
+                        batch_size=training.batch_size,
+                        epochs=epochs,
+                        prox_mu=training.prox_mu,
+                    )
+                    # Ship the advanced training-RNG state home with the
+                    # update: the parent pool stays the single source of
+                    # truth, so the same clients can later be reused with
+                    # any backend (or a fresh executor) without replaying
+                    # streams.
+                    rng = getattr(client, "_train_rng", None)
+                    state = rng.bit_generator.state if rng is not None else None
+                    # Shared-memory return: wait until the parent freed
+                    # this worker's slot, write the weights, then post
+                    # metadata only.  The parent releases the slot for
+                    # every "ok" it drains -- stale ones included -- so
+                    # this acquire can never deadlock a live parent.
+                    slot_free.acquire()
+                    slot_view[: w.size] = w
+                    result_q.put(
+                        ("ok", seq, worker_id, client_id,
+                         client.num_train_samples, state)
+                    )
+                except Exception:
+                    # Exception, not BaseException: a Ctrl-C delivered to
+                    # the process group must kill the worker loop (the
+                    # parent then reports dead workers), not be reported
+                    # as a per-client training failure.
+                    result_q.put(
+                        ("err", seq, worker_id, client_id, traceback.format_exc())
+                    )
+        elif kind == "eval":
+            _, seq, client_ids = msg
+            for client_id in client_ids:
+                try:
+                    acc = clients[client_id].evaluate(workspace, global_flat)
+                    result_q.put(("eval_ok", seq, worker_id, client_id, float(acc)))
+                except Exception:
+                    result_q.put(
+                        ("eval_err", seq, worker_id, client_id,
+                         traceback.format_exc())
+                    )
 
 
 class ProcessExecutor(ClientExecutor):
@@ -119,6 +161,9 @@ class ProcessExecutor(ClientExecutor):
         self._task_qs: List = []
         self._result_q = None
         self._shared = None
+        self._return_slots: List = []
+        self._slot_free: List = []
+        self._num_params = 0
         self._owner: Dict[int, int] = {}  # client_id -> worker index
         self._seq = 0  # cohort sequence number; guards against stale results
 
@@ -144,11 +189,14 @@ class ProcessExecutor(ClientExecutor):
         ids = sorted(clients)
         self._owner = {cid: i % n_workers for i, cid in enumerate(ids)}
         num_params = self._model.num_params()
+        self._num_params = num_params
         self._shared = self._ctx.RawArray("d", max(num_params, 1))
         self._result_q = self._ctx.Queue()
         for wid in range(n_workers):
             owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
             task_q = self._ctx.Queue()
+            return_slot = self._ctx.RawArray("d", max(num_params, 1))
+            slot_free = self._ctx.Semaphore(1)
             proc = self._ctx.Process(
                 target=_worker_main,
                 args=(
@@ -157,6 +205,8 @@ class ProcessExecutor(ClientExecutor):
                     self._model,
                     self._training,
                     self._shared,
+                    return_slot,
+                    slot_free,
                     num_params,
                     task_q,
                     self._result_q,
@@ -166,7 +216,41 @@ class ProcessExecutor(ClientExecutor):
             )
             proc.start()
             self._task_qs.append(task_q)
+            self._return_slots.append(return_slot)
+            self._slot_free.append(slot_free)
             self._procs.append(proc)
+
+    def _broadcast_weights(self, global_weights: np.ndarray) -> None:
+        """One write into the shared segment, visible to every worker
+        before its round message arrives (queue send orders it)."""
+        flat = np.asarray(global_weights, dtype=np.float64).ravel()
+        view = np.frombuffer(self._shared, dtype=np.float64, count=flat.size)
+        view[:] = flat
+
+    def _copy_out_slot(self, wid: int) -> np.ndarray:
+        """Copy a worker's returned weight vector and free its slot."""
+        w = np.frombuffer(
+            self._return_slots[wid], dtype=np.float64, count=self._num_params
+        ).copy()
+        self._slot_free[wid].release()
+        return w
+
+    def _next_result(self, waited_box: List[float]):
+        """One result-queue read with dead-worker and timeout checks."""
+        poll = min(1.0, self.result_timeout)
+        try:
+            return self._result_q.get(timeout=poll)
+        except queue_mod.Empty:
+            # Short poll interval so a dead worker (OOM-kill, factory
+            # error escaping the per-client try) fails the round in
+            # seconds, not after the full result_timeout.
+            waited_box[0] += poll
+            dead = [p.name for p in self._procs if not p.is_alive()]
+            if dead:
+                raise ExecutorError(f"worker process(es) died mid-round: {dead}")
+            if waited_box[0] >= self.result_timeout:
+                raise ExecutorError("timed out waiting for client results")
+            return None
 
     # ------------------------------------------------------------------
     def train_cohort(
@@ -182,12 +266,7 @@ class ProcessExecutor(ClientExecutor):
         self._ensure_started()
         self._seq += 1
         seq = self._seq
-
-        # Broadcast: one write into the shared segment, visible to every
-        # worker before its round message arrives (queue send orders it).
-        flat = np.asarray(global_weights, dtype=np.float64).ravel()
-        view = np.frombuffer(self._shared, dtype=np.float64, count=flat.size)
-        view[:] = flat
+        self._broadcast_weights(global_weights)
 
         per_worker: Dict[int, List[_Job]] = {}
         for req in requests:
@@ -195,48 +274,48 @@ class ProcessExecutor(ClientExecutor):
                 (req.client_id, req.epochs)
             )
         for wid, jobs in per_worker.items():
-            self._task_qs[wid].put((seq, round_idx, jobs))
+            self._task_qs[wid].put(("train", seq, round_idx, jobs))
 
         updates: List[ClientUpdate] = []
         failures: List[str] = []
         received = 0
-        waited = 0.0
+        waited = [0.0]
         while received < len(requests):
-            # Short poll interval so a dead worker (OOM-kill, factory
-            # error escaping the per-client try) fails the round in
-            # seconds, not after the full result_timeout.
-            try:
-                msg_seq, status, cid, payload, n_samples, rng_state = (
-                    self._result_q.get(timeout=min(1.0, self.result_timeout))
-                )
-            except queue_mod.Empty:
-                waited += min(1.0, self.result_timeout)
-                dead = [p.name for p in self._procs if not p.is_alive()]
-                if dead:
-                    raise ExecutorError(
-                        f"worker process(es) died mid-round: {dead}"
-                    )
-                if waited >= self.result_timeout:
-                    raise ExecutorError("timed out waiting for client updates")
+            msg = self._next_result(waited)
+            if msg is None:
                 continue
-            if msg_seq != seq:
-                # Stale result from a cohort that previously timed out --
-                # a worker was slow, not dead.  Discard it so it is never
-                # merged.  NOTE: that client's pinned training RNG still
-                # advanced for the abandoned pass, so a timeout-retry is
-                # *correct* (right weights merged, right order) but not
-                # bit-identical to an untimed-out serial run -- same as a
-                # physical testbed re-running a client.
-                continue
-            received += 1
-            if status == "err":
-                failures.append(f"client {cid}:\n{payload}")
-            else:
+            kind, msg_seq = msg[0], msg[1]
+            if kind == "ok":
+                _, _, wid, cid, n_samples, rng_state = msg
+                # The slot must be copied (or discarded) and released for
+                # *every* "ok", stale ones included, or the worker that
+                # produced it deadlocks on its next acquire.
+                w = self._copy_out_slot(wid)
+                if msg_seq != seq:
+                    # Stale result from a cohort that previously timed
+                    # out -- a worker was slow, not dead.  Discard it so
+                    # it is never merged.  NOTE: that client's pinned
+                    # training RNG still advanced for the abandoned pass,
+                    # so a timeout-retry is *correct* (right weights
+                    # merged, right order) but not bit-identical to an
+                    # untimed-out serial run -- same as a physical
+                    # testbed re-running a client.
+                    continue
+                received += 1
                 if rng_state is not None:
                     rng = getattr(self._clients[cid], "_train_rng", None)
                     if rng is not None:
                         rng.bit_generator.state = rng_state
-                updates.append(self._stamp(cid, payload, n_samples, latencies))
+                updates.append(self._stamp(cid, w, n_samples, latencies))
+            elif kind == "err":
+                _, _, wid, cid, tb = msg
+                if msg_seq != seq:
+                    continue
+                received += 1
+                failures.append(f"client {cid}:\n{tb}")
+            else:
+                # Stale eval results from an abandoned evaluate_cohort.
+                continue
         if failures:
             raise ExecutorError(
                 "client training failed in worker process:\n" + "\n".join(failures)
@@ -244,11 +323,70 @@ class ProcessExecutor(ClientExecutor):
         return order_updates(updates, requests)
 
     # ------------------------------------------------------------------
+    def evaluate_cohort(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
+        self._check_requests(requests)
+        if not requests:
+            return {}
+        self._ensure_started()
+        self._seq += 1
+        seq = self._seq
+        self._broadcast_weights(flat_weights)
+
+        per_worker: Dict[int, List[int]] = {}
+        for req in requests:
+            per_worker.setdefault(self._owner[req.client_id], []).append(
+                req.client_id
+            )
+        for wid, cids in per_worker.items():
+            self._task_qs[wid].put(("eval", seq, cids))
+
+        accs: Dict[int, float] = {}
+        failures: List[str] = []
+        received = 0
+        waited = [0.0]
+        while received < len(requests):
+            msg = self._next_result(waited)
+            if msg is None:
+                continue
+            kind, msg_seq = msg[0], msg[1]
+            if kind == "ok":
+                # Stale training update from an abandoned cohort: the
+                # slot still has to be drained and freed.
+                self._copy_out_slot(msg[2])
+                continue
+            if msg_seq != seq:
+                continue
+            if kind == "eval_ok":
+                _, _, wid, cid, acc = msg
+                received += 1
+                accs[cid] = acc
+            elif kind == "eval_err":
+                _, _, wid, cid, tb = msg
+                received += 1
+                failures.append(f"client {cid}:\n{tb}")
+        if failures:
+            raise ExecutorError(
+                "client evaluation failed in worker process:\n" + "\n".join(failures)
+            )
+        return {req.client_id: accs[req.client_id] for req in requests}
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         super().close()
         for task_q in self._task_qs:
             try:
                 task_q.put(None)
+            except (ValueError, OSError):
+                pass
+        # A worker blocked on a full return slot cannot see the shutdown
+        # sentinel; free every slot so in-flight passes can finish.
+        for sem in self._slot_free:
+            try:
+                sem.release()
             except (ValueError, OSError):
                 pass
         for proc in self._procs:
@@ -264,6 +402,8 @@ class ProcessExecutor(ClientExecutor):
         self._procs = []
         self._task_qs = []
         self._shared = None
+        self._return_slots = []
+        self._slot_free = []
         self._owner = {}
 
     def __del__(self) -> None:  # pragma: no cover - safety net

@@ -8,11 +8,16 @@ the parallel backends are tested against.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.execution.base import ClientExecutor, TrainRequest
+from repro.execution.base import (
+    ClientExecutor,
+    EvalRequest,
+    ExecutorError,
+    TrainRequest,
+)
 from repro.simcluster.client import ClientUpdate
 
 __all__ = ["SerialExecutor"]
@@ -47,3 +52,21 @@ class SerialExecutor(ClientExecutor):
                 self._stamp(req.client_id, w, client.num_train_samples, latencies)
             )
         return updates
+
+    def evaluate_cohort(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
+        clients = self._check_requests(requests)
+        out: Dict[int, float] = {}
+        for req in requests:
+            try:
+                out[req.client_id] = clients[req.client_id].evaluate(
+                    self._model, flat_weights
+                )
+            except Exception as exc:
+                raise ExecutorError(
+                    f"client {req.client_id} evaluation failed: {exc}"
+                ) from exc
+        return out

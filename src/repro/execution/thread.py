@@ -22,15 +22,27 @@ from __future__ import annotations
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.execution.base import ClientExecutor, ExecutorError, TrainRequest, order_updates
+from repro.execution.base import (
+    ClientExecutor,
+    EvalRequest,
+    ExecutorError,
+    TrainRequest,
+    order_updates,
+)
 from repro.nn.model import Sequential
 from repro.simcluster.client import ClientUpdate
 
 __all__ = ["ThreadExecutor"]
+
+#: Must match the ``batch_size`` default of :meth:`Sequential.evaluate`:
+#: shards of :meth:`ThreadExecutor.evaluate_model` are cut on multiples
+#: of this so every sample sits in the same forward batch it would in a
+#: serial pass -- the property that keeps the sharded result bit-exact.
+_EVAL_BATCH = 256
 
 
 class ThreadExecutor(ClientExecutor):
@@ -97,6 +109,13 @@ class ThreadExecutor(ClientExecutor):
             self._release_replica(replica)
         return self._stamp(req.client_id, w, client.num_train_samples, latencies)
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
     def train_cohort(
         self,
         round_idx: int,
@@ -107,10 +126,7 @@ class ThreadExecutor(ClientExecutor):
         self._check_requests(requests)
         if not requests:
             return []
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec"
-            )
+        self._ensure_pool()
         futures = [
             self._pool.submit(self._train_one, req, round_idx, global_weights, latencies)
             for req in requests
@@ -127,6 +143,91 @@ class ThreadExecutor(ClientExecutor):
         if error is not None:
             raise ExecutorError(f"client training failed: {error}") from error
         return order_updates(updates, requests)
+
+    # ------------------------------------------------------------------
+    def _eval_one(self, req: EvalRequest, flat_weights: np.ndarray):
+        client = self._clients[req.client_id]
+        replica = self._acquire_replica()
+        try:
+            return req.client_id, client.evaluate(replica, flat_weights)
+        finally:
+            self._release_replica(replica)
+
+    def evaluate_cohort(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
+        self._check_requests(requests)
+        if not requests:
+            return {}
+        self._ensure_pool()
+        futures = [
+            self._pool.submit(self._eval_one, req, flat_weights) for req in requests
+        ]
+        accs: Dict[int, float] = {}
+        error: Optional[Exception] = None
+        for fut in as_completed(futures):
+            try:
+                cid, acc = fut.result()
+                accs[cid] = acc
+            except Exception as exc:
+                error = error or exc
+        if error is not None:
+            raise ExecutorError(f"client evaluation failed: {error}") from error
+        # Completion order varied; re-key into request order.
+        return {req.client_id: accs[req.client_id] for req in requests}
+
+    def evaluate_model(
+        self, flat_weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> float:
+        """Shard the dataset over replicas; bit-identical to one pass.
+
+        Shard boundaries fall on multiples of the serial eval batch size,
+        so each sample's logits come from exactly the forward batch the
+        serial pass would have placed it in, and correct-counts sum
+        exactly -- the combined accuracy equals ``float(np.mean(...))``
+        of the full pass bit-for-bit.  Small inputs (fewer batches than
+        workers would meaningfully split) take the serial path.
+        """
+        self._require_bound()
+        n = int(x.shape[0])
+        num_batches = -(-n // _EVAL_BATCH)  # ceil
+        if num_batches < 2 or self.workers < 2:
+            return super().evaluate_model(flat_weights, x, y)
+        self._ensure_pool()
+        shards = min(self.workers, num_batches)
+        batches_per_shard = -(-num_batches // shards)
+        bounds = [
+            (
+                s * batches_per_shard * _EVAL_BATCH,
+                min(n, (s + 1) * batches_per_shard * _EVAL_BATCH),
+            )
+            for s in range(shards)
+        ]
+        bounds = [(a, b) for a, b in bounds if a < b]
+        y_arr = np.asarray(y)
+
+        def _count_correct(a: int, b: int) -> int:
+            replica = self._acquire_replica()
+            try:
+                replica.set_flat_weights(flat_weights)
+                preds = replica.predict(x[a:b], batch_size=_EVAL_BATCH)
+            finally:
+                self._release_replica(replica)
+            return int(np.count_nonzero(preds == y_arr[a:b]))
+
+        futures = [self._pool.submit(_count_correct, a, b) for a, b in bounds]
+        correct = 0
+        error: Optional[Exception] = None
+        for fut in as_completed(futures):
+            try:
+                correct += fut.result()
+            except Exception as exc:
+                error = error or exc
+        if error is not None:
+            raise ExecutorError(f"global evaluation failed: {error}") from error
+        return float(correct / n)
 
     def close(self) -> None:
         super().close()

@@ -13,7 +13,7 @@ Metrics the paper reasons about but does not always plot directly:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ times and we use the average values"), aligning on round indices.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

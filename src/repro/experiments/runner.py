@@ -19,7 +19,7 @@ from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
 from repro.fl.history import TrainingHistory
 from repro.fl.selection import OverSelector, RandomSelector
 from repro.fl.server import FLServer
-from repro.rng import RngLike, derive, make_rng
+from repro.rng import derive
 from repro.tifl.scheduler import TierPolicy
 from repro.tifl.server import TiFLServer
 

@@ -13,7 +13,7 @@ so TiFL's tiering composes with the scalable architecture unchanged.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

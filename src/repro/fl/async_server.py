@@ -27,7 +27,7 @@ server against synchronous vanilla and TiFL.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -169,8 +169,11 @@ class AsyncFLServer:
 
             accuracy: Optional[float] = None
             if (self.updates_applied - 1) % self.eval_every == 0:
-                self.model.set_flat_weights(self.global_weights)
-                accuracy = self.model.evaluate(self.test_data.x, self.test_data.y)
+                # Same batched entry point as the synchronous servers:
+                # the thread backend shards this pass, bit-identically.
+                accuracy = self.executor.evaluate_model(
+                    self.global_weights, self.test_data.x, self.test_data.y
+                )
 
             self.history.append(
                 RoundRecord(

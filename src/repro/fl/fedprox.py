@@ -17,7 +17,7 @@ comparison.  :func:`make_fedprox_server` wires both pieces into a standard
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.config import TrainingConfig
 from repro.data.datasets import Dataset

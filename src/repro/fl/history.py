@@ -9,7 +9,7 @@ harnesses consume (accuracy-over-rounds, accuracy-over-time, total time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

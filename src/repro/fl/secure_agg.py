@@ -24,7 +24,7 @@ via the ``aggregator`` hook.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -33,6 +33,7 @@ from repro.rng import RngLike, make_rng
 from repro.simcluster.client import SimClient
 from repro.simcluster.clock import SimulatedClock
 from repro.simcluster.faults import FaultInjector
+from repro.simcluster.latency import CohortLatencySampler, resolve_latency_stream
 
 __all__ = ["FLServer"]
 
@@ -76,6 +77,15 @@ class FLServer:
         All backends are bit-identical (see :mod:`repro.execution`); the
         parallel ones only change wall-clock time.  Call :meth:`close`
         (or use the server as a context manager) to release workers.
+    latency_stream:
+        Versioned latency-RNG design (see :mod:`repro.simcluster.latency`).
+        ``None`` / ``"per-client"`` (default) keeps the seed-compatible v1
+        per-client streams; ``"cohort"`` (or a ready
+        :class:`~repro.simcluster.latency.CohortLatencySampler`) switches
+        to the v2 round-addressed cohort stream, which samples a whole
+        cohort's latencies in two vectorised draws.  v2 changes every
+        sampled latency relative to v1 (a versioned break, not a bug);
+        each version is internally deterministic and regression-pinned.
     """
 
     def __init__(
@@ -94,6 +104,7 @@ class FLServer:
         rng: RngLike = None,
         executor: Union[str, ClientExecutor, None] = None,
         workers: Optional[int] = None,
+        latency_stream: Union[str, CohortLatencySampler, None] = None,
     ) -> None:
         if not clients:
             raise ValueError("the client pool must be non-empty")
@@ -121,6 +132,9 @@ class FLServer:
         )
         self.clock = clock or SimulatedClock()
         self._rng = make_rng(rng)
+        self.latency_sampler: Optional[CohortLatencySampler] = resolve_latency_stream(
+            latency_stream, self._rng
+        )
         self.global_weights = model.get_flat_weights()
         self.history = TrainingHistory()
         self.excluded: set = set()  # permanently excluded (profiler dropouts)
@@ -147,15 +161,33 @@ class FLServer:
             raise ValueError("excluding these clients would empty the pool")
 
     def evaluate_global(self) -> float:
-        """Accuracy of the current global weights on the global test set."""
-        self.model.set_flat_weights(self.global_weights)
-        return self.model.evaluate(self.test_data.x, self.test_data.y)
+        """Accuracy of the current global weights on the global test set.
+
+        Routed through the executor's :meth:`~repro.execution.ClientExecutor.
+        evaluate_model` entry point so evaluation uses the same batched
+        machinery as training (the thread backend shards the test set
+        across replicas, bit-identically; backends whose workers do not
+        hold the server's test data evaluate in the server process).
+        """
+        return self.executor.evaluate_model(
+            self.global_weights, self.test_data.x, self.test_data.y
+        )
 
     # ------------------------------------------------------------------
     def _measure_latencies(
         self, plan: SelectionPlan, round_idx: int
     ) -> Dict[int, float]:
         epochs = {cid: self.epochs_for(cid, round_idx) for cid in plan.clients}
+        if self.latency_sampler is not None:
+            # v2: one round-addressed stream, two vectorised noise blocks.
+            cohort = [self.clients[cid] for cid in plan.clients]
+            return self.latency_sampler.sample_cohort(
+                cohort,
+                self.num_params,
+                epochs=epochs,
+                round_idx=round_idx,
+                fault=self.fault,
+            )
         return {
             cid: self.clients[cid].response_latency(
                 self.num_params,

@@ -7,7 +7,7 @@ FedProx local objective used as a baseline in the related-work comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ draws seen by another (a property the test-suite checks).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
-import numpy as np
 
 from repro.rng import RngLike, make_rng
 

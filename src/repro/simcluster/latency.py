@@ -15,19 +15,63 @@ and multiply by a log-normal noise factor (real response latencies are
 right-skewed).  ``cost_per_sample`` is a model-complexity knob: harnesses
 set it from the parameter count of the trained network so that, e.g., the
 CIFAR-10 CNN is slower than the MNIST CNN at equal CPU.
+
+Latency RNG streams (versioned)
+-------------------------------
+Two stream designs coexist; the difference is load-bearing for
+reproducibility, so the switch is explicit and versioned:
+
+* **v1, "per-client" (the seed behaviour, default).**  Every
+  :class:`~repro.simcluster.client.SimClient` owns a private
+  ``_latency_rng`` spawned at construction; each
+  ``response_latency`` call draws compute noise then comm jitter from
+  that stream.  Draw positions depend on how often *that client* has
+  been asked, so a whole cohort costs one Python-level RNG round-trip
+  per client per component.
+* **v2, "cohort" (:class:`CohortLatencySampler`).**  One deterministic
+  stream per ``(seed, round)`` coordinate, addressed via
+  ``SeedSequence`` spawn keys; the whole cohort's compute noise is one
+  vectorised :meth:`LatencyModel.sample_compute_cohort` call and its
+  comm jitter one
+  :meth:`~repro.simcluster.network.CommModel.sample_round_trip_cohort`
+  call.  Draws depend only on ``(seed, round, cohort order)`` -- never
+  on history -- so rounds can be sampled in any order or replayed.
+
+v2 is **not** bit-compatible with v1: v1 interleaves per-client streams
+(compute:sub:`i`, comm:sub:`i` from client *i*'s generator) while v2
+draws one cohort-wide compute block then one comm block from a
+round-addressed stream.  Switching a federation from v1 to v2 therefore
+changes every sampled latency, which changes straggler order, cohort
+keep-sets and the simulated clock.  That is why servers default to v1
+and v2 is opt-in via ``latency_stream="cohort"``; within each version
+the draws are pinned by regression tests
+(``tests/simcluster/test_latency_stream.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.rng import RngLike, make_rng
 from repro.simcluster.resources import ResourceSpec
 
-__all__ = ["LatencyModel"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (client -> latency)
+    from repro.simcluster.client import SimClient
+    from repro.simcluster.faults import FaultInjector
+
+__all__ = [
+    "LatencyModel",
+    "CohortLatencySampler",
+    "resolve_latency_stream",
+    "LATENCY_STREAM_VERSIONS",
+]
+
+#: Recognised ``latency_stream`` specs: v1 per-client (seed behaviour)
+#: and v2 cohort-level (see module docstring).
+LATENCY_STREAM_VERSIONS = ("per-client", "cohort")
 
 
 @dataclass(frozen=True)
@@ -161,3 +205,125 @@ class LatencyModel:
             base_overhead=base_overhead,
             noise_sigma=noise_sigma,
         )
+
+
+class CohortLatencySampler:
+    """The v2 cohort-level latency stream (see module docstring).
+
+    One sampler = one federation's latency randomness.  Each round gets
+    its own child stream addressed by ``(seed, domain, index)`` spawn
+    keys -- training rounds live in domain 0, the profiler's negative
+    round indices in domain 1 -- so draws are a pure function of the
+    round coordinate and the cohort order, never of sampling history.
+
+    Within a round the draw order is fixed: one compute-noise block for
+    the whole cohort (cohort order), then one comm-jitter block.  When
+    every cohort member shares an identical (frozen, value-equal)
+    :class:`LatencyModel` / :class:`~repro.simcluster.network.CommModel`
+    each block is a single vectorised NumPy call; heterogeneous cohorts
+    fall back to scalar draws from the *same* stream in the *same*
+    two-block order, so the fallback is bit-identical whenever the
+    models happen to be equal (pinned by regression test).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CohortLatencySampler(seed={self.seed})"
+
+    def stream_for(self, round_idx: int) -> np.random.Generator:
+        """The round's dedicated generator (idempotent: fresh each call)."""
+        if round_idx >= 0:
+            key = (0, int(round_idx))
+        else:
+            # The profiler addresses its campaigns as round -1, -2, ...;
+            # spawn keys must be non-negative, so negatives get domain 1.
+            key = (1, -1 - int(round_idx))
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=key)
+        )
+
+    def sample_cohort(
+        self,
+        clients: Sequence["SimClient"],
+        num_params: int,
+        epochs: Union[int, Mapping[int, int]] = 1,
+        round_idx: int = 0,
+        fault: Optional["FaultInjector"] = None,
+    ) -> Dict[int, float]:
+        """Sample the full response latency of every client in the cohort.
+
+        ``epochs`` is a scalar or a ``{client_id: epochs}`` mapping.
+        Returns ``{client_id: latency_seconds}`` in cohort order, with
+        ``fault`` applied per client exactly as the v1 path does.
+        """
+        if not clients:
+            return {}
+        rng = self.stream_for(round_idx)
+        if isinstance(epochs, Mapping):
+            eps = [int(epochs[c.client_id]) for c in clients]
+        else:
+            eps = [int(epochs)] * len(clients)
+        samples = [c.num_train_samples for c in clients]
+        specs = [c.spec for c in clients]
+
+        # Block 1: compute noise, whole cohort.
+        lat_models = [c.latency_model for c in clients]
+        if all(m == lat_models[0] for m in lat_models):
+            compute = lat_models[0].sample_compute_cohort(
+                samples, specs, epochs=eps, rng=rng
+            )
+        else:
+            compute = np.asarray(
+                [
+                    m.sample_compute(s, sp, epochs=e, rng=rng)
+                    for m, s, sp, e in zip(lat_models, samples, specs, eps)
+                ],
+                dtype=np.float64,
+            )
+
+        # Block 2: comm jitter, whole cohort.
+        comm_models = [c.comm_model for c in clients]
+        if all(m == comm_models[0] for m in comm_models):
+            comm = comm_models[0].sample_round_trip_cohort(
+                num_params, specs, rng=rng
+            )
+        else:
+            comm = np.asarray(
+                [
+                    m.sample_round_trip(num_params, sp, rng=rng)
+                    for m, sp in zip(comm_models, specs)
+                ],
+                dtype=np.float64,
+            )
+
+        out: Dict[int, float] = {}
+        for client, latency in zip(clients, compute + comm):
+            out[client.client_id] = client.finalize_latency(
+                float(latency), round_idx=round_idx, fault=fault
+            )
+        return out
+
+
+def resolve_latency_stream(
+    spec: Union[str, CohortLatencySampler, None],
+    rng: RngLike = None,
+) -> Optional[CohortLatencySampler]:
+    """Resolve a ``latency_stream`` spec to a sampler (or ``None`` = v1).
+
+    ``None`` / ``"per-client"`` keep the seed-compatible v1 per-client
+    streams.  ``"cohort"`` builds a :class:`CohortLatencySampler` whose
+    seed is drawn deterministically from ``rng``; pass a ready sampler
+    instance to control the seed directly.
+    """
+    if spec is None or spec == "per-client":
+        return None
+    if isinstance(spec, CohortLatencySampler):
+        return spec
+    if spec == "cohort":
+        return CohortLatencySampler(seed=int(make_rng(rng).integers(0, 2**63)))
+    raise ValueError(
+        f"unknown latency_stream {spec!r}; expected one of "
+        f"{LATENCY_STREAM_VERSIONS} or a CohortLatencySampler instance"
+    )

@@ -9,6 +9,7 @@ affine link model, applied once per direction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -64,3 +65,30 @@ class CommModel:
         if self.jitter_sigma == 0.0:
             return base
         return base * float(np.exp(make_rng(rng).normal(0.0, self.jitter_sigma)))
+
+    def sample_round_trip_cohort(
+        self, num_params: int, specs: Sequence[ResourceSpec], rng: RngLike = None
+    ) -> np.ndarray:
+        """Draw a whole cohort's transfer times in one vectorised pass.
+
+        The comm twin of
+        :meth:`repro.simcluster.latency.LatencyModel.sample_compute_cohort`:
+        the jitter for every client is drawn in a single ``normal(size=n)``
+        call, which consumes the same bitstream positions as ``n`` scalar
+        :meth:`sample_round_trip` calls against the same generator, so the
+        per-client values are bit-identical to the scalar loop (pinned by
+        a regression test).  Returns shape ``(len(specs),)``.
+        """
+        if num_params < 0:
+            raise ValueError(f"num_params must be non-negative, got {num_params}")
+        bits = num_params * _BITS_PER_FLOAT
+        bandwidth = np.asarray(
+            [spec.bandwidth_mbps for spec in specs], dtype=np.float64
+        )
+        base = self.rtt + 2.0 * (bits / (bandwidth * 1e6))
+        if self.jitter_sigma == 0.0 or base.size == 0:
+            return base
+        factors = np.exp(
+            make_rng(rng).normal(0.0, self.jitter_sigma, size=base.size)
+        )
+        return base * factors

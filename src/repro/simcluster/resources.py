@@ -11,9 +11,8 @@ clients per hardware type").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-import numpy as np
 
 from repro.rng import RngLike, make_rng
 

@@ -28,7 +28,7 @@ Two small deviations from the paper's pseudo-code, both documented:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 

@@ -13,7 +13,7 @@ reproduces that comparison against the simulator.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -22,7 +22,7 @@ Both reduce to LPs because Eq. 6 is linear in the probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import linprog

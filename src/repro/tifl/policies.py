@@ -21,7 +21,6 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.rng import RngLike, make_rng
 from repro.tifl.scheduler import TierPolicy
 
 __all__ = [

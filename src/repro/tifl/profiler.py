@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.simcluster.client import SimClient
 from repro.simcluster.faults import FaultInjector
+from repro.simcluster.latency import CohortLatencySampler
 
 __all__ = ["ProfilingResult", "profile_clients"]
 
@@ -63,6 +64,8 @@ def profile_clients(
     tmax: Optional[float] = None,
     epochs: int = 1,
     fault: Optional[FaultInjector] = None,
+    latency_sampler: Optional[CohortLatencySampler] = None,
+    round_offset: int = 0,
 ) -> ProfilingResult:
     """Run the Section 4.2 profiling campaign over ``clients``.
 
@@ -82,6 +85,18 @@ def profile_clients(
     fault:
         Optional injector; clients it makes unresponsive (inf latency)
         end up excluded.
+    latency_sampler:
+        Optional v2 cohort latency stream
+        (:class:`~repro.simcluster.latency.CohortLatencySampler`).  When
+        given, each profiling round's latencies come from one vectorised
+        cohort draw addressed as round ``-1 - r`` (the same negative
+        round indices the per-client path uses), instead of per-client
+        ``_latency_rng`` streams.
+    round_offset:
+        Profiling rounds already consumed by earlier campaigns.  Rounds
+        are addressed ``-1 - round_offset - r`` so a re-profiling
+        campaign never re-addresses (and, under the cohort stream,
+        never re-draws) an earlier campaign's noise.
     """
     if not clients:
         raise ValueError("cannot profile an empty client pool")
@@ -94,12 +109,18 @@ def profile_clients(
     raw: Dict[int, List[float]] = {c.client_id: [] for c in clients}
     profiling_time = 0.0
     for r in range(sync_rounds):
-        observed: Dict[int, float] = {}
-        for c in clients:
-            lat = c.response_latency(
-                num_params, epochs=epochs, round_idx=-1 - r, fault=fault
+        round_idx = -1 - int(round_offset) - r
+        if latency_sampler is not None:
+            observed = latency_sampler.sample_cohort(
+                clients, num_params, epochs=epochs, round_idx=round_idx, fault=fault
             )
-            observed[c.client_id] = lat
+        else:
+            observed = {
+                c.client_id: c.response_latency(
+                    num_params, epochs=epochs, round_idx=round_idx, fault=fault
+                )
+                for c in clients
+            }
         for cid, lat in observed.items():
             raw[cid].append(min(lat, deadline))
         finite = [min(v, deadline) for v in observed.values() if np.isfinite(min(v, deadline))]

@@ -9,7 +9,7 @@ untouched (the paper's "non-intrusive, pluggable" design claim).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,18 +10,21 @@ evaluated on every tier's held-out data after each round to maintain the
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import logging
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
 from repro.data.datasets import Dataset
+from repro.execution import EvalRequest
 from repro.fl.history import RoundRecord
 from repro.fl.server import FLServer
 from repro.nn.model import Sequential
 from repro.rng import RngLike, make_rng, spawn
 from repro.simcluster.client import SimClient
 from repro.simcluster.faults import FaultInjector
+from repro.simcluster.latency import CohortLatencySampler, resolve_latency_stream
 from repro.tifl.adaptive import AdaptiveTierPolicy
 from repro.tifl.credits import allocate_credits
 from repro.tifl.policies import StaticTierPolicy
@@ -30,6 +33,8 @@ from repro.tifl.scheduler import TierPolicy, TierScheduler
 from repro.tifl.tiering import TierAssignment, build_tiers
 
 __all__ = ["TiFLServer"]
+
+logger = logging.getLogger(__name__)
 
 PolicySpec = Union[str, TierPolicy]
 
@@ -85,12 +90,18 @@ class TiFLServer(FLServer):
         rng: RngLike = None,
         executor=None,
         workers: Optional[int] = None,
+        latency_stream: Union[str, CohortLatencySampler, None] = None,
         **server_kwargs,
     ) -> None:
         base_rng = make_rng(rng)
         sched_rng, server_rng = spawn(base_rng, 2)
+        # Resolved here (not in FLServer) because the profiling campaign
+        # below runs before super().__init__; the instance is passed down
+        # so profiler and round loop share one stream.
+        latency_sampler = resolve_latency_stream(latency_stream, base_rng)
 
         # --- Step 1: profile & tier (Fig. 2's "Profiler & Tiering") ------
+        self._profiled_rounds = 0
         self.profiling: ProfilingResult = profile_clients(
             clients,
             num_params=model.num_params(),
@@ -98,7 +109,9 @@ class TiFLServer(FLServer):
             tmax=tmax,
             epochs=training.epochs,
             fault=fault,
+            latency_sampler=latency_sampler,
         )
+        self._profiled_rounds += self.profiling.sync_rounds
         self.assignment: TierAssignment = build_tiers(
             self.profiling.mean_latencies,
             num_tiers=num_tiers,
@@ -133,6 +146,7 @@ class TiFLServer(FLServer):
             )
         self.tier_eval_every = tier_eval_every
 
+        self._warned_empty_holdouts = False
         super().__init__(
             clients=clients,
             model=model,
@@ -143,6 +157,7 @@ class TiFLServer(FLServer):
             rng=server_rng,
             executor=executor,
             workers=workers,
+            latency_stream=latency_sampler,
             **server_kwargs,
         )
         if self.profiling.dropouts:
@@ -190,19 +205,42 @@ class TiFLServer(FLServer):
 
         Each client evaluates the global weights on its *local* holdout --
         no raw data leaves the client, preserving the privacy property.
+        All eligible members across every tier are batched into **one**
+        :meth:`~repro.execution.ClientExecutor.evaluate_cohort` call, so
+        tier evaluation parallelises exactly like training.
+
+        Clients with empty holdouts cannot contribute a signal; they are
+        excluded from the tier-mean denominator (a tier whose every
+        member lacks a holdout is simply absent from the result), and the
+        exclusion is logged once per run rather than silently skipped.
         """
-        out: Dict[int, float] = {}
+        eligible: List[int] = []
+        no_holdout: List[int] = []
         for tier in self.assignment.tiers:
-            accs = []
             for cid in tier.client_ids:
                 if cid in self.excluded:
                     continue
-                client = self.clients[cid]
-                if len(client.holdout) == 0:
-                    continue
-                accs.append(client.evaluate(self.model, self.global_weights))
-            if accs:
-                out[tier.index] = float(np.mean(accs))
+                if len(self.clients[cid].holdout) == 0:
+                    no_holdout.append(cid)
+                else:
+                    eligible.append(cid)
+        if no_holdout and not self._warned_empty_holdouts:
+            self._warned_empty_holdouts = True
+            logger.warning(
+                "tier evaluation: %d client(s) have no holdout data and are "
+                "excluded from the per-tier accuracy means for this run: %s "
+                "(construct clients with holdout_fraction > 0 to include them)",
+                len(no_holdout),
+                sorted(no_holdout),
+            )
+        accs = self.executor.evaluate_cohort(
+            [EvalRequest(cid) for cid in eligible], self.global_weights
+        )
+        out: Dict[int, float] = {}
+        for tier in self.assignment.tiers:
+            member_accs = [accs[cid] for cid in tier.client_ids if cid in accs]
+            if member_accs:
+                out[tier.index] = float(np.mean(member_accs))
         return out
 
     def _post_round(self, record: RoundRecord) -> None:
@@ -229,7 +267,15 @@ class TiFLServer(FLServer):
             tmax=tmax,
             epochs=self.training.epochs,
             fault=self.fault,
+            latency_sampler=self.latency_sampler,
+            # The offset exists to stop the round-addressed v2 stream
+            # from re-drawing the first campaign's noise.  The v1 path
+            # must keep the seed's round indices (-1..-sync_rounds every
+            # campaign): round-windowed fault injectors are calibrated
+            # against them.
+            round_offset=self._profiled_rounds if self.latency_sampler else 0,
         )
+        self._profiled_rounds += self.profiling.sync_rounds
         new_assignment = build_tiers(
             self.profiling.mean_latencies,
             num_tiers=self._num_tiers_requested,

@@ -1,0 +1,157 @@
+"""Batched evaluation over the wire: codecs, versioning, loopback parity.
+
+Protocol v2 added EVAL / EVAL_RESULT.  These tests pin the codec
+round-trips (including the exact float64 round-trip of the accuracy),
+assert that a protocol-v1 worker can no longer join, and clear the same
+bar the in-process backends clear: ``evaluate_cohort`` through real
+worker subprocesses on 127.0.0.1 is bit-identical to serial.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.distributed import (
+    DistributedExecutor,
+    spawn_local_workers,
+    terminate_workers,
+)
+from repro.distributed import protocol as proto
+from repro.distributed.transport import Connection
+from repro.execution import EvalRequest, SerialExecutor, TrainRequest
+from repro.fl.aggregator import fedavg
+from repro.nn import build_mlp
+from tests.conftest import make_test_client
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+FAST_TIMEOUTS = dict(accept_timeout=60.0, result_timeout=90.0)
+
+
+class TestEvalCodecs:
+    def test_eval_round_trip(self):
+        seq, cids = proto.decode_eval(proto.encode_eval(7, [3, 1, 4]))
+        assert seq == 7 and cids == [3, 1, 4]
+
+    def test_eval_result_accuracy_round_trips_float64_exactly(self):
+        # an awkward, non-representable-in-decimal accuracy
+        acc = float(np.float64(2.0) / 3.0)
+        seq, cid, got, err = proto.decode_eval_result(
+            proto.encode_eval_result(5, 12, acc)
+        )
+        assert (seq, cid, err) == (5, 12, None)
+        assert got == acc  # bit-exact through the JSON text
+
+    def test_eval_result_error_round_trip(self):
+        seq, cid, acc, err = proto.decode_eval_result(
+            proto.encode_eval_result(2, 9, None, "Traceback: boom")
+        )
+        assert (seq, cid, acc) == (2, 9, None)
+        assert "boom" in err
+
+    def test_eval_result_requires_exactly_one_of_accuracy_error(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            proto.encode_eval_result(1, 1, None, None)
+        with pytest.raises(ValueError, match="exactly one"):
+            proto.encode_eval_result(1, 1, 0.5, "also an error")
+        bad = b'{"seq": 1, "client_id": 1, "accuracy": null, "error": null}'
+        with pytest.raises(proto.ProtocolError, match="exactly one"):
+            proto.decode_eval_result(bad)
+
+    def test_eval_rejects_malformed_payload(self):
+        with pytest.raises(proto.ProtocolError, match="missing"):
+            proto.decode_eval(b'{"seq": 1}')
+
+
+class TestVersioning:
+    def test_protocol_version_is_2(self):
+        """v2 introduced EVAL/EVAL_RESULT; regressing the constant would
+        let pre-eval workers join and then choke on EVAL frames."""
+        assert proto.PROTOCOL_VERSION == 2
+        assert proto.MsgType.EVAL == 13
+        assert proto.MsgType.EVAL_RESULT == 14
+
+    def test_v1_worker_is_rejected_at_handshake(self):
+        ex = DistributedExecutor(workers=1)
+        a, b = socket.socketpair()
+        coord_side, worker_side = Connection(a), Connection(b)
+        worker_side.send(proto.MsgType.HELLO, proto.encode_hello(1, 1, 123))
+        assert ex._handshake(coord_side) is None
+        msg_type, payload = worker_side.recv(timeout=5.0)
+        assert msg_type == proto.MsgType.REJECT
+        reason = proto.decode_reject(payload)
+        assert "version mismatch" in reason and "speaks 1" in reason
+        worker_side.close()
+        ex.close()
+
+
+class TestLoopbackEvalEquivalence:
+    def test_distributed_eval_bit_identical_to_serial(self):
+        """Train two rounds then evaluate every holdout -- through real
+        worker subprocesses -- and compare accuracies (and the training
+        weights they were computed from) bit-for-bit with serial."""
+
+        def run(executor):
+            pool = {
+                c.client_id: c
+                for c in [make_test_client(client_id=i, seed=7) for i in range(6)]
+            }
+            model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+            executor.bind(pool, model, TRAIN)
+            g = model.get_flat_weights()
+            reqs = [TrainRequest(cid) for cid in sorted(pool)]
+            evals = [EvalRequest(cid) for cid in sorted(pool)]
+            accs_per_round = []
+            for r in range(2):
+                ups = executor.train_cohort(r, reqs, g)
+                g = fedavg(
+                    [u.flat_weights for u in ups],
+                    [float(u.num_samples) for u in ups],
+                )
+                accs_per_round.append(executor.evaluate_cohort(evals, g))
+            return g, accs_per_round
+
+        with SerialExecutor() as serial:
+            ref_w, ref_accs = run(serial)
+
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            w, accs = run(ex)
+        finally:
+            ex.close()
+            codes = terminate_workers(procs)
+        assert np.array_equal(ref_w, w), "distributed training diverged"
+        assert accs == ref_accs, "distributed evaluation diverged"
+        assert list(accs[0]) == list(ref_accs[0])  # request-order keys
+        assert codes == [0, 0], "workers did not exit cleanly"
+
+    def test_eval_only_session_needs_no_prior_training(self):
+        """evaluate_cohort may be the executor's first cohort: assignment
+        and broadcast must bootstrap exactly as train_cohort does."""
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=11) for i in range(4)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(6,), rng=11)
+
+        with SerialExecutor() as serial:
+            serial.bind(pool, model, TRAIN)
+            ref = serial.evaluate_cohort(
+                [EvalRequest(cid) for cid in sorted(pool)],
+                model.get_flat_weights(),
+            )
+
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        ex.bind(pool, model, TRAIN)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            got = ex.evaluate_cohort(
+                [EvalRequest(cid) for cid in sorted(pool)],
+                model.get_flat_weights(),
+            )
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert got == ref

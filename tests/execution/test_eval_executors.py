@@ -1,0 +1,254 @@
+"""Tests for batched evaluation through the execution backends.
+
+The acceptance bar of the eval overhaul: ``evaluate_cohort`` /
+``evaluate_model`` produce **bit-identical** accuracies on serial,
+thread and process backends (the distributed backend clears the same
+bar in ``tests/distributed/test_eval.py``), interleaving eval with
+training never perturbs the training trajectory, and the TiFL tier
+evaluation built on top keeps its denominator semantics.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.execution import (
+    EvalRequest,
+    ExecutorError,
+    SerialExecutor,
+    ThreadExecutor,
+    TrainRequest,
+    create_executor,
+)
+from repro.fl.aggregator import fedavg
+from repro.nn import build_mlp
+from repro.tifl.server import TiFLServer
+from tests.conftest import make_test_client, make_tiny_dataset
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+
+
+def make_pool(num_clients=6, seed=7):
+    clients = [make_test_client(client_id=i, seed=seed) for i in range(num_clients)]
+    return {c.client_id: c for c in clients}
+
+
+def make_holdoutless_client(client_id, seed=3, cpu=1.0):
+    """A client with a genuinely empty holdout (min_holdout=0)."""
+    from repro.simcluster.client import SimClient
+    from repro.simcluster.latency import LatencyModel
+    from repro.simcluster.network import CommModel
+    from repro.simcluster.resources import ResourceSpec
+
+    return SimClient(
+        client_id=client_id,
+        data=make_tiny_dataset(n=30, seed=seed + 1000 * client_id),
+        spec=ResourceSpec(cpu_fraction=cpu, group=0),
+        latency_model=LatencyModel(
+            cost_per_sample=0.01, base_overhead=0.1, noise_sigma=0.0
+        ),
+        comm_model=CommModel(rtt=0.01, jitter_sigma=0.0),
+        holdout_fraction=0.0,
+        min_holdout=0,
+        rng=seed + client_id,
+    )
+
+
+class TestEvalEquivalence:
+    def test_eval_bit_identical_across_backends(self):
+        results = {}
+        for backend, workers in [("serial", 1), ("thread", 3), ("process", 2)]:
+            pool = make_pool()
+            model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+            with create_executor(backend, workers=workers) as ex:
+                ex.bind(pool, model, TRAIN)
+                results[backend] = ex.evaluate_cohort(
+                    [EvalRequest(cid) for cid in sorted(pool)],
+                    model.get_flat_weights(),
+                )
+        assert results["serial"] == results["thread"] == results["process"]
+        assert list(results["serial"]) == sorted(make_pool())  # request order
+        assert all(0.0 <= a <= 1.0 for a in results["serial"].values())
+
+    def test_train_eval_interleaving_keeps_training_bit_identical(self):
+        """An eval between training cohorts must not perturb the training
+        trajectory (eval is pure: no RNG advances, no state mutates) --
+        and on the process backend the shared-memory return slots must
+        survive the interleaving."""
+
+        def run(backend, workers, with_eval):
+            pool = make_pool(seed=3)
+            model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=3)
+            g = model.get_flat_weights()
+            reqs = [TrainRequest(cid) for cid in sorted(pool)]
+            evals = [EvalRequest(cid) for cid in sorted(pool)]
+            with create_executor(backend, workers=workers) as ex:
+                ex.bind(pool, model, TRAIN)
+                for r in range(3):
+                    ups = ex.train_cohort(r, reqs, g)
+                    g = fedavg(
+                        [u.flat_weights for u in ups],
+                        [float(u.num_samples) for u in ups],
+                    )
+                    if with_eval:
+                        ex.evaluate_cohort(evals, g)
+            return g
+
+        ref = run("serial", 1, with_eval=False)
+        for backend, workers in [("serial", 1), ("thread", 2), ("process", 2)]:
+            assert np.array_equal(ref, run(backend, workers, with_eval=True)), (
+                f"{backend} training diverged when interleaved with eval"
+            )
+
+    def test_evaluate_model_matches_direct_evaluation(self):
+        pool = make_pool()
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        test = make_tiny_dataset(n=40, seed=123)
+        flat = model.get_flat_weights()
+        model.set_flat_weights(flat)
+        direct = model.evaluate(test.x, test.y)
+        for backend, workers in [("serial", 1), ("thread", 3), ("process", 2)]:
+            with create_executor(backend, workers=workers) as ex:
+                ex.bind(pool, model, TRAIN)
+                assert ex.evaluate_model(flat, test.x, test.y) == direct
+
+    def test_thread_sharded_evaluate_model_bit_identical(self):
+        """Force the sharded path (n >> eval batch) and compare exactly."""
+        pool = make_pool()
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=1)
+        test = make_tiny_dataset(n=1100, seed=5)  # 5 batches of 256
+        flat = model.get_flat_weights()
+        model.set_flat_weights(flat)
+        direct = model.evaluate(test.x, test.y)
+        with ThreadExecutor(workers=3) as ex:
+            ex.bind(pool, model, TRAIN)
+            assert ex.evaluate_model(flat, test.x, test.y) == direct
+
+
+class TestEvalContract:
+    def test_unknown_and_duplicate_eval_requests_rejected(self):
+        pool = make_pool(num_clients=2)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        for make in (SerialExecutor, lambda: ThreadExecutor(1)):
+            with make() as ex:
+                ex.bind(pool, model, TRAIN)
+                with pytest.raises(ExecutorError, match="unknown"):
+                    ex.evaluate_cohort([EvalRequest(99)], model.get_flat_weights())
+                with pytest.raises(ExecutorError, match="duplicate"):
+                    ex.evaluate_cohort(
+                        [EvalRequest(0), EvalRequest(0)], model.get_flat_weights()
+                    )
+
+    def test_empty_request_list_returns_empty(self):
+        pool = make_pool(num_clients=2)
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with SerialExecutor() as ex:
+            ex.bind(pool, model, TRAIN)
+            assert ex.evaluate_cohort([], model.get_flat_weights()) == {}
+
+    def test_eval_before_bind_raises(self):
+        with pytest.raises(ExecutorError, match="before bind"):
+            SerialExecutor().evaluate_cohort([EvalRequest(0)], np.zeros(1))
+
+    def test_empty_holdout_surfaces_as_executor_error(self):
+        pool = {i: make_holdoutless_client(i) for i in range(2)}
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        for make in (SerialExecutor, lambda: ThreadExecutor(1)):
+            with make() as ex:
+                ex.bind(pool, model, TRAIN)
+                with pytest.raises(ExecutorError, match="no holdout"):
+                    ex.evaluate_cohort(
+                        [EvalRequest(0)], model.get_flat_weights()
+                    )
+
+
+def make_tifl(backend, workers, tier_eval_every=1):
+    clients = [
+        make_test_client(client_id=i, seed=3, cpu=1.0 / (1 + i)) for i in range(8)
+    ]
+    return TiFLServer(
+        clients=clients,
+        model=build_mlp((4, 4, 1), 3, hidden=(6,), rng=3),
+        test_data=make_tiny_dataset(n=20, seed=997),
+        clients_per_round=3,
+        policy="uniform",
+        num_tiers=2,
+        sync_rounds=2,
+        tier_eval_every=tier_eval_every,
+        training=TRAIN,
+        rng=5,
+        executor=backend,
+        workers=workers,
+    )
+
+
+class TestTiFLTierEvalThroughExecutor:
+    def test_tier_accuracies_bit_identical_across_backends(self):
+        results = {}
+        for backend, workers in [("serial", 1), ("thread", 2), ("process", 2)]:
+            with make_tifl(backend, workers) as server:
+                server.run(2)
+                results[backend] = [
+                    r.tier_accuracies for r in server.history.records
+                ]
+        assert results["serial"] == results["thread"] == results["process"]
+        assert all(accs for accs in results["serial"])
+
+    def test_empty_holdout_tier_excluded_and_logged_once(self, caplog):
+        """Regression: a tier whose every member lacks a holdout is
+        absent from the result (not a crash, not a zero), the remaining
+        tiers' denominators only count contributing members, and the
+        exclusion is logged exactly once per run."""
+        fast = [
+            make_holdoutless_client(i, seed=3, cpu=4.0) for i in range(4)
+        ]
+        slow = [
+            make_test_client(client_id=4 + i, seed=3, cpu=0.25) for i in range(4)
+        ]
+        with TiFLServer(
+            clients=fast + slow,
+            model=build_mlp((4, 4, 1), 3, hidden=(6,), rng=3),
+            test_data=make_tiny_dataset(n=20, seed=997),
+            clients_per_round=2,
+            policy="uniform",
+            num_tiers=2,
+            sync_rounds=2,
+            training=TRAIN,
+            rng=5,
+        ) as server:
+            # the fast tier is exactly the holdout-less clients
+            fast_tier = server.assignment.tier_of(0)
+            assert all(
+                server.assignment.tier_of(c.client_id) == fast_tier for c in fast
+            )
+            with caplog.at_level(logging.WARNING, logger="repro.tifl.server"):
+                accs1 = server.evaluate_tiers()
+                accs2 = server.evaluate_tiers()
+            assert fast_tier not in accs1
+            assert set(accs1) == set(accs2) != set()
+            warnings = [
+                rec for rec in caplog.records if "no holdout" in rec.getMessage()
+            ]
+            assert len(warnings) == 1, "empty-holdout warning must fire once"
+
+    def test_all_tiers_empty_holdout_yields_empty_result(self, caplog):
+        clients = [
+            make_holdoutless_client(i, seed=3, cpu=1.0 / (1 + i))
+            for i in range(6)
+        ]
+        with TiFLServer(
+            clients=clients,
+            model=build_mlp((4, 4, 1), 3, hidden=(6,), rng=3),
+            test_data=make_tiny_dataset(n=20, seed=997),
+            clients_per_round=2,
+            policy="uniform",
+            num_tiers=2,
+            sync_rounds=2,
+            training=TRAIN,
+            rng=5,
+        ) as server:
+            with caplog.at_level(logging.WARNING, logger="repro.tifl.server"):
+                assert server.evaluate_tiers() == {}
+            assert any("no holdout" in rec.getMessage() for rec in caplog.records)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.validation import check_partition, classes_per_client
+from repro.data.validation import classes_per_client
 from repro.experiments.scenarios import (
     ScenarioConfig,
     build_leaf_scenario,

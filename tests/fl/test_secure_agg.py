@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fl.aggregator import fedavg
-from repro.fl.secure_agg import PairwiseMasker, SecureAggregator, masked_submissions
+from repro.fl.secure_agg import PairwiseMasker, SecureAggregator
 
 
 class TestPairwiseMasker:

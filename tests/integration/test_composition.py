@@ -8,7 +8,6 @@ federation under all three back-ends and require identical weights.
 """
 
 import numpy as np
-import pytest
 
 from repro.config import TrainingConfig
 from repro.fl.aggregator import HierarchicalAggregator
