@@ -34,7 +34,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.config import TrainingConfig  # noqa: E402
 from repro.data.datasets import Dataset  # noqa: E402
-from repro.data.synthetic import SyntheticSpec, class_prototypes, generate_synthetic  # noqa: E402
+from repro.data.synthetic import (  # noqa: E402
+    SyntheticSpec,
+    class_prototypes,
+    generate_synthetic,
+)
 from repro.execution import TrainRequest, create_executor  # noqa: E402
 from repro.fl.aggregator import fedavg  # noqa: E402
 from repro.nn.zoo import build_mlp  # noqa: E402
@@ -124,7 +128,11 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
 
-    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    cores = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
     print(
         f"executor throughput: {args.clients} clients x "
         f"{args.samples_per_client} samples, {args.rounds} round(s), "

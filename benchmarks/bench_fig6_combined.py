@@ -90,7 +90,10 @@ def test_fig6_full_combined(benchmark):
     assert results["fast"].final_accuracy < results["uniform"].final_accuracy
     assert (
         results["uniform"].final_accuracy
-        >= max(results["fast"], results["slow"], key=lambda r: r.final_accuracy).final_accuracy - 0.05
+        >= max(
+            results["fast"], results["slow"], key=lambda r: r.final_accuracy
+        ).final_accuracy
+        - 0.05
     )
     # uniform tracks vanilla closely (both unbiased)
     assert abs(

@@ -1,0 +1,86 @@
+"""Shared staged-vs-pipelined FLServer harness for the benchmarks.
+
+One implementation of the "time full server rounds, fingerprint the
+history" loop, used by ``bench_round_hotpath.py`` (in-process backends)
+and ``bench_distributed_loopback.py --pipeline`` (real TCP workers), so
+the two bit-identity gates can never drift apart.  Callers must have put
+``src`` and this directory on ``sys.path`` (every benchmark does).
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_executor_throughput import MNIST_SHAPE, NUM_CLASSES, build_federation
+
+
+def fingerprint(history):
+    """Every field a RoundRecord carries, for exact history comparison."""
+    return [
+        (
+            r.round_idx,
+            r.round_latency,
+            r.sim_time,
+            r.accuracy,
+            r.selected,
+            r.tier,
+            r.dropped,
+            r.tier_accuracies,
+        )
+        for r in history.records
+    ]
+
+
+def run_fl_rounds(
+    make_executor,
+    clients_n: int,
+    samples: int,
+    seed: int,
+    rounds: int,
+    training,
+    pipeline: bool,
+):
+    """Time ``rounds`` full FLServer rounds; returns (s/round, fingerprint).
+
+    ``make_executor()`` returns ``(executor, cleanup)`` -- a ready
+    backend (name or instance) plus a zero-arg cleanup called after the
+    server closes (worker-subprocess teardown for the distributed
+    backend; a no-op elsewhere).  A fresh identically-seeded federation
+    is built per call (client RNG streams advance during training), the
+    test set is large enough that ``evaluate_model`` shards, and eval
+    runs every round so the pipelined overlap has work to hide.
+    """
+    from repro.data.datasets import Dataset
+    from repro.data.synthetic import (
+        SyntheticSpec,
+        class_prototypes,
+        generate_synthetic,
+    )
+    from repro.fl.selection import RandomSelector
+    from repro.fl.server import FLServer
+
+    clients, model = build_federation(clients_n, samples, seed)
+    spec = SyntheticSpec(
+        shape=MNIST_SHAPE, num_classes=NUM_CLASSES, difficulty=0.5
+    )
+    protos = class_prototypes(spec, rng=seed)
+    x, y = generate_synthetic(spec, 1024, rng=seed + 9999, prototypes=protos)
+    executor, cleanup = make_executor()
+    try:
+        with FLServer(
+            clients=clients,
+            model=model,
+            selector=RandomSelector(max(2, clients_n // 3), rng=seed),
+            test_data=Dataset(x, y, NUM_CLASSES, name="bench-test"),
+            training=training,
+            rng=seed,
+            executor=executor,
+            pipeline=pipeline,
+        ) as server:
+            server.run_round(0)  # warm-up: workers spawn outside the timer
+            start = time.perf_counter()
+            server.run(rounds, start_round=1)
+            elapsed = time.perf_counter() - start
+            return elapsed / rounds, fingerprint(server.history)
+    finally:
+        cleanup()

@@ -93,6 +93,10 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--connect", default=None, metavar="HOST:PORT",
                    help="distributed executor endpoint: the coordinator "
                         "listens here and workers connect to it")
+    p.add_argument("--pipeline", action="store_true",
+                   help="overlap each round's evaluation with the next "
+                        "round's training (bit-identical history; pays off "
+                        "on the thread/process/distributed backends)")
 
 
 def _make_executor(args: argparse.Namespace):
@@ -131,6 +135,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_policy(
         cfg, args.policy, rounds=args.rounds, seed=args.seed,
         executor=_make_executor(args), workers=args.workers,
+        pipeline=True if args.pipeline else None,
     )
     print(result.history.summary())
     if result.tier_latencies is not None:
@@ -156,6 +161,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     results = run_policies(
         cfg, args.policies, rounds=args.rounds, seed=args.seed,
         repeats=args.repeats, executor=args.executor, workers=args.workers,
+        pipeline=True if args.pipeline else None,
     )
     times = {
         p: float(np.mean([r.total_time for r in runs]))

@@ -74,7 +74,9 @@ class Dataset:
             name or self.name,
         )
 
-    def split(self, first_size: int, rng: RngLike = None) -> Tuple["Dataset", "Dataset"]:
+    def split(
+        self, first_size: int, rng: RngLike = None
+    ) -> Tuple["Dataset", "Dataset"]:
         """Random disjoint split into (first_size, rest)."""
         n = len(self)
         if not 0 <= first_size <= n:

@@ -23,10 +23,21 @@
   in-flight round are re-dispatched.  Because a client's state only
   advances when its UPDATE has been merged, replayed work is bit-identical
   to the serial schedule -- the worker-kill equivalence test in
-  ``tests/distributed`` enforces this.
+  ``tests/distributed`` enforces this.  Retire-and-re-pin is idempotent
+  and serialised by a lock, so a concurrent training and evaluation
+  collector can both observe the same death without double-shipping.
 * **Liveness.**  The coordinator PINGs quiet workers while waiting;
   workers answer PONG from a dedicated thread even mid-training, so
   only a truly hung or killed process trips the heartbeat limit.
+* **Pipelined evaluation (v3).**  Training results (UPDATE / TRAINFAIL)
+  and evaluation results (EVAL_RESULT / EVAL_MODEL_RESULT) are routed to
+  *separate* event queues by the per-worker reader threads, so an async
+  evaluation driver (:meth:`ClientExecutor.submit_cohort_evaluation`)
+  can collect round ``r``'s evaluation while the main thread collects
+  round ``r+1``'s updates.  Death events fan out to both queues.  The
+  server-held eval set ships once per worker (BIND_EVAL), after which
+  :meth:`DistributedExecutor.evaluate_model` shards across workers on
+  the same 256-sample boundaries as the thread backend -- bit-exact.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from repro.execution.base import (
     EvalRequest,
     ExecutorError,
     TrainRequest,
+    eval_shard_bounds,
     order_updates,
 )
 from repro.simcluster.client import ClientUpdate
@@ -58,7 +70,9 @@ _Job = Tuple[int, int]  # (client_id, epochs)
 class _WorkerHandle:
     """Coordinator-side bookkeeping for one registered worker."""
 
-    def __init__(self, worker_id: int, conn: Connection, capacity: int, pid: int) -> None:
+    def __init__(
+        self, worker_id: int, conn: Connection, capacity: int, pid: int
+    ) -> None:
         self.id = worker_id
         self.conn = conn
         self.capacity = capacity
@@ -90,6 +104,7 @@ class DistributedExecutor(ClientExecutor):
     """
 
     name = "distributed"
+    supports_async_eval = True
 
     def __init__(
         self,
@@ -119,14 +134,27 @@ class DistributedExecutor(ClientExecutor):
         self._bound_endpoint: Optional[str] = None
         self._handles: Dict[int, _WorkerHandle] = {}
         self._owner: Dict[int, int] = {}  # client_id -> worker_id
+        # Training results and control events (UPDATE/TRAINFAIL/deaths).
         self._events: "queue_mod.Queue[Tuple[int, Optional[int], Optional[bytes]]]" = (
             queue_mod.Queue()
         )
+        # Evaluation results (EVAL_RESULT/EVAL_MODEL_RESULT) plus a copy
+        # of every death event, so an async eval collector never races
+        # the training collector for a message.
+        self._eval_events: (
+            "queue_mod.Queue[Tuple[int, Optional[int], Optional[bytes]]]"
+        ) = queue_mod.Queue()
         self._seq = 0
         self._assigned = False
         self._signature: Optional[str] = None
         self._closed_bytes_sent = 0
         self._closed_bytes_received = 0
+        self._eval_shipped = False
+        # Serialises seq allocation across concurrent train/eval drivers.
+        self._submit_lock = threading.Lock()
+        # Serialises retire-and-re-pin; RLock because a failed re-ship
+        # recurses onto the next survivor.
+        self._death_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -215,11 +243,15 @@ class DistributedExecutor(ClientExecutor):
             return None
         if hello["version"] != proto.PROTOCOL_VERSION:
             try:
+                # Name BOTH peer versions so the operator reading either
+                # side's log knows exactly which binary to upgrade; the
+                # worker logs this reason before exiting.
                 conn.send(
                     proto.MsgType.REJECT,
                     proto.encode_reject(
-                        f"protocol version mismatch: coordinator speaks "
-                        f"{proto.PROTOCOL_VERSION}, worker speaks {hello['version']}"
+                        f"protocol version mismatch: worker speaks "
+                        f"v{hello['version']}, coordinator requires "
+                        f"v{proto.PROTOCOL_VERSION}"
                     ),
                 )
             except OSError:
@@ -273,6 +305,38 @@ class DistributedExecutor(ClientExecutor):
             cycle.extend([wid] * self._handles[wid].capacity)
         return cycle
 
+    def bind_eval_data(self, x, y) -> None:
+        """Ship the server-held eval set to every worker, exactly once.
+
+        Before the workers register, the set is staged and travels as one
+        BIND_EVAL frame per worker right after ASSIGN; bound afterwards,
+        it ships immediately.  Re-binding the same arrays is a no-op;
+        re-binding different data after the shipment is an error (the
+        ship-once invariant -- workers hold exactly one resident copy).
+        """
+        if self._bound_eval_data_matches(x, y):
+            return
+        if self._eval_shipped:
+            raise ExecutorError(
+                "distributed executor already shipped an eval set to its "
+                "workers; create a fresh executor to bind different data"
+            )
+        super().bind_eval_data(x, y)
+        if self._assigned:
+            self._ship_eval_data()
+
+    def _ship_eval_data(self) -> None:
+        assert self._eval_data is not None
+        blob = proto.encode_bind_eval(*self._eval_data)
+        for wid in self._live_ids():
+            try:
+                self._handles[wid].conn.send(proto.MsgType.BIND_EVAL, blob)
+            except OSError:
+                # The worker is dying; the death event surfaces through
+                # the collectors.  Survivors still hold the data.
+                pass
+        self._eval_shipped = True
+
     def _ensure_started(self) -> None:
         if self._assigned:
             return
@@ -284,6 +348,11 @@ class DistributedExecutor(ClientExecutor):
         cycle = self._worker_cycle(sorted(self._handles))
         ids = sorted(clients)
         self._owner = {cid: cycle[i % len(cycle)] for i, cid in enumerate(ids)}
+        eval_blob = (
+            proto.encode_bind_eval(*self._eval_data)
+            if self._eval_data is not None
+            else None
+        )
         for wid, handle in sorted(self._handles.items()):
             owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
             handle.conn.send(
@@ -292,15 +361,25 @@ class DistributedExecutor(ClientExecutor):
                     owned, self._training, self._signature, model=self._model
                 ),
             )
+            if eval_blob is not None:
+                handle.conn.send(proto.MsgType.BIND_EVAL, eval_blob)
             handle.reader = threading.Thread(
                 target=self._reader, args=(handle,), daemon=True,
                 name=f"repro-dist-reader-{wid}",
             )
             handle.reader.start()
+        if eval_blob is not None:
+            self._eval_shipped = True
         self._assigned = True
 
     def _reader(self, handle: _WorkerHandle) -> None:
-        """Per-worker receive loop feeding the central event queue."""
+        """Per-worker receive loop routing frames to the event queues.
+
+        Evaluation results go to the eval queue, training results to the
+        training queue; death-class events (EOF, REJECT, BYE) fan out to
+        *both*, because whichever collectors are running must all learn
+        of the loss (the retire path itself is idempotent).
+        """
         while True:
             try:
                 msg_type, payload = handle.conn.recv()
@@ -308,10 +387,18 @@ class DistributedExecutor(ClientExecutor):
                 # A corrupt stream (FrameError) is as dead as a closed one:
                 # report the loss so the round reassigns, never hang.
                 self._events.put((handle.id, None, None))
+                self._eval_events.put((handle.id, None, None))
                 return
             handle.last_seen = time.monotonic()
             if msg_type == proto.MsgType.PONG:
                 continue
+            if msg_type in (
+                proto.MsgType.EVAL_RESULT, proto.MsgType.EVAL_MODEL_RESULT,
+            ):
+                self._eval_events.put((handle.id, msg_type, payload))
+                continue
+            if msg_type in (proto.MsgType.REJECT, proto.MsgType.BYE):
+                self._eval_events.put((handle.id, msg_type, payload))
             self._events.put((handle.id, msg_type, payload))
             if msg_type == proto.MsgType.BYE:
                 return
@@ -346,6 +433,59 @@ class DistributedExecutor(ClientExecutor):
                 proto.encode_eval(seq, [cid for cid, _ in jobs]),
             )
 
+    def _retire_and_reassign(self, wid: int, reason: str) -> None:
+        """Retire ``wid``, re-pin and re-ship its clients (idempotent).
+
+        The coordinator pool's RNG states are authoritative (synced on
+        every merged UPDATE), so re-shipping a client replays exactly the
+        stream position the serial schedule would be at.  Serialised by
+        ``_death_lock`` so the training and evaluation collectors can
+        both observe the same death: the second caller is a no-op, and
+        every owner-map mutation happens under the lock.  Raises when no
+        survivors remain.
+        """
+        with self._death_lock:
+            handle = self._handles.get(wid)
+            if handle is None or not handle.alive:
+                return
+            self._retire(wid)
+            survivors = self._live_ids()
+            if not survivors:
+                raise ExecutorError(
+                    f"all distributed workers are gone (last failure: worker "
+                    f"{wid}: {reason})"
+                )
+            orphans = sorted(
+                cid for cid, owner in self._owner.items() if owner == wid
+            )
+            if not orphans:
+                return
+            cycle = self._worker_cycle(survivors)
+            for i, cid in enumerate(orphans):
+                self._owner[cid] = cycle[i % len(cycle)]
+            # Re-ship every orphaned client (future rounds need the
+            # pinning); model shells already live on the survivors.
+            by_target: Dict[int, Dict[int, object]] = {}
+            for cid in orphans:
+                by_target.setdefault(self._owner[cid], {})[cid] = self._clients[
+                    cid
+                ]
+            for target in sorted(by_target):
+                try:
+                    self._handles[target].conn.send(
+                        proto.MsgType.ASSIGN,
+                        proto.encode_assign(
+                            by_target[target], self._training, self._signature
+                        ),
+                    )
+                except OSError as exc:
+                    # The replacement died too: retiring it re-pins all
+                    # its clients (the ones just moved included) onto the
+                    # next survivor.
+                    self._retire_and_reassign(
+                        target, f"send failed during reassignment: {exc}"
+                    )
+
     def _handle_worker_death(
         self,
         wid: int,
@@ -357,58 +497,34 @@ class DistributedExecutor(ClientExecutor):
         reason: str,
         kind: str = "train",
     ) -> None:
-        """Reassign a dead worker's clients and re-dispatch its jobs.
+        """Process a worker loss for one collector's in-flight cohort.
 
-        The coordinator pool's RNG states are authoritative (synced on
-        every merged UPDATE), so re-shipping a client replays exactly the
-        stream position the serial schedule would be at.  ``kind``
-        selects the frame re-dispatched for pending jobs: training jobs
-        replay as TRAIN, evaluation jobs (which are pure -- no RNG to
-        replay) as EVAL.
+        Retires + re-pins globally (idempotent -- see
+        :meth:`_retire_and_reassign`), then re-dispatches *this
+        collector's* outstanding jobs for the dead worker to the new
+        owners.  ``kind`` selects the frame re-dispatched: training jobs
+        replay as TRAIN, evaluation jobs (pure -- no RNG to replay) as
+        EVAL.
         """
-        if not self._handles.get(wid) or not self._handles[wid].alive:
-            pending.pop(wid, None)
-            return
-        self._retire(wid)
-        survivors = self._live_ids()
-        if not survivors:
-            raise ExecutorError(
-                f"all distributed workers are gone (last failure: worker "
-                f"{wid}: {reason})"
-            )
-
-        orphans = sorted(cid for cid, owner in self._owner.items() if owner == wid)
-        cycle = self._worker_cycle(survivors)
-        for i, cid in enumerate(orphans):
-            self._owner[cid] = cycle[i % len(cycle)]
-
-        # Re-ship every orphaned client (future rounds need the pinning);
-        # model shells already live on the survivors.
-        by_target: Dict[int, Dict[int, object]] = {}
-        for cid in orphans:
-            by_target.setdefault(self._owner[cid], {})[cid] = self._clients[cid]
+        self._retire_and_reassign(wid, reason)
         outstanding = pending.pop(wid, [])
+        if not outstanding:
+            return
         jobs_by_target: Dict[int, List[_Job]] = {}
         for cid, epochs in outstanding:
             jobs_by_target.setdefault(self._owner[cid], []).append((cid, epochs))
-
-        for target in sorted(set(by_target) | set(jobs_by_target)):
+        for target in sorted(jobs_by_target):
+            jobs = jobs_by_target[target]
+            # Recorded in `pending` BEFORE the send: if the send fails,
+            # the recursion below pops the target's whole pending list
+            # (these jobs included) and moves it on -- nothing is lost.
+            pending.setdefault(target, []).extend(jobs)
             try:
                 handle = self._handles[target]
-                if target in by_target:
-                    handle.conn.send(
-                        proto.MsgType.ASSIGN,
-                        proto.encode_assign(
-                            by_target[target], self._training, self._signature
-                        ),
-                    )
-                jobs = jobs_by_target.get(target)
-                if jobs:
-                    if target not in broadcasted:
-                        handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                        broadcasted.add(target)
-                    self._dispatch_jobs(handle, kind, seq, round_idx, jobs)
-                    pending.setdefault(target, []).extend(jobs)
+                if target not in broadcasted:
+                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                    broadcasted.add(target)
+                self._dispatch_jobs(handle, kind, seq, round_idx, jobs)
             except OSError as exc:
                 # The replacement died too -- recurse onto the next survivor.
                 self._handle_worker_death(
@@ -416,7 +532,9 @@ class DistributedExecutor(ClientExecutor):
                     f"send failed during reassignment: {exc}", kind=kind,
                 )
 
-    def _check_heartbeats(self, pending: Dict[int, List[_Job]]) -> List[Tuple[int, str]]:
+    def _check_heartbeats(
+        self, pending: Dict[int, List[_Job]]
+    ) -> List[Tuple[int, str]]:
         """PING quiet busy workers; return those past the miss limit."""
         now = time.monotonic()
         dead: List[Tuple[int, str]] = []
@@ -453,8 +571,9 @@ class DistributedExecutor(ClientExecutor):
         if not requests:
             return []
         self._ensure_started()
-        self._seq += 1
-        seq = self._seq
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
         weights_blob = proto.encode_broadcast(seq, np.asarray(global_weights))
 
         pending: Dict[int, List[_Job]] = {}
@@ -571,13 +690,8 @@ class DistributedExecutor(ClientExecutor):
                 done.add(cid)
                 failures.append(f"client {cid} (worker {wid}):\n{tb}")
                 continue
-            if msg_type == proto.MsgType.EVAL_RESULT:
-                # Only possible as a straggler from an abandoned
-                # evaluate_cohort -- this cohort's seq is unique to it.
-                msg_seq = proto.decode_eval_result(payload)[0]
-                if msg_seq != seq:
-                    continue
-            # Unknown frame from a registered worker: protocol violation.
+            # Unknown frame from a registered worker: protocol violation
+            # (eval results travel on their own queue and never land here).
             self._handle_worker_death(
                 wid, seq, round_idx, pending, broadcasted, weights_blob,
                 f"unexpected message type {msg_type}",
@@ -607,8 +721,9 @@ class DistributedExecutor(ClientExecutor):
         if not requests:
             return {}
         self._ensure_started()
-        self._seq += 1
-        seq = self._seq
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
         weights_blob = proto.encode_broadcast(seq, np.asarray(flat_weights))
 
         # Eval jobs reuse the (client_id, epochs) job shape with epochs=0
@@ -650,7 +765,7 @@ class DistributedExecutor(ClientExecutor):
                     f"{_outstanding()} evaluation result(s)"
                 )
             try:
-                wid, msg_type, payload = self._events.get(
+                wid, msg_type, payload = self._eval_events.get(
                     timeout=self.heartbeat_interval
                 )
             except queue_mod.Empty:
@@ -690,13 +805,10 @@ class DistributedExecutor(ClientExecutor):
                 else:
                     accs[cid] = acc
                 continue
-            if msg_type in (proto.MsgType.UPDATE, proto.MsgType.TRAINFAIL):
-                # Stragglers from an abandoned training cohort; this
+            if msg_type == proto.MsgType.EVAL_MODEL_RESULT:
+                # Straggler from an abandoned evaluate_model; this
                 # cohort's seq is fresh, so theirs can never match.
-                if msg_type == proto.MsgType.UPDATE:
-                    msg_seq = proto.decode_update(payload)[0]
-                else:
-                    msg_seq = proto.decode_trainfail(payload)[0]
+                msg_seq = proto.decode_eval_model_result(payload)[0]
                 if msg_seq != seq:
                     continue
             self._handle_worker_death(
@@ -710,6 +822,180 @@ class DistributedExecutor(ClientExecutor):
                 + "\n".join(failures)
             )
         return {req.client_id: accs[req.client_id] for req in requests}
+
+    # ------------------------------------------------------------------
+    def evaluate_model(
+        self, flat_weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> float:
+        """Shard over the workers' resident eval set; bit-exact.
+
+        Requires the dataset to have been shipped via
+        :meth:`bind_eval_data` (one BIND_EVAL frame per worker);
+        anything else -- unbound data, or fewer than two shardable
+        batches -- evaluates serially in the coordinator process.  A
+        worker lost mid-pass has its shards re-dealt over the survivors
+        (shard counting is pure, so replays merge first-wins).
+        """
+        self._require_bound()
+        if not self._bound_eval_data_matches(x, y):
+            return super().evaluate_model(flat_weights, x, y)
+        self._ensure_started()
+        if not self._eval_shipped:
+            return super().evaluate_model(flat_weights, x, y)
+        n = int(x.shape[0])
+        live = self._live_ids()
+        bounds = eval_shard_bounds(n, len(live))
+        if bounds is None:
+            return super().evaluate_model(flat_weights, x, y)
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
+        weights_blob = proto.encode_broadcast(seq, np.asarray(flat_weights))
+
+        pending: Dict[int, List[Tuple[int, int]]] = {}
+        for i, bd in enumerate(bounds):
+            pending.setdefault(live[i % len(live)], []).append(bd)
+        broadcasted: Set[int] = set()
+        initial = {wid: list(shards) for wid, shards in pending.items()}
+        for wid in sorted(initial):
+            handle = self._handles[wid]
+            if not handle.alive:
+                continue
+            try:
+                handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                broadcasted.add(wid)
+                handle.conn.send(
+                    proto.MsgType.EVAL_MODEL,
+                    proto.encode_eval_model(seq, initial[wid]),
+                )
+            except OSError as exc:
+                self._redistribute_shards(
+                    wid, seq, pending, broadcasted, weights_blob,
+                    f"send failed: {exc}",
+                )
+
+        correct = 0
+        failures: List[str] = []
+        done: Set[Tuple[int, int]] = set()
+        deadline = time.monotonic() + self.result_timeout
+
+        def _outstanding() -> int:
+            return sum(len(shards) for shards in pending.values())
+
+        while _outstanding() > 0:
+            if time.monotonic() > deadline:
+                raise ExecutorError(
+                    f"timed out after {self.result_timeout:.0f}s waiting for "
+                    f"{_outstanding()} evaluation shard(s)"
+                )
+            try:
+                wid, msg_type, payload = self._eval_events.get(
+                    timeout=self.heartbeat_interval
+                )
+            except queue_mod.Empty:
+                for dead_wid, reason in self._check_heartbeats(pending):
+                    self._redistribute_shards(
+                        dead_wid, seq, pending, broadcasted, weights_blob,
+                        reason,
+                    )
+                continue
+
+            if msg_type is None or msg_type == proto.MsgType.BYE:
+                self._redistribute_shards(
+                    wid, seq, pending, broadcasted, weights_blob,
+                    "connection lost",
+                )
+                continue
+            if msg_type == proto.MsgType.REJECT:
+                reason = proto.decode_reject(payload)
+                self._redistribute_shards(
+                    wid, seq, pending, broadcasted, weights_blob,
+                    f"worker refused to continue: {reason}",
+                )
+                continue
+            if msg_type == proto.MsgType.EVAL_MODEL_RESULT:
+                msg_seq, a, b, shard_correct, err = (
+                    proto.decode_eval_model_result(payload)
+                )
+                if msg_seq != seq:
+                    continue
+                for owner_wid in pending:
+                    pending[owner_wid] = [
+                        s for s in pending[owner_wid] if s != (a, b)
+                    ]
+                if (a, b) in done:
+                    # Duplicate from a redistribution race: shard counts
+                    # are pure, copies are identical -- merge the first.
+                    continue
+                done.add((a, b))
+                if err is not None:
+                    failures.append(f"shard [{a}:{b}] (worker {wid}):\n{err}")
+                else:
+                    correct += shard_correct
+                continue
+            if msg_type == proto.MsgType.EVAL_RESULT:
+                # Straggler from an abandoned evaluate_cohort.
+                msg_seq = proto.decode_eval_result(payload)[0]
+                if msg_seq != seq:
+                    continue
+            self._redistribute_shards(
+                wid, seq, pending, broadcasted, weights_blob,
+                f"unexpected message type {msg_type}",
+            )
+
+        if failures:
+            raise ExecutorError(
+                "global evaluation failed on worker agent(s):\n"
+                + "\n".join(failures)
+            )
+        # Same float as `np.mean(preds == y)` over the full pass: the
+        # boolean sum is exact in float64 and the division identical.
+        return float(correct / n)
+
+    def _redistribute_shards(
+        self,
+        wid: int,
+        seq: int,
+        pending: Dict[int, List[Tuple[int, int]]],
+        broadcasted: Set[int],
+        weights_blob: bytes,
+        reason: str,
+    ) -> None:
+        """Re-deal a dead worker's outstanding eval shards over survivors.
+
+        Shards are not client-pinned (the eval set is resident in every
+        worker), so any survivor can take them.
+        """
+        self._retire_and_reassign(wid, reason)
+        outstanding = pending.pop(wid, [])
+        if not outstanding:
+            return
+        live = self._live_ids()
+        if not live:
+            raise ExecutorError(
+                f"all distributed workers are gone (last failure: worker "
+                f"{wid}: {reason})"
+            )
+        shards_by_target: Dict[int, List[Tuple[int, int]]] = {}
+        for i, bd in enumerate(outstanding):
+            shards_by_target.setdefault(live[i % len(live)], []).append(bd)
+        for target in sorted(shards_by_target):
+            shards = shards_by_target[target]
+            pending.setdefault(target, []).extend(shards)
+            try:
+                handle = self._handles[target]
+                if target not in broadcasted:
+                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
+                    broadcasted.add(target)
+                handle.conn.send(
+                    proto.MsgType.EVAL_MODEL,
+                    proto.encode_eval_model(seq, shards),
+                )
+            except OSError as exc:
+                self._redistribute_shards(
+                    target, seq, pending, broadcasted, weights_blob,
+                    f"send failed during redistribution: {exc}",
+                )
 
     # ------------------------------------------------------------------
     def close(self) -> None:

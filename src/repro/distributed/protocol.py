@@ -18,9 +18,16 @@ The conversation:
       | -- UPDATE {seq, cid, n, rng, w} ---->|   one per client, carries
       | -- TRAINFAIL {seq, cid, tb} -------->|   the advanced RNG state
       |                                      |
+      |<-- BIND_EVAL {x, y} -----------------|   ship-once: the server-held
+      |                                      |   eval set becomes resident
+      |                                      |   in every worker (v3)
       |<-- EVAL {seq, clients} --------------|   batched holdout eval
-      | -- EVAL_RESULT {seq, cid,            |   against the last
+      | -- EVAL_RESULT {seq, cid,            |   against the matching
       |      accuracy | error} ------------->|   BROADCAST; one per client
+      |                                      |
+      |<-- EVAL_MODEL {seq, shards} ---------|   sharded pass over the
+      | -- EVAL_MODEL_RESULT {seq, a, b,     |   resident eval set; one
+      |      correct | error} -------------->|   result per [a, b) shard
       |                                      |
       |<-- PING -----------------------------|   liveness (answered by a
       | -- PONG ---------------------------->|   dedicated worker thread)
@@ -31,10 +38,31 @@ Versioning and safety checks:
 
 * ``HELLO.version`` must equal :data:`PROTOCOL_VERSION` or the
   coordinator answers ``REJECT`` and drops the connection -- a worker
-  from a different release can never silently join.
+  from a different release can never silently join.  The REJECT reason
+  names both peers ("worker speaks v2, coordinator requires v3") and the
+  worker logs it before exiting.
 * ``WELCOME.model_signature`` commits the coordinator to one
   architecture; the worker recomputes the signature of the model it
   receives in ``ASSIGN`` and refuses to train on a mismatch.
+
+Version history (every entry is a wire-incompatible break: it bumps
+:data:`PROTOCOL_VERSION` and the handshake REJECTs older peers):
+
+* **v1 -> v2**: added EVAL / EVAL_RESULT (batched holdout evaluation).
+  A v1 worker would silently ignore-or-choke on an EVAL frame.
+* **v2 -> v3**: added BIND_EVAL / EVAL_MODEL / EVAL_MODEL_RESULT for
+  round-pipelined, worker-sharded global evaluation, and workers now
+  retain the *last few* BROADCASTs keyed by ``seq`` instead of only the
+  latest (a pipelined coordinator interleaves an eval broadcast with the
+  next round's training broadcast on the same connection).  **Ship-once
+  invariant**: BIND_EVAL carries the full server-held eval set and is
+  sent exactly once per worker -- right after ASSIGN at start-up, or
+  immediately if the server binds eval data after registration; every
+  later EVAL_MODEL names only ``[start, end)`` shard bounds over that
+  resident copy, so a round's sharded evaluation costs one weight
+  broadcast plus a few bytes of bounds, never a dataset re-ship.  A v2
+  worker would choke on BIND_EVAL and assumes single-broadcast
+  semantics, so v2 peers are REJECTed at the handshake.
 
 Control messages are JSON (small, debuggable); client shipping uses
 pickle (the payload *is* Python objects: datasets, RNG streams); weight
@@ -86,13 +114,20 @@ __all__ = [
     "decode_eval",
     "encode_eval_result",
     "decode_eval_result",
+    "encode_bind_eval",
+    "decode_bind_eval",
+    "encode_eval_model",
+    "decode_eval_model",
+    "encode_eval_model_result",
+    "decode_eval_model_result",
 ]
 
 #: Bump on any wire-incompatible change; checked in the handshake.
-#: v2 added the EVAL / EVAL_RESULT frames (batched holdout evaluation);
-#: a v1 peer would silently ignore-or-choke on them, so v1 workers are
-#: REJECTed at the handshake.
-PROTOCOL_VERSION = 2
+#: See the version history in the module docstring: v2 added EVAL /
+#: EVAL_RESULT; v3 added BIND_EVAL / EVAL_MODEL / EVAL_MODEL_RESULT and
+#: multi-broadcast retention for round pipelining.  Older peers are
+#: REJECTed at the handshake with a reason naming both versions.
+PROTOCOL_VERSION = 3
 
 
 class MsgType(IntEnum):
@@ -112,6 +147,9 @@ class MsgType(IntEnum):
     BYE = 12
     EVAL = 13
     EVAL_RESULT = 14
+    BIND_EVAL = 15
+    EVAL_MODEL = 16
+    EVAL_MODEL_RESULT = 17
 
 
 class ProtocolError(RuntimeError):
@@ -288,6 +326,100 @@ def decode_eval_result(
         None if accuracy is None else float(accuracy),
         None if error is None else str(error),
     )
+
+
+def encode_eval_model(seq: int, shards: Sequence[Tuple[int, int]]) -> bytes:
+    """Sharded evaluation order over the worker's resident eval set.
+
+    Each ``(start, end)`` pair names a half-open row range of the
+    BIND_EVAL dataset; the worker answers one EVAL_MODEL_RESULT per
+    shard.  Only bounds travel -- the data already lives in the worker
+    (the ship-once invariant).
+    """
+    return json.dumps(
+        {"seq": int(seq), "shards": [[int(a), int(b)] for a, b in shards]}
+    ).encode("utf-8")
+
+
+def decode_eval_model(payload: bytes) -> Tuple[int, List[Tuple[int, int]]]:
+    obj = _decode_json(payload, ("seq", "shards"), "EVAL_MODEL")
+    shards = [(int(a), int(b)) for a, b in obj["shards"]]
+    for a, b in shards:
+        if not 0 <= a < b:
+            raise ProtocolError(f"EVAL_MODEL shard bounds invalid: [{a}, {b})")
+    return int(obj["seq"]), shards
+
+
+def encode_eval_model_result(
+    seq: int,
+    start: int,
+    end: int,
+    correct: Optional[int] = None,
+    error: Optional[str] = None,
+) -> bytes:
+    """One shard's correct-prediction count -- or its failure traceback.
+
+    Counts (not accuracies) travel so the coordinator can sum shards and
+    divide once, reproducing the serial ``float(correct / n)`` bit-exactly.
+    """
+    if (correct is None) == (error is None):
+        raise ValueError("exactly one of correct / error must be given")
+    return json.dumps(
+        {
+            "seq": int(seq),
+            "start": int(start),
+            "end": int(end),
+            "correct": None if correct is None else int(correct),
+            "error": None if error is None else str(error),
+        }
+    ).encode("utf-8")
+
+
+def decode_eval_model_result(
+    payload: bytes,
+) -> Tuple[int, int, int, Optional[int], Optional[str]]:
+    obj = _decode_json(
+        payload, ("seq", "start", "end", "correct", "error"), "EVAL_MODEL_RESULT"
+    )
+    correct = obj["correct"]
+    error = obj["error"]
+    if (correct is None) == (error is None):
+        raise ProtocolError(
+            "EVAL_MODEL_RESULT must carry exactly one of correct / error"
+        )
+    return (
+        int(obj["seq"]),
+        int(obj["start"]),
+        int(obj["end"]),
+        None if correct is None else int(correct),
+        None if error is None else str(error),
+    )
+
+
+# ----------------------------------------------------------------------
+# BIND_EVAL: the ship-once eval dataset
+# ----------------------------------------------------------------------
+def encode_bind_eval(x: np.ndarray, y: np.ndarray) -> bytes:
+    """Ship the server-held eval set to a worker, exactly once.
+
+    Pickle, like ASSIGN: this frame travels once per worker per
+    federation, so codec simplicity beats squeezing bytes.  The per-round
+    hot path (BROADCAST / EVAL_MODEL) never re-ships the data.
+    """
+    return pickle.dumps(
+        {"x": np.ascontiguousarray(x), "y": np.ascontiguousarray(y)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_bind_eval(payload: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"malformed BIND_EVAL payload: {exc}") from exc
+    if not isinstance(obj, dict) or not {"x", "y"} <= set(obj):
+        raise ProtocolError("BIND_EVAL payload missing required keys")
+    return obj["x"], obj["y"]
 
 
 # ----------------------------------------------------------------------

@@ -27,14 +27,24 @@ import sys
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.config import TrainingConfig
 from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
+from repro.execution.base import EVAL_BATCH
 from repro.nn.model import Sequential
 
 __all__ = ["WorkerAgent"]
+
+#: How many BROADCASTs a worker retains, keyed by seq.  A pipelined
+#: coordinator keeps at most one evaluation in flight alongside one
+#: training cohort, so two live broadcasts is the steady state; four
+#: leaves slack for redispatch races without unbounded memory.
+BROADCAST_RETAIN = 4
 
 #: Worker process exit codes (asserted by the test-suite).
 EXIT_OK = 0
@@ -84,7 +94,11 @@ class WorkerAgent:
         self._clients: Dict[int, object] = {}
         self._workspace: Optional[Sequential] = None
         self._training: Optional[TrainingConfig] = None
-        self._broadcast: Optional[Tuple[int, "object"]] = None  # (seq, weights)
+        # seq -> weights; a pipelined coordinator interleaves an eval
+        # broadcast with the next round's training broadcast, so the
+        # last few are retained (v3 semantics) instead of only the last.
+        self._broadcasts: "OrderedDict[int, object]" = OrderedDict()
+        self._eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _log(self, msg: str) -> None:
         wid = "?" if self.worker_id is None else self.worker_id
@@ -176,13 +190,33 @@ class WorkerAgent:
             f"now own {sorted(self._clients)}"
         )
 
+    def _store_broadcast(self, payload: bytes) -> None:
+        seq, weights = proto.decode_broadcast(payload)
+        self._broadcasts[seq] = weights
+        while len(self._broadcasts) > BROADCAST_RETAIN:
+            self._broadcasts.popitem(last=False)
+
+    def _weights_for(self, seq: int, what: str):
+        """The BROADCAST weights a work order references, or a protocol error."""
+        if seq not in self._broadcasts:
+            have = sorted(self._broadcasts)
+            raise proto.ProtocolError(
+                f"{what} for seq {seq} but the retained BROADCASTs are {have}"
+            )
+        return self._broadcasts[seq]
+
+    def _handle_bind_eval(self, payload: bytes) -> None:
+        """Receive the ship-once server-held eval set (v3)."""
+        x, y = proto.decode_bind_eval(payload)
+        self._eval_data = (x, y)
+        self._log(
+            f"eval dataset resident: {int(x.shape[0])} samples "
+            f"({x.nbytes + np.asarray(y).nbytes} bytes, shipped once)"
+        )
+
     def _handle_train(self, conn: Connection, payload: bytes) -> None:
         seq, round_idx, jobs = proto.decode_train(payload)
-        if self._broadcast is None or self._broadcast[0] != seq:
-            have = None if self._broadcast is None else self._broadcast[0]
-            raise proto.ProtocolError(
-                f"TRAIN for seq {seq} but the last BROADCAST was seq {have}"
-            )
+        global_flat = self._weights_for(seq, "TRAIN")
         if self._training is None or self._workspace is None:
             raise proto.ProtocolError("TRAIN before ASSIGN")
         unknown = [cid for cid, _ in jobs if cid not in self._clients]
@@ -190,7 +224,6 @@ class WorkerAgent:
             raise proto.ProtocolError(
                 f"TRAIN for clients {unknown} this worker does not own"
             )
-        global_flat = self._broadcast[1]
         factory = self._training.optimizer_factory(round_idx)
         for client_id, epochs in jobs:
             try:
@@ -221,13 +254,9 @@ class WorkerAgent:
                 )
 
     def _handle_eval(self, conn: Connection, payload: bytes) -> None:
-        """Evaluate owned clients' holdouts against the last BROADCAST."""
+        """Evaluate owned clients' holdouts against the matching BROADCAST."""
         seq, client_ids = proto.decode_eval(payload)
-        if self._broadcast is None or self._broadcast[0] != seq:
-            have = None if self._broadcast is None else self._broadcast[0]
-            raise proto.ProtocolError(
-                f"EVAL for seq {seq} but the last BROADCAST was seq {have}"
-            )
+        global_flat = self._weights_for(seq, "EVAL")
         if self._workspace is None:
             raise proto.ProtocolError("EVAL before ASSIGN")
         unknown = [cid for cid in client_ids if cid not in self._clients]
@@ -235,7 +264,6 @@ class WorkerAgent:
             raise proto.ProtocolError(
                 f"EVAL for clients {unknown} this worker does not own"
             )
-        global_flat = self._broadcast[1]
         for client_id in client_ids:
             try:
                 acc = self._clients[client_id].evaluate(self._workspace, global_flat)
@@ -248,6 +276,38 @@ class WorkerAgent:
                     proto.MsgType.EVAL_RESULT,
                     proto.encode_eval_result(
                         seq, client_id, None, traceback.format_exc()
+                    ),
+                )
+
+    def _handle_eval_model(self, conn: Connection, payload: bytes) -> None:
+        """Count correct predictions over shards of the resident eval set."""
+        seq, shards = proto.decode_eval_model(payload)
+        eval_flat = self._weights_for(seq, "EVAL_MODEL")
+        if self._workspace is None:
+            raise proto.ProtocolError("EVAL_MODEL before ASSIGN")
+        if self._eval_data is None:
+            raise proto.ProtocolError("EVAL_MODEL before BIND_EVAL")
+        x, y = self._eval_data
+        n = int(x.shape[0])
+        for a, b in shards:
+            if b > n:
+                raise proto.ProtocolError(
+                    f"EVAL_MODEL shard [{a}, {b}) exceeds the resident "
+                    f"eval set of {n} samples"
+                )
+            try:
+                self._workspace.set_flat_weights(eval_flat)
+                preds = self._workspace.predict(x[a:b], batch_size=EVAL_BATCH)
+                correct = int(np.count_nonzero(preds == y[a:b]))
+                conn.send(
+                    proto.MsgType.EVAL_MODEL_RESULT,
+                    proto.encode_eval_model_result(seq, a, b, correct),
+                )
+            except Exception:
+                conn.send(
+                    proto.MsgType.EVAL_MODEL_RESULT,
+                    proto.encode_eval_model_result(
+                        seq, a, b, None, traceback.format_exc()
                     ),
                 )
 
@@ -305,11 +365,15 @@ class WorkerAgent:
                     if msg_type == proto.MsgType.ASSIGN:
                         self._handle_assign(payload)
                     elif msg_type == proto.MsgType.BROADCAST:
-                        self._broadcast = proto.decode_broadcast(payload)
+                        self._store_broadcast(payload)
                     elif msg_type == proto.MsgType.TRAIN:
                         self._handle_train(conn, payload)
                     elif msg_type == proto.MsgType.EVAL:
                         self._handle_eval(conn, payload)
+                    elif msg_type == proto.MsgType.BIND_EVAL:
+                        self._handle_bind_eval(payload)
+                    elif msg_type == proto.MsgType.EVAL_MODEL:
+                        self._handle_eval_model(conn, payload)
                     else:
                         raise proto.ProtocolError(
                             f"unexpected message type {msg_type}"

@@ -34,13 +34,35 @@ by ``tests/execution/test_eval_executors.py`` all the same.  Server-held
 datasets (the global test set) go through :meth:`ClientExecutor.
 evaluate_model`; backends whose workers hold local model replicas may
 shard that pass, provided the result stays bit-identical to one serial
-``Sequential.evaluate`` call.
+``Sequential.evaluate`` call.  :meth:`ClientExecutor.bind_eval_data`
+ships a server-held eval set to the workers **once** (shared memory on
+the process backend, a BIND_EVAL frame on the distributed backend), so
+later ``evaluate_model`` calls on those exact arrays can shard across
+workers instead of evaluating in the server process.
+
+Asynchronous evaluation
+-----------------------
+The pipelined round driver (:class:`repro.fl.engine.RoundPipeline`)
+overlaps round ``r``'s evaluation with round ``r+1``'s training through
+:meth:`ClientExecutor.submit_cohort_evaluation` /
+:meth:`ClientExecutor.submit_model_evaluation`, which return
+:class:`concurrent.futures.Future` objects.  Backends that can evaluate
+concurrently with training set :attr:`ClientExecutor.supports_async_eval`
+and run the evaluation on a driver thread; the default resolves the
+future synchronously, so callers get one uniform code path and the
+overlap simply degenerates to staged execution on the serial backend.
+Callers must keep **at most one evaluation in flight per executor** (the
+pipeline is one round deep by construction): backends reuse a single
+eval-weights channel per executor, so a second concurrent submission
+could observe the later weights.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,7 +76,43 @@ __all__ = [
     "ClientExecutor",
     "ExecutorError",
     "order_updates",
+    "EVAL_BATCH",
+    "eval_shard_bounds",
 ]
+
+#: Must match the ``batch_size`` default of :meth:`Sequential.evaluate`:
+#: sharded ``evaluate_model`` passes are cut on multiples of this so every
+#: sample sits in the same forward batch it would in a serial pass -- the
+#: property that keeps a sharded result bit-exact.
+EVAL_BATCH = 256
+
+
+def eval_shard_bounds(
+    n: int, shards_wanted: int
+) -> Optional[List[Tuple[int, int]]]:
+    """Cut ``[0, n)`` into at most ``shards_wanted`` eval shards.
+
+    Boundaries fall on multiples of :data:`EVAL_BATCH`, so each sample's
+    logits come from exactly the forward batch the serial pass would have
+    placed it in and per-shard correct-counts sum exactly.  Returns
+    ``None`` when sharding is pointless (fewer than two batches, or fewer
+    than two shards requested) -- callers then take the serial path.
+    Every sharding backend (thread, process, distributed) uses this one
+    function, so shard boundaries are identical everywhere.
+    """
+    num_batches = -(-n // EVAL_BATCH)  # ceil
+    if num_batches < 2 or shards_wanted < 2:
+        return None
+    shards = min(shards_wanted, num_batches)
+    batches_per_shard = -(-num_batches // shards)
+    bounds = [
+        (
+            s * batches_per_shard * EVAL_BATCH,
+            min(n, (s + 1) * batches_per_shard * EVAL_BATCH),
+        )
+        for s in range(shards)
+    ]
+    return [(a, b) for a, b in bounds if a < b]
 
 
 class ExecutorError(RuntimeError):
@@ -120,10 +178,17 @@ class ClientExecutor:
 
     name: str = "abstract"
 
+    #: Whether evaluation may run concurrently with training.  Backends
+    #: that set this run submitted evaluations on a driver thread; the
+    #: default resolves submissions synchronously (still correct -- the
+    #: pipeline then degenerates to staged execution).
+    supports_async_eval: bool = False
+
     def __init__(self) -> None:
         self._clients: Optional[Dict[int, SimClient]] = None
         self._model: Optional[Sequential] = None
         self._training: Optional[TrainingConfig] = None
+        self._eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -223,13 +288,94 @@ class ClientExecutor:
         Default: one serial pass in the calling process on the bound
         model shell (exactly the pre-executor behaviour).  Backends
         holding local replicas may override with a sharded pass, but
-        must stay bit-identical to the serial result; backends whose
-        workers live in other address spaces (process / distributed)
-        keep the default -- the server's test data never ships.
+        must stay bit-identical to the serial result; the process and
+        distributed backends shard only over data previously shipped via
+        :meth:`bind_eval_data` (anything else never leaves the server).
         """
         self._require_bound()
         self._model.set_flat_weights(flat_weights)
         return self._model.evaluate(x, y)
+
+    # ------------------------------------------------------------------
+    def bind_eval_data(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Ship a server-held evaluation dataset to the backend **once**.
+
+        After binding, :meth:`evaluate_model` calls that pass these exact
+        arrays (identity, not equality -- recognising the bound set must
+        cost nothing) may shard the pass across workers.  The default
+        just remembers the arrays; the process backend maps them into
+        shared memory when its workers fork, and the distributed
+        coordinator ships one BIND_EVAL frame per worker.  Re-binding the
+        *same* arrays is a no-op; re-binding different data after workers
+        already hold a copy is an error on those backends (ship-once is
+        the invariant that makes the per-round sharding free).
+        """
+        self._eval_data = (x, y)
+
+    def _bound_eval_data_matches(self, x: np.ndarray, y: np.ndarray) -> bool:
+        return (
+            self._eval_data is not None
+            and self._eval_data[0] is x
+            and self._eval_data[1] is y
+        )
+
+    # ------------------------------------------------------------------
+    def submit_cohort_evaluation(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> "Future[Dict[int, float]]":
+        """Asynchronous :meth:`evaluate_cohort`; returns a ``Future``.
+
+        ``flat_weights`` must be a stable snapshot: the caller promises
+        not to mutate it while the evaluation is in flight (the round
+        pipeline passes the post-round aggregate, which is never written
+        in place).  At most one evaluation may be in flight per executor.
+        """
+        return self._submit_eval(
+            lambda: self.evaluate_cohort(requests, flat_weights)
+        )
+
+    def submit_model_evaluation(
+        self, flat_weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> "Future[float]":
+        """Asynchronous :meth:`evaluate_model`; same contract as above."""
+        return self._submit_eval(lambda: self.evaluate_model(flat_weights, x, y))
+
+    def submit_evaluation(self, fn: Callable[[], object]) -> Future:
+        """Run a composite evaluation closure asynchronously.
+
+        ``fn`` may chain several ``evaluate_model`` / ``evaluate_cohort``
+        calls on THIS executor; they execute sequentially on one driver
+        thread, which is how a round with several evaluation products
+        (global accuracy + TiFL's tier accuracies) honours the
+        one-evaluation-in-flight contract: one submission, one future,
+        no concurrent readers of the backend's eval result channel.
+        """
+        return self._submit_eval(fn)
+
+    def _submit_eval(self, fn: Callable[[], object]) -> Future:
+        fut: Future = Future()
+        fut.set_running_or_notify_cancel()
+        if not self.supports_async_eval:
+            # Synchronous resolution: exceptions are captured so callers
+            # handle sync and async backends identically.
+            try:
+                fut.set_result(fn())
+            except Exception as exc:
+                fut.set_exception(exc)
+            return fut
+
+        def _run() -> None:
+            try:
+                fut.set_result(fn())
+            except BaseException as exc:  # the future is the only channel
+                fut.set_exception(exc)
+
+        threading.Thread(
+            target=_run, daemon=True, name=f"repro-eval-{self.name}"
+        ).start()
+        return fut
 
     def close(self) -> None:
         """Release worker resources; the executor is unusable afterwards.
@@ -253,7 +399,11 @@ class ClientExecutor:
         num_samples: int,
         latencies: Optional[Mapping[int, float]],
     ) -> ClientUpdate:
-        latency = float(latencies[client_id]) if latencies and client_id in latencies else 0.0
+        latency = (
+            float(latencies[client_id])
+            if latencies and client_id in latencies
+            else 0.0
+        )
         return ClientUpdate(
             client_id=client_id,
             flat_weights=flat_weights,

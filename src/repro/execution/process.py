@@ -19,6 +19,9 @@ Design (the memory / determinism contract):
   once per round into an anonymous shared array
   (``multiprocessing.RawArray``); workers map it as a read-only numpy
   view, so broadcasting costs O(1) copies regardless of cohort size.
+  Evaluation weights travel through a **separate** shared segment, so a
+  pipelined evaluation (round ``r``'s weights) can be in flight while
+  round ``r+1``'s training weights occupy the training segment.
 * **Shared-memory returns.**  Updated weight vectors come back the same
   way: each worker owns a private return segment (the mirror of the
   broadcast segment) guarded by a one-slot semaphore.  The worker writes
@@ -27,10 +30,20 @@ Design (the memory / determinism contract):
   copies the slot out and releases it.  The per-update weight vector is
   never pickled, so the return path costs one memcpy instead of a
   serialise/deserialise round-trip.
-* **Batched evaluation.**  ``evaluate_cohort`` reuses the broadcast
-  segment: workers evaluate their pinned clients' holdouts against the
-  shared weights and return bare floats over the queue (no shared slot
-  needed -- accuracies are scalars).
+* **Resident eval data.**  :meth:`ProcessExecutor.bind_eval_data` maps
+  the server-held eval set into shared memory before the workers fork,
+  so it ships exactly once; ``evaluate_model`` on those arrays then
+  shards across workers on the same 256-sample batch boundaries the
+  thread backend uses (``repro.execution.base.eval_shard_bounds``),
+  bit-identical to one serial pass.  Data bound *after* the workers
+  started cannot be mapped into them and falls back to the in-server
+  serial pass.
+* **Batched evaluation.**  ``evaluate_cohort`` broadcasts through the
+  eval segment: workers evaluate their pinned clients' holdouts against
+  the shared weights and return bare floats over a dedicated eval result
+  queue (no shared slot needed -- accuracies are scalars).  Training and
+  evaluation results travel on *separate* queues, so an async eval
+  collector can never steal a training message and vice versa.
 * **Deterministic merge.**  Results arrive in completion order and are
   reordered into request order before the server ever sees them.
 
@@ -42,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import threading
 import traceback
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -49,10 +63,12 @@ import numpy as np
 
 from repro.config import TrainingConfig
 from repro.execution.base import (
+    EVAL_BATCH,
     ClientExecutor,
     EvalRequest,
     ExecutorError,
     TrainRequest,
+    eval_shard_bounds,
     order_updates,
 )
 from repro.nn.model import Sequential
@@ -69,15 +85,24 @@ def _worker_main(
     workspace: Sequential,
     training: TrainingConfig,
     shared_weights,
+    eval_weights,
     return_slot,
     slot_free,
     num_params: int,
+    eval_data,
     task_q,
     result_q,
+    eval_result_q,
 ) -> None:
     """Worker loop: train/evaluate pinned clients against shared weights."""
     global_flat = np.frombuffer(shared_weights, dtype=np.float64, count=num_params)
+    eval_flat = np.frombuffer(eval_weights, dtype=np.float64, count=num_params)
     slot_view = np.frombuffer(return_slot, dtype=np.float64, count=num_params)
+    eval_x = eval_y = None
+    if eval_data is not None:
+        x_buf, x_dtype, x_shape, y_buf, y_dtype, y_shape = eval_data
+        eval_x = np.frombuffer(x_buf, dtype=x_dtype).reshape(x_shape)
+        eval_y = np.frombuffer(y_buf, dtype=y_dtype).reshape(y_shape)
     while True:
         msg = task_q.get()
         if msg is None:
@@ -127,11 +152,28 @@ def _worker_main(
             _, seq, client_ids = msg
             for client_id in client_ids:
                 try:
-                    acc = clients[client_id].evaluate(workspace, global_flat)
-                    result_q.put(("eval_ok", seq, worker_id, client_id, float(acc)))
+                    acc = clients[client_id].evaluate(workspace, eval_flat)
+                    eval_result_q.put(
+                        ("eval_ok", seq, worker_id, client_id, float(acc))
+                    )
                 except Exception:
-                    result_q.put(
+                    eval_result_q.put(
                         ("eval_err", seq, worker_id, client_id,
+                         traceback.format_exc())
+                    )
+        elif kind == "eval_model":
+            _, seq, bounds = msg
+            for a, b in bounds:
+                try:
+                    workspace.set_flat_weights(eval_flat)
+                    preds = workspace.predict(eval_x[a:b], batch_size=EVAL_BATCH)
+                    correct = int(np.count_nonzero(preds == eval_y[a:b]))
+                    eval_result_q.put(
+                        ("emodel_ok", seq, worker_id, a, b, correct)
+                    )
+                except Exception:
+                    eval_result_q.put(
+                        ("emodel_err", seq, worker_id, a, b,
                          traceback.format_exc())
                     )
 
@@ -140,6 +182,7 @@ class ProcessExecutor(ClientExecutor):
     """Train the cohort across persistent, client-pinned worker processes."""
 
     name = "process"
+    supports_async_eval = True
 
     def __init__(
         self,
@@ -160,12 +203,19 @@ class ProcessExecutor(ClientExecutor):
         self._procs: List[mp.process.BaseProcess] = []
         self._task_qs: List = []
         self._result_q = None
+        self._eval_result_q = None
         self._shared = None
+        self._eval_shared = None
+        self._eval_arrays = None  # shared-memory copy of the bound eval set
         self._return_slots: List = []
         self._slot_free: List = []
         self._num_params = 0
         self._owner: Dict[int, int] = {}  # client_id -> worker index
         self._seq = 0  # cohort sequence number; guards against stale results
+        # Serialises seq allocation + shared-segment writes + task puts,
+        # so a pipelined eval submission can never interleave with a
+        # training dispatch half-way through.
+        self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _started(self) -> bool:
@@ -181,9 +231,33 @@ class ProcessExecutor(ClientExecutor):
             raise ExecutorError("executor not started yet")
         return self._owner[client_id]
 
+    def bind_eval_data(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Map the eval set into shared memory for the (future) workers.
+
+        Must be called before the first cohort to enable sharding: the
+        shared mapping is passed to the workers when they fork.  Binding
+        after start keeps ``evaluate_model`` correct (in-server serial
+        pass) but cannot shard; re-binding different data once the
+        workers hold a shared copy is an error (ship-once invariant).
+        """
+        if self._bound_eval_data_matches(x, y):
+            return
+        if self._eval_arrays is not None:
+            raise ExecutorError(
+                "process executor already shares an eval set with its "
+                "workers; create a fresh executor to bind different data"
+            )
+        super().bind_eval_data(x, y)
+
     def _ensure_started(self) -> None:
         if self._procs:
             return
+        with self._submit_lock:
+            if self._procs:
+                return
+            self._start_workers()
+
+    def _start_workers(self) -> None:
         clients = self._require_bound()
         n_workers = min(self.workers, len(clients))
         ids = sorted(clients)
@@ -191,7 +265,27 @@ class ProcessExecutor(ClientExecutor):
         num_params = self._model.num_params()
         self._num_params = num_params
         self._shared = self._ctx.RawArray("d", max(num_params, 1))
+        self._eval_shared = self._ctx.RawArray("d", max(num_params, 1))
         self._result_q = self._ctx.Queue()
+        self._eval_result_q = self._ctx.Queue()
+        eval_blob = None
+        if self._eval_data is not None:
+            # Ship-once: one shared copy, mapped by every worker at fork.
+            x = np.ascontiguousarray(self._eval_data[0])
+            y = np.ascontiguousarray(self._eval_data[1])
+            x_buf = self._ctx.RawArray("b", max(x.nbytes, 1))
+            np.frombuffer(x_buf, dtype=x.dtype, count=x.size).reshape(x.shape)[
+                ...
+            ] = x
+            y_buf = self._ctx.RawArray("b", max(y.nbytes, 1))
+            np.frombuffer(y_buf, dtype=y.dtype, count=y.size).reshape(y.shape)[
+                ...
+            ] = y
+            eval_blob = (
+                x_buf, str(x.dtype), x.shape, y_buf, str(y.dtype), y.shape,
+            )
+            self._eval_arrays = eval_blob
+        procs, task_qs, return_slots, slot_free_sems = [], [], [], []
         for wid in range(n_workers):
             owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
             task_q = self._ctx.Queue()
@@ -205,26 +299,34 @@ class ProcessExecutor(ClientExecutor):
                     self._model,
                     self._training,
                     self._shared,
+                    self._eval_shared,
                     return_slot,
                     slot_free,
                     num_params,
+                    eval_blob,
                     task_q,
                     self._result_q,
+                    self._eval_result_q,
                 ),
                 daemon=True,
                 name=f"repro-exec-{wid}",
             )
             proc.start()
-            self._task_qs.append(task_q)
-            self._return_slots.append(return_slot)
-            self._slot_free.append(slot_free)
-            self._procs.append(proc)
+            task_qs.append(task_q)
+            return_slots.append(return_slot)
+            slot_free_sems.append(slot_free)
+            procs.append(proc)
+        self._task_qs = task_qs
+        self._return_slots = return_slots
+        self._slot_free = slot_free_sems
+        # Committed last: _ensure_started's unlocked fast path keys on it.
+        self._procs = procs
 
-    def _broadcast_weights(self, global_weights: np.ndarray) -> None:
-        """One write into the shared segment, visible to every worker
-        before its round message arrives (queue send orders it)."""
-        flat = np.asarray(global_weights, dtype=np.float64).ravel()
-        view = np.frombuffer(self._shared, dtype=np.float64, count=flat.size)
+    def _write_segment(self, segment, flat_weights: np.ndarray) -> None:
+        """One write into a shared segment, visible to every worker
+        before its task message arrives (queue send orders it)."""
+        flat = np.asarray(flat_weights, dtype=np.float64).ravel()
+        view = np.frombuffer(segment, dtype=np.float64, count=flat.size)
         view[:] = flat
 
     def _copy_out_slot(self, wid: int) -> np.ndarray:
@@ -235,11 +337,11 @@ class ProcessExecutor(ClientExecutor):
         self._slot_free[wid].release()
         return w
 
-    def _next_result(self, waited_box: List[float]):
+    def _next_result(self, waited_box: List[float], result_q):
         """One result-queue read with dead-worker and timeout checks."""
         poll = min(1.0, self.result_timeout)
         try:
-            return self._result_q.get(timeout=poll)
+            return result_q.get(timeout=poll)
         except queue_mod.Empty:
             # Short poll interval so a dead worker (OOM-kill, factory
             # error escaping the per-client try) fails the round in
@@ -264,24 +366,24 @@ class ProcessExecutor(ClientExecutor):
         if not requests:
             return []
         self._ensure_started()
-        self._seq += 1
-        seq = self._seq
-        self._broadcast_weights(global_weights)
-
         per_worker: Dict[int, List[_Job]] = {}
         for req in requests:
             per_worker.setdefault(self._owner[req.client_id], []).append(
                 (req.client_id, req.epochs)
             )
-        for wid, jobs in per_worker.items():
-            self._task_qs[wid].put(("train", seq, round_idx, jobs))
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
+            self._write_segment(self._shared, global_weights)
+            for wid, jobs in per_worker.items():
+                self._task_qs[wid].put(("train", seq, round_idx, jobs))
 
         updates: List[ClientUpdate] = []
         failures: List[str] = []
         received = 0
         waited = [0.0]
         while received < len(requests):
-            msg = self._next_result(waited)
+            msg = self._next_result(waited, self._result_q)
             if msg is None:
                 continue
             kind, msg_seq = msg[0], msg[1]
@@ -314,7 +416,8 @@ class ProcessExecutor(ClientExecutor):
                 received += 1
                 failures.append(f"client {cid}:\n{tb}")
             else:
-                # Stale eval results from an abandoned evaluate_cohort.
+                # Unknown kinds cannot appear on the training queue (eval
+                # traffic has its own queue); skip defensively.
                 continue
         if failures:
             raise ExecutorError(
@@ -332,33 +435,29 @@ class ProcessExecutor(ClientExecutor):
         if not requests:
             return {}
         self._ensure_started()
-        self._seq += 1
-        seq = self._seq
-        self._broadcast_weights(flat_weights)
-
         per_worker: Dict[int, List[int]] = {}
         for req in requests:
             per_worker.setdefault(self._owner[req.client_id], []).append(
                 req.client_id
             )
-        for wid, cids in per_worker.items():
-            self._task_qs[wid].put(("eval", seq, cids))
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
+            self._write_segment(self._eval_shared, flat_weights)
+            for wid, cids in per_worker.items():
+                self._task_qs[wid].put(("eval", seq, cids))
 
         accs: Dict[int, float] = {}
         failures: List[str] = []
         received = 0
         waited = [0.0]
         while received < len(requests):
-            msg = self._next_result(waited)
+            msg = self._next_result(waited, self._eval_result_q)
             if msg is None:
                 continue
             kind, msg_seq = msg[0], msg[1]
-            if kind == "ok":
-                # Stale training update from an abandoned cohort: the
-                # slot still has to be drained and freed.
-                self._copy_out_slot(msg[2])
-                continue
             if msg_seq != seq:
+                # Stale result from an abandoned (timed-out) evaluation.
                 continue
             if kind == "eval_ok":
                 _, _, wid, cid, acc = msg
@@ -373,6 +472,65 @@ class ProcessExecutor(ClientExecutor):
                 "client evaluation failed in worker process:\n" + "\n".join(failures)
             )
         return {req.client_id: accs[req.client_id] for req in requests}
+
+    # ------------------------------------------------------------------
+    def evaluate_model(
+        self, flat_weights: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> float:
+        """Shard over the workers' resident eval shards; bit-exact.
+
+        Requires the dataset to have been shipped by
+        :meth:`bind_eval_data` before the workers started; anything else
+        (unbound data, post-start binding, fewer than two shardable
+        batches) takes the serial in-server path.
+        """
+        self._require_bound()
+        if not self._bound_eval_data_matches(x, y):
+            return super().evaluate_model(flat_weights, x, y)
+        self._ensure_started()
+        if self._eval_arrays is None:
+            return super().evaluate_model(flat_weights, x, y)
+        n = int(x.shape[0])
+        bounds = eval_shard_bounds(n, len(self._procs))
+        if bounds is None:
+            return super().evaluate_model(flat_weights, x, y)
+        per_worker: Dict[int, List[Tuple[int, int]]] = {}
+        for i, bd in enumerate(bounds):
+            per_worker.setdefault(i % len(self._procs), []).append(bd)
+        with self._submit_lock:
+            self._seq += 1
+            seq = self._seq
+            self._write_segment(self._eval_shared, flat_weights)
+            for wid, shard in per_worker.items():
+                self._task_qs[wid].put(("eval_model", seq, shard))
+
+        correct = 0
+        failures: List[str] = []
+        received = 0
+        waited = [0.0]
+        while received < len(bounds):
+            msg = self._next_result(waited, self._eval_result_q)
+            if msg is None:
+                continue
+            kind, msg_seq = msg[0], msg[1]
+            if msg_seq != seq:
+                continue
+            if kind == "emodel_ok":
+                _, _, wid, a, b, shard_correct = msg
+                received += 1
+                correct += shard_correct
+            elif kind == "emodel_err":
+                _, _, wid, a, b, tb = msg
+                received += 1
+                failures.append(f"shard [{a}:{b}]:\n{tb}")
+        if failures:
+            raise ExecutorError(
+                "global evaluation failed in worker process:\n"
+                + "\n".join(failures)
+            )
+        # Same float as `np.mean(preds == y)` over the full pass: the
+        # boolean sum is exact in float64 and the division identical.
+        return float(correct / n)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -396,12 +554,16 @@ class ProcessExecutor(ClientExecutor):
                 proc.join(timeout=5.0)
         for task_q in self._task_qs:
             task_q.close()
-        if self._result_q is not None:
-            self._result_q.close()
-            self._result_q = None
+        for q in (self._result_q, self._eval_result_q):
+            if q is not None:
+                q.close()
+        self._result_q = None
+        self._eval_result_q = None
         self._procs = []
         self._task_qs = []
         self._shared = None
+        self._eval_shared = None
+        self._eval_arrays = None
         self._return_slots = []
         self._slot_free = []
         self._owner = {}

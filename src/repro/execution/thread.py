@@ -27,10 +27,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.execution.base import (
+    EVAL_BATCH,
     ClientExecutor,
     EvalRequest,
     ExecutorError,
     TrainRequest,
+    eval_shard_bounds,
     order_updates,
 )
 from repro.nn.model import Sequential
@@ -38,17 +40,17 @@ from repro.simcluster.client import ClientUpdate
 
 __all__ = ["ThreadExecutor"]
 
-#: Must match the ``batch_size`` default of :meth:`Sequential.evaluate`:
-#: shards of :meth:`ThreadExecutor.evaluate_model` are cut on multiples
-#: of this so every sample sits in the same forward batch it would in a
-#: serial pass -- the property that keeps the sharded result bit-exact.
-_EVAL_BATCH = 256
-
 
 class ThreadExecutor(ClientExecutor):
-    """Train the cohort on a thread pool with replica checkout."""
+    """Train the cohort on a thread pool with replica checkout.
+
+    Evaluation is safe to run concurrently with training (replica
+    checkout isolates every task), so this backend supports the round
+    pipeline's async eval submission.
+    """
 
     name = "thread"
+    supports_async_eval = True
 
     def __init__(self, workers: int = 2) -> None:
         super().__init__()
@@ -110,10 +112,13 @@ class ThreadExecutor(ClientExecutor):
         return self._stamp(req.client_id, w, client.num_train_samples, latencies)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec"
-            )
+        # Locked: an async eval submission can race the training path to
+        # the first cohort, and two pools must never exist.
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
+                )
         return self._pool
 
     def train_cohort(
@@ -128,7 +133,9 @@ class ThreadExecutor(ClientExecutor):
             return []
         self._ensure_pool()
         futures = [
-            self._pool.submit(self._train_one, req, round_idx, global_weights, latencies)
+            self._pool.submit(
+                self._train_one, req, round_idx, global_weights, latencies
+            )
             for req in requests
         ]
         updates: List[ClientUpdate] = []
@@ -192,27 +199,17 @@ class ThreadExecutor(ClientExecutor):
         """
         self._require_bound()
         n = int(x.shape[0])
-        num_batches = -(-n // _EVAL_BATCH)  # ceil
-        if num_batches < 2 or self.workers < 2:
+        bounds = eval_shard_bounds(n, self.workers)
+        if bounds is None:
             return super().evaluate_model(flat_weights, x, y)
         self._ensure_pool()
-        shards = min(self.workers, num_batches)
-        batches_per_shard = -(-num_batches // shards)
-        bounds = [
-            (
-                s * batches_per_shard * _EVAL_BATCH,
-                min(n, (s + 1) * batches_per_shard * _EVAL_BATCH),
-            )
-            for s in range(shards)
-        ]
-        bounds = [(a, b) for a, b in bounds if a < b]
         y_arr = np.asarray(y)
 
         def _count_correct(a: int, b: int) -> int:
             replica = self._acquire_replica()
             try:
                 replica.set_flat_weights(flat_weights)
-                preds = replica.predict(x[a:b], batch_size=_EVAL_BATCH)
+                preds = replica.predict(x[a:b], batch_size=EVAL_BATCH)
             finally:
                 self._release_replica(replica)
             return int(np.count_nonzero(preds == y_arr[a:b]))

@@ -71,6 +71,7 @@ def run_policy(
     server_kwargs: Optional[dict] = None,
     executor: Union[str, "ClientExecutor", None] = None,
     workers: Optional[int] = None,
+    pipeline: Optional[bool] = None,
 ) -> ExperimentResult:
     """Train ``rounds`` rounds under ``policy`` on the scenario ``cfg``.
 
@@ -87,7 +88,9 @@ def run_policy(
     so parallel execution never perturbs a comparison.  ``executor`` may
     also be a ready :class:`~repro.execution.ClientExecutor` instance
     (e.g. a listening distributed coordinator), in which case ``workers``
-    is ignored.
+    is ignored.  ``pipeline`` opts the server into the round-pipelined
+    driver (:mod:`repro.fl.engine`) -- bit-identical history, overlapped
+    wall-clock.
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
@@ -101,6 +104,8 @@ def run_policy(
         kwargs.setdefault("executor", executor)
     if workers is not None:
         kwargs.setdefault("workers", workers)
+    if pipeline is not None:
+        kwargs.setdefault("pipeline", pipeline)
 
     if isinstance(policy, str) and policy in _UNTIERED:
         if policy == "vanilla":

@@ -201,11 +201,15 @@ def _partition(
     if cfg.data_distribution == "iid":
         return partition_iid(labels, cfg.num_clients, rng)
     if cfg.data_distribution == "noniid":
-        return partition_noniid_classes(labels, cfg.num_clients, cfg.noniid_classes, rng)
+        return partition_noniid_classes(
+            labels, cfg.num_clients, cfg.noniid_classes, rng
+        )
     if cfg.data_distribution == "shards":
         return partition_shards(labels, cfg.num_clients, cfg.shards_per_client, rng)
     if cfg.data_distribution == "quantity":
-        return partition_quantity_skew(labels, cfg.num_clients, cfg.quantity_fractions, rng)
+        return partition_quantity_skew(
+            labels, cfg.num_clients, cfg.quantity_fractions, rng
+        )
     # quantity_noniid: class-limited partition, then thin each client to the
     # group quantity share ("shard the dataset unevenly ... and limit the
     # number of classes", Sec. 5.1).
@@ -338,7 +342,9 @@ def build_leaf_scenario(
     elif model == "mlp":
         net = build_mlp(shape, num_classes, rng=model_rng)
     else:
-        net = build_model(model, input_shape=shape, num_classes=num_classes, rng=model_rng)
+        net = build_model(
+            model, input_shape=shape, num_classes=num_classes, rng=model_rng
+        )
 
     groups = list(cpu_groups)
     divisible = (num_clients // len(groups)) * len(groups)

@@ -70,7 +70,11 @@ class TrainingHistory:
 
     def accuracy_series(self) -> Tuple[np.ndarray, np.ndarray]:
         """(rounds, accuracy) restricted to evaluated rounds."""
-        pts = [(r.round_idx, r.accuracy) for r in self.records if r.accuracy is not None]
+        pts = [
+            (r.round_idx, r.accuracy)
+            for r in self.records
+            if r.accuracy is not None
+        ]
         if not pts:
             return np.empty(0, dtype=np.int64), np.empty(0)
         rounds, accs = zip(*pts)

@@ -1,12 +1,16 @@
 """The synchronous federated-learning server (Alg. 1).
 
-One :class:`FLServer` drives the full round loop::
+One :class:`FLServer` drives the full round loop, decomposed into the
+staged **round engine** phases (see :mod:`repro.fl.engine` for the data
+contract between stages)::
 
     for r in range(N):
-        plan      = selector.select(r, available_clients)   # line 3
-        updates   = train selected clients in parallel       # lines 4-7
-        w_{r+1}   = fedavg(updates)                          # line 8
-        clock    += max(selected client latencies)           # Eq. 1
+        ctx = select(r)        # cohort + simulated latencies (line 3)
+        broadcast(ctx)         # fix the weights the cohort trains from
+        train(ctx)             # executor trains the cohort (lines 4-7)
+        aggregate(ctx)         # w_{r+1} = fedavg(updates); clock += Eq. 1
+        eval(ctx)              # accuracy of the post-round snapshot
+        record(ctx)            # history append + selector feedback
 
 Client training is *real* gradient descent; the parallelism of the
 physical testbed is simulated by advancing the clock by the cohort's
@@ -14,6 +18,13 @@ maximum response latency rather than the sum.  TiFL's server
 (:class:`repro.tifl.server.TiFLServer`) subclasses this loop, swapping in
 the tier scheduler and adding per-tier evaluation -- by design the loop is
 selection-agnostic (the paper's "non-intrusive" claim).
+
+With ``pipeline=True`` the staged loop is driven by
+:class:`repro.fl.engine.RoundPipeline`, which overlaps round ``r``'s
+evaluation with round ``r+1``'s training whenever the executor exposes
+async submission -- bit-identical to the staged path by construction
+(eval always runs against the post-round-``r`` snapshot, records append
+in round order, and feedback-driven selectors force a drain).
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
 from repro.data.datasets import Dataset
 from repro.execution import ClientExecutor, TrainRequest, resolve_executor
 from repro.fl.aggregator import HierarchicalAggregator, fedavg
+from repro.fl.engine import RoundContext, RoundPipeline
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import ClientSelector, SelectionPlan
 from repro.nn.model import Sequential
@@ -86,6 +98,12 @@ class FLServer:
         cohort's latencies in two vectorised draws.  v2 changes every
         sampled latency relative to v1 (a versioned break, not a bug);
         each version is internally deterministic and regression-pinned.
+    pipeline:
+        Drive rounds through :class:`repro.fl.engine.RoundPipeline`,
+        overlapping round ``r``'s evaluation with round ``r+1``'s
+        training (bit-identical to the staged default -- only wall-clock
+        time changes).  ``None`` defers to ``training.pipeline``; the
+        staged path remains the default.
     """
 
     def __init__(
@@ -105,6 +123,7 @@ class FLServer:
         executor: Union[str, ClientExecutor, None] = None,
         workers: Optional[int] = None,
         latency_stream: Union[str, CohortLatencySampler, None] = None,
+        pipeline: Optional[bool] = None,
     ) -> None:
         if not clients:
             raise ValueError("the client pool must be non-empty")
@@ -138,12 +157,18 @@ class FLServer:
         self.global_weights = model.get_flat_weights()
         self.history = TrainingHistory()
         self.excluded: set = set()  # permanently excluded (profiler dropouts)
+        self.pipeline: bool = (
+            training.pipeline if pipeline is None else bool(pipeline)
+        )
         self.executor: ClientExecutor = resolve_executor(
             executor if executor is not None else training.executor,
             workers if workers is not None else training.workers,
             endpoint=training.endpoint,
         )
         self.executor.bind(self.clients, self.model, self.training)
+        # Ship-once: the global test set becomes resident in the workers
+        # (shared memory / BIND_EVAL), so evaluate_model can shard there.
+        self.executor.bind_eval_data(self.test_data.x, self.test_data.y)
 
     # ------------------------------------------------------------------
     @property
@@ -226,63 +251,177 @@ class FLServer:
             round_latency = max(round_latency, self.dropout_timeout)
         return kept, dropped, round_latency
 
-    def run_round(self, round_idx: int) -> RoundRecord:
-        """Execute one synchronous global round."""
-        plan = self.selector.select(round_idx, self.available_clients())
-        unknown = [c for c in plan.clients if c not in self.clients]
+    # ------------------------------------------------------------------
+    # the staged round engine (see repro.fl.engine for the contract)
+    # ------------------------------------------------------------------
+    @property
+    def selector_uses_eval_feedback(self) -> bool:
+        """Whether the next selection may read eval results (gates the
+        pipelined driver's overlap; conservative True for selectors that
+        do not declare themselves)."""
+        return getattr(self.selector, "uses_eval_feedback", True)
+
+    def _stage_select(self, round_idx: int) -> RoundContext:
+        """Select phase: cohort, simulated latencies, dropout semantics."""
+        ctx = RoundContext(round_idx=round_idx)
+        ctx.plan = self.selector.select(round_idx, self.available_clients())
+        unknown = [c for c in ctx.plan.clients if c not in self.clients]
         if unknown:
             raise KeyError(f"selector chose unknown clients: {unknown}")
-        latencies = self._measure_latencies(plan, round_idx)
-        kept, dropped, round_latency = self._resolve_cohort(plan, latencies)
-
-        # Lines 4-7 of Alg. 1: the executor trains the cohort (possibly in
-        # parallel) and hands updates back in request order, so the FedAvg
-        # summation below is bit-identical across backends.
-        requests = [
-            TrainRequest(cid, epochs=self.epochs_for(cid, round_idx))
-            for cid in kept
-        ]
-        updates = self.executor.train_cohort(
-            round_idx, requests, self.global_weights, latencies=latencies
+        ctx.latencies = self._measure_latencies(ctx.plan, round_idx)
+        ctx.kept, ctx.dropped, ctx.round_latency = self._resolve_cohort(
+            ctx.plan, ctx.latencies
         )
-        new_weights: List[np.ndarray] = [u.flat_weights for u in updates]
-        sizes: List[float] = [float(u.num_samples) for u in updates]
+        return ctx
 
+    def _stage_broadcast(self, ctx: RoundContext) -> None:
+        """Broadcast phase: fix the weights the cohort trains from.
+
+        The executor performs the physical transport (shared memory /
+        BROADCAST frame) inside ``train_cohort``; this stage pins the
+        contract that round ``r`` trains from the pre-round vector, no
+        matter what a pipelined eval of round ``r-1`` is doing.
+        """
+        ctx.broadcast_weights = self.global_weights
+
+    def _stage_train(self, ctx: RoundContext) -> None:
+        """Train phase (lines 4-7 of Alg. 1): the executor trains the
+        cohort (possibly in parallel) and hands updates back in request
+        order, so the FedAvg summation is bit-identical across backends."""
+        requests = [
+            TrainRequest(cid, epochs=self.epochs_for(cid, ctx.round_idx))
+            for cid in ctx.kept
+        ]
+        ctx.updates = self.executor.train_cohort(
+            ctx.round_idx, requests, ctx.broadcast_weights,
+            latencies=ctx.latencies,
+        )
+
+    def _stage_aggregate(self, ctx: RoundContext) -> None:
+        """Aggregate phase: FedAvg (line 8) + the Eq. 1 clock advance.
+
+        ``ctx.eval_weights`` snapshots the post-round global vector for
+        the eval phase: aggregation always produces a *fresh* array (and
+        a fully-dropped round carries the previous, never-mutated vector
+        over), so the reference stays stable even while round ``r+1``
+        replaces ``self.global_weights``.
+        """
+        new_weights: List[np.ndarray] = [u.flat_weights for u in ctx.updates]
+        sizes: List[float] = [float(u.num_samples) for u in ctx.updates]
         if new_weights:
             if self.aggregator is not None:
                 self.global_weights = self.aggregator.aggregate(new_weights, sizes)
             else:
                 self.global_weights = fedavg(new_weights, sizes)
         # else: fully-dropped round -- weights carry over unchanged
-
-        self.clock.advance(round_latency)
+        ctx.eval_weights = self.global_weights
+        self.clock.advance(ctx.round_latency)
         self.clock.mark()
+        ctx.sim_time = self.clock.now
 
-        accuracy: Optional[float] = None
-        if round_idx % self.eval_every == 0:
-            accuracy = self.evaluate_global()
+    def _eval_due(self, round_idx: int) -> bool:
+        return round_idx % self.eval_every == 0
 
-        record = RoundRecord(
-            round_idx=round_idx,
-            round_latency=round_latency,
-            sim_time=self.clock.now,
-            accuracy=accuracy,
-            selected=tuple(plan.clients),
-            tier=plan.tier,
-            dropped=tuple(dropped),
+    def _eval_thunks(self, ctx: RoundContext):
+        """The round's evaluation work: ``[(ctx_field, thunk), ...]``.
+
+        Each thunk makes exactly one executor evaluation call against the
+        ``ctx.eval_weights`` snapshot; its result lands in the named
+        :class:`RoundContext` field.  Subclasses append their extras
+        (TiFL's per-tier accuracies).  Both eval paths run the *same*
+        thunks -- staged executes them inline, pipelined ships the whole
+        list as ONE submitted future executed sequentially, so the
+        executor never sees two concurrent evaluations (the one-in-flight
+        contract of :mod:`repro.execution.base`).
+        """
+        thunks = []
+        if self._eval_due(ctx.round_idx):
+            weights = ctx.eval_weights
+            thunks.append(
+                (
+                    "accuracy",
+                    lambda: self.executor.evaluate_model(
+                        weights, self.test_data.x, self.test_data.y
+                    ),
+                )
+            )
+        return thunks
+
+    def _stage_eval(self, ctx: RoundContext) -> None:
+        """Eval phase (staged, synchronous): accuracy of the snapshot."""
+        for field_name, thunk in self._eval_thunks(ctx):
+            setattr(ctx, field_name, thunk())
+
+    def _stage_eval_submit(self, ctx: RoundContext) -> None:
+        """Eval phase, async half: submit against the snapshot weights.
+
+        Used by the pipelined driver; backends without async support
+        resolve the future synchronously, so this pair of methods is
+        exactly :meth:`_stage_eval` there.
+        """
+        thunks = self._eval_thunks(ctx)
+        if not thunks:
+            return
+        ctx.eval_fields = [field_name for field_name, _ in thunks]
+        fns = [thunk for _, thunk in thunks]
+        ctx.eval_future = self.executor.submit_evaluation(
+            lambda: [fn() for fn in fns]
         )
+
+    def _stage_eval_resolve(self, ctx: RoundContext) -> None:
+        """Eval phase, async half: wait for the submitted results."""
+        if ctx.eval_future is None:
+            return
+        for field_name, value in zip(ctx.eval_fields, ctx.eval_future.result()):
+            setattr(ctx, field_name, value)
+
+    def _stage_record(self, ctx: RoundContext) -> RoundRecord:
+        """Record phase: commit the round to history + selector feedback."""
+        record = RoundRecord(
+            round_idx=ctx.round_idx,
+            round_latency=ctx.round_latency,
+            sim_time=ctx.sim_time,
+            accuracy=ctx.accuracy,
+            selected=tuple(ctx.plan.clients),
+            tier=ctx.plan.tier,
+            dropped=tuple(ctx.dropped),
+        )
+        ctx.record = record
+        self._record_extras(ctx, record)
         self._post_round(record)
-        self.selector.observe(round_idx, plan, round_latency, accuracy)
+        self.selector.observe(
+            ctx.round_idx, ctx.plan, ctx.round_latency, ctx.accuracy
+        )
         self.history.append(record)
         return record
 
+    def _record_extras(self, ctx: RoundContext, record: RoundRecord) -> None:
+        """Subclass hook: attach eval extras to the record (TiFL)."""
+
+    def run_round(self, round_idx: int) -> RoundRecord:
+        """Execute one synchronous global round (the staged path)."""
+        ctx = self._stage_select(round_idx)
+        self._stage_broadcast(ctx)
+        self._stage_train(ctx)
+        self._stage_aggregate(ctx)
+        self._stage_eval(ctx)
+        return self._stage_record(ctx)
+
     def _post_round(self, record: RoundRecord) -> None:
-        """Subclass hook invoked after aggregation, before history append."""
+        """Legacy subclass hook invoked in the record phase, before the
+        selector observes and the history appends."""
 
     def run(self, num_rounds: int, start_round: int = 0) -> TrainingHistory:
-        """Run ``num_rounds`` rounds; returns the accumulated history."""
+        """Run ``num_rounds`` rounds; returns the accumulated history.
+
+        With ``pipeline=True`` the rounds are driven by
+        :class:`repro.fl.engine.RoundPipeline` (bit-identical history,
+        overlapped wall-clock); otherwise the staged loop runs.
+        """
         if num_rounds <= 0:
             raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        if self.pipeline:
+            return RoundPipeline(self).run(num_rounds, start_round)
         for r in range(start_round, start_round + num_rounds):
             self.run_round(r)
         return self.history

@@ -41,7 +41,9 @@ class Layer:
         self.built = False
 
     # -- construction -------------------------------------------------
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         """Allocate parameters for ``input_shape`` (sans batch dim).
 
         Returns the output shape (sans batch dim).  Default: shape-preserving,
@@ -83,7 +85,9 @@ class Dense(Layer):
         self._bias_init = bias_init
         self._x: Optional[np.ndarray] = None
 
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         if len(input_shape) != 1:
             raise ValueError(
                 f"Dense expects flat input, got shape {input_shape}; add Flatten"
@@ -160,7 +164,9 @@ class Conv2D(Layer):
             raise ValueError("'same' padding requires stride 1")
         return (self.k - 1) // 2
 
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         if len(input_shape) != 3:
             raise ValueError(f"Conv2D expects (h, w, c) input, got {input_shape}")
         h, w, c = input_shape
@@ -203,7 +209,9 @@ class MaxPool2D(Layer):
         self.stride = stride if stride is not None else pool_size
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
 
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         h, w, c = input_shape
         oh = T.conv_out_size(h, self.k, self.stride, 0)
         ow = T.conv_out_size(w, self.k, self.stride, 0)
@@ -229,7 +237,9 @@ class Flatten(Layer):
         super().__init__()
         self._shape: Optional[Tuple[int, ...]] = None
 
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         self.built = True
         return (int(np.prod(input_shape)),)
 
@@ -258,7 +268,9 @@ class Dropout(Layer):
         self._rng: Optional[np.random.Generator] = None
         self._mask: Optional[np.ndarray] = None
 
-    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
         self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
         self.built = True
         return input_shape

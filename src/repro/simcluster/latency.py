@@ -102,9 +102,13 @@ class LatencyModel:
                 f"base_overhead must be non-negative, got {self.base_overhead}"
             )
         if self.noise_sigma < 0:
-            raise ValueError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+            raise ValueError(
+                f"noise_sigma must be non-negative, got {self.noise_sigma}"
+            )
 
-    def mean_compute(self, num_samples: int, spec: ResourceSpec, epochs: int = 1) -> float:
+    def mean_compute(
+        self, num_samples: int, spec: ResourceSpec, epochs: int = 1
+    ) -> float:
         """Expected compute seconds for ``epochs`` local epochs."""
         if num_samples < 0:
             raise ValueError(f"num_samples must be non-negative, got {num_samples}")

@@ -128,7 +128,11 @@ class AdaptiveTierPolicy(TierPolicy):
 
     def _accuracy_of(self, tier: int, at_round: int) -> Optional[float]:
         """A_tier at the evaluation closest to (and at most) ``at_round``."""
-        rounds = [r for r in self.accuracy_log if r <= at_round and tier in self.accuracy_log[r]]
+        rounds = [
+            r
+            for r in self.accuracy_log
+            if r <= at_round and tier in self.accuracy_log[r]
+        ]
         if not rounds:
             return None
         return self.accuracy_log[max(rounds)][tier]

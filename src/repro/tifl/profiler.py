@@ -123,7 +123,11 @@ def profile_clients(
             }
         for cid, lat in observed.items():
             raw[cid].append(min(lat, deadline))
-        finite = [min(v, deadline) for v in observed.values() if np.isfinite(min(v, deadline))]
+        finite = [
+            min(v, deadline)
+            for v in observed.values()
+            if np.isfinite(min(v, deadline))
+        ]
         if finite:
             profiling_time += max(finite)
 

@@ -28,6 +28,12 @@ class TierPolicy:
     (Algorithm 2).
     """
 
+    #: Whether :meth:`choose_tier` depends on recorded tier accuracies.
+    #: Conservative default True; static policies (fixed probability
+    #: vectors) override to False so the pipelined round driver may
+    #: overlap eval with the next round's training.
+    uses_eval_feedback: bool = True
+
     def choose_tier(
         self,
         round_idx: int,
@@ -86,6 +92,12 @@ class TierScheduler(ClientSelector):
         self.policy = policy
         self.clients_per_round = clients_per_round
         self._rng = make_rng(rng)
+
+    @property
+    def uses_eval_feedback(self) -> bool:
+        """Delegated to the policy: adaptive tier selection reads the
+        recorded tier accuracies, static probability vectors do not."""
+        return getattr(self.policy, "uses_eval_feedback", True)
 
     def _eligible_mask(self, available: Sequence[int]) -> np.ndarray:
         avail = set(available)

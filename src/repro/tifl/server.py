@@ -200,14 +200,8 @@ class TiFLServer(FLServer):
         return self.scheduler.policy
 
     # ------------------------------------------------------------------
-    def evaluate_tiers(self) -> Dict[int, float]:
-        """Per-tier accuracy ``A_t^r``: mean holdout accuracy over members.
-
-        Each client evaluates the global weights on its *local* holdout --
-        no raw data leaves the client, preserving the privacy property.
-        All eligible members across every tier are batched into **one**
-        :meth:`~repro.execution.ClientExecutor.evaluate_cohort` call, so
-        tier evaluation parallelises exactly like training.
+    def _eligible_tier_members(self) -> List[int]:
+        """Tier members with usable holdouts, warn-logging the rest once.
 
         Clients with empty holdouts cannot contribute a signal; they are
         excluded from the tier-mean denominator (a tier whose every
@@ -233,9 +227,10 @@ class TiFLServer(FLServer):
                 len(no_holdout),
                 sorted(no_holdout),
             )
-        accs = self.executor.evaluate_cohort(
-            [EvalRequest(cid) for cid in eligible], self.global_weights
-        )
+        return eligible
+
+    def _tier_means(self, accs: Dict[int, float]) -> Dict[int, float]:
+        """Pool per-client accuracies into per-tier means ``A_t^r``."""
         out: Dict[int, float] = {}
         for tier in self.assignment.tiers:
             member_accs = [accs[cid] for cid in tier.client_ids if cid in accs]
@@ -243,11 +238,61 @@ class TiFLServer(FLServer):
                 out[tier.index] = float(np.mean(member_accs))
         return out
 
-    def _post_round(self, record: RoundRecord) -> None:
-        if self.tier_eval_every and record.round_idx % self.tier_eval_every == 0:
-            tier_accs = self.evaluate_tiers()
-            record.tier_accuracies = tier_accs
-            self.scheduler.record_tier_accuracies(record.round_idx, tier_accs)
+    def evaluate_tiers(
+        self, flat_weights: Optional[np.ndarray] = None
+    ) -> Dict[int, float]:
+        """Per-tier accuracy ``A_t^r``: mean holdout accuracy over members.
+
+        Each client evaluates ``flat_weights`` (default: the current
+        global weights; the pipelined round engine passes the post-round
+        snapshot) on its *local* holdout -- no raw data leaves the
+        client, preserving the privacy property.  All eligible members
+        across every tier are batched into **one**
+        :meth:`~repro.execution.ClientExecutor.evaluate_cohort` call, so
+        tier evaluation parallelises exactly like training.
+        """
+        if flat_weights is None:
+            flat_weights = self.global_weights
+        accs = self.executor.evaluate_cohort(
+            [EvalRequest(cid) for cid in self._eligible_tier_members()],
+            flat_weights,
+        )
+        return self._tier_means(accs)
+
+    # -- round-engine hooks (see repro.fl.engine) ----------------------
+    def _tier_eval_due(self, round_idx: int) -> bool:
+        return bool(self.tier_eval_every) and round_idx % self.tier_eval_every == 0
+
+    def _eval_thunks(self, ctx):
+        """Append the per-tier evaluation to the round's eval work.
+
+        Joins the base thunk list so the pipelined driver ships global
+        accuracy AND tier accuracies as ONE sequential submission -- two
+        concurrent evaluations on one executor would race each other for
+        the backend's eval result channel.
+        """
+        thunks = super()._eval_thunks(ctx)
+        if self._tier_eval_due(ctx.round_idx):
+            requests = [
+                EvalRequest(cid) for cid in self._eligible_tier_members()
+            ]
+            weights = ctx.eval_weights
+            thunks.append(
+                (
+                    "tier_accuracies",
+                    lambda: self._tier_means(
+                        self.executor.evaluate_cohort(requests, weights)
+                    ),
+                )
+            )
+        return thunks
+
+    def _record_extras(self, ctx, record: RoundRecord) -> None:
+        if ctx.tier_accuracies is not None:
+            record.tier_accuracies = ctx.tier_accuracies
+            self.scheduler.record_tier_accuracies(
+                record.round_idx, ctx.tier_accuracies
+            )
 
     # ------------------------------------------------------------------
     def reprofile(
@@ -259,7 +304,11 @@ class TiFLServer(FLServer):
         adaptive credits / probabilities survive when tier count is
         unchanged; otherwise the policy is re-resolved from its spec).
         """
-        active = [c for cid, c in sorted(self.clients.items()) if cid not in self.excluded]
+        active = [
+            c
+            for cid, c in sorted(self.clients.items())
+            if cid not in self.excluded
+        ]
         self.profiling = profile_clients(
             active,
             num_params=self.num_params,

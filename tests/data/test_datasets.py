@@ -33,7 +33,9 @@ class TestDataset:
         assert not np.any(d.x == 99.0)
 
     def test_split_disjoint_and_complete(self, rng):
-        d = Dataset(np.arange(20).reshape(20, 1).astype(float), np.zeros(20, dtype=int), 2)
+        d = Dataset(
+            np.arange(20).reshape(20, 1).astype(float), np.zeros(20, dtype=int), 2
+        )
         a, b = d.split(8, rng=0)
         assert len(a) == 8 and len(b) == 12
         combined = np.sort(np.concatenate([a.x.ravel(), b.x.ravel()]))
@@ -66,7 +68,9 @@ class TestFactories:
         assert len(train) == classes * 4 and len(test) == classes * 2
 
     def test_custom_shape(self, factory, classes, shape):
-        train, _ = factory(train_size=classes * 2, test_size=classes, shape=(6, 6, 1), rng=0)
+        train, _ = factory(
+            train_size=classes * 2, test_size=classes, shape=(6, 6, 1), rng=0
+        )
         assert train.sample_shape == (6, 6, 1)
 
     def test_balanced_labels(self, factory, classes, shape):
@@ -75,8 +79,12 @@ class TestFactories:
         assert counts.min() >= 9  # near-perfect balance by construction
 
     def test_deterministic(self, factory, classes, shape):
-        a, _ = factory(train_size=classes * 2, test_size=classes, shape=(4, 4, 1), rng=3)
-        b, _ = factory(train_size=classes * 2, test_size=classes, shape=(4, 4, 1), rng=3)
+        a, _ = factory(
+            train_size=classes * 2, test_size=classes, shape=(4, 4, 1), rng=3
+        )
+        b, _ = factory(
+            train_size=classes * 2, test_size=classes, shape=(4, 4, 1), rng=3
+        )
         np.testing.assert_array_equal(a.x, b.x)
         np.testing.assert_array_equal(a.y, b.y)
 

@@ -196,9 +196,14 @@ def test_quantity_skew_invariants(per_group, seed, fractions):
     check_partition(parts, labels.size, allow_empty_clients=True, require_cover=True)
     # group totals follow the requested fractions
     totals = np.array(
-        [sum(parts[g * per_group + i].size for i in range(per_group)) for g in range(fr.size)]
+        [
+            sum(parts[g * per_group + i].size for i in range(per_group))
+            for g in range(fr.size)
+        ]
     )
-    np.testing.assert_allclose(totals / labels.size, fr, atol=2 / labels.size * per_group + 0.02)
+    np.testing.assert_allclose(
+        totals / labels.size, fr, atol=2 / labels.size * per_group + 0.02
+    )
 
 
 class TestDirichlet:

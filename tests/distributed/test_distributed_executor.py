@@ -13,7 +13,11 @@ import numpy as np
 import pytest
 
 from repro.config import TrainingConfig
-from repro.distributed import DistributedExecutor, spawn_local_workers, terminate_workers
+from repro.distributed import (
+    DistributedExecutor,
+    spawn_local_workers,
+    terminate_workers,
+)
 from repro.execution import ExecutorError, TrainRequest, create_executor
 from repro.fl.aggregator import fedavg
 from repro.fl.selection import RandomSelector

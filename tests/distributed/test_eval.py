@@ -65,25 +65,72 @@ class TestEvalCodecs:
 
 
 class TestVersioning:
-    def test_protocol_version_is_2(self):
-        """v2 introduced EVAL/EVAL_RESULT; regressing the constant would
-        let pre-eval workers join and then choke on EVAL frames."""
-        assert proto.PROTOCOL_VERSION == 2
+    def test_protocol_version_is_3(self):
+        """v3 introduced BIND_EVAL / EVAL_MODEL / EVAL_MODEL_RESULT and
+        multi-broadcast retention; regressing the constant would let
+        pre-pipelining workers join and then choke on BIND_EVAL frames."""
+        assert proto.PROTOCOL_VERSION == 3
         assert proto.MsgType.EVAL == 13
         assert proto.MsgType.EVAL_RESULT == 14
+        assert proto.MsgType.BIND_EVAL == 15
+        assert proto.MsgType.EVAL_MODEL == 16
+        assert proto.MsgType.EVAL_MODEL_RESULT == 17
 
-    def test_v1_worker_is_rejected_at_handshake(self):
+    @pytest.mark.parametrize("stale_version", [1, 2])
+    def test_stale_worker_is_rejected_naming_both_versions(self, stale_version):
+        """The REJECT reason must name BOTH peer versions ("worker speaks
+        v2, coordinator requires v3") so either side's log says exactly
+        which binary to upgrade."""
         ex = DistributedExecutor(workers=1)
         a, b = socket.socketpair()
         coord_side, worker_side = Connection(a), Connection(b)
-        worker_side.send(proto.MsgType.HELLO, proto.encode_hello(1, 1, 123))
+        worker_side.send(
+            proto.MsgType.HELLO, proto.encode_hello(stale_version, 1, 123)
+        )
         assert ex._handshake(coord_side) is None
         msg_type, payload = worker_side.recv(timeout=5.0)
         assert msg_type == proto.MsgType.REJECT
         reason = proto.decode_reject(payload)
-        assert "version mismatch" in reason and "speaks 1" in reason
+        assert "version mismatch" in reason
+        assert f"worker speaks v{stale_version}" in reason
+        assert f"coordinator requires v{proto.PROTOCOL_VERSION}" in reason
         worker_side.close()
         ex.close()
+
+    def test_rejected_worker_logs_reason_before_exiting(self):
+        """The worker side of the satellite: a REJECTed agent logs the
+        coordinator's reason (naming both versions) before exiting with
+        EXIT_REJECTED."""
+        import io
+        import threading
+
+        from repro.distributed.worker import EXIT_REJECTED, WorkerAgent
+
+        a, b = socket.socketpair()
+        coord_side, worker_side = Connection(a), Connection(b)
+        reason = (
+            "protocol version mismatch: worker speaks v2, "
+            "coordinator requires v3"
+        )
+
+        def rejecting_coordinator():
+            coord_side.recv(timeout=5.0)  # the worker's HELLO
+            coord_side.send(proto.MsgType.REJECT, proto.encode_reject(reason))
+
+        t = threading.Thread(target=rejecting_coordinator)
+        t.start()
+        log = io.StringIO()
+        agent = WorkerAgent("unused", 1, log=log)
+        try:
+            assert agent._handshake(worker_side) == EXIT_REJECTED
+        finally:
+            t.join(timeout=5.0)
+            worker_side.close()
+            coord_side.close()
+        out = log.getvalue()
+        assert "rejected by coordinator" in out
+        assert "worker speaks v2" in out
+        assert "coordinator requires v3" in out
 
 
 class TestLoopbackEvalEquivalence:

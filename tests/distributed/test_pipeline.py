@@ -1,0 +1,237 @@
+"""Pipelined rounds over the distributed executor (loopback, real workers).
+
+Clears the same bars as the in-process suite in
+``tests/fl/test_round_engine.py`` -- pipelined history bit-identical to
+the staged serial reference -- plus the failure mode only this backend
+has: a worker SIGKILLed *during a pipelined round*, while round ``r``'s
+evaluation overlaps round ``r+1``'s training, must reassign both the
+in-flight training jobs and the in-flight eval jobs and still produce a
+bit-identical history.  Also covers the v3 sharded ``evaluate_model``
+(ship-once BIND_EVAL, shards re-dealt on worker loss).
+"""
+
+import os
+import signal
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.distributed import (
+    DistributedExecutor,
+    spawn_local_workers,
+    terminate_workers,
+)
+from repro.execution import SerialExecutor
+from repro.fl.selection import RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_mlp
+from tests.conftest import make_test_client, make_tiny_dataset
+from tests.fl.test_round_engine import history_fingerprint, run_tifl
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+FAST_TIMEOUTS = dict(accept_timeout=60.0, result_timeout=90.0)
+
+
+def run_server(executor, pipeline, rounds=4, seed=7, test_n=600):
+    """A full FLServer run; eval every round exercises the overlap."""
+    clients = [make_test_client(client_id=i, seed=seed) for i in range(6)]
+    model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=seed)
+    with FLServer(
+        clients=clients,
+        model=model,
+        selector=RandomSelector(3, rng=seed),
+        test_data=make_tiny_dataset(n=test_n, seed=999),
+        training=TRAIN,
+        rng=seed,
+        executor=executor,
+        pipeline=pipeline,
+    ) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history_fingerprint(history)
+
+
+class TestPipelinedLoopbackEquivalence:
+    def test_pipelined_distributed_bit_identical_to_staged_serial(self):
+        """The acceptance bar: a pipelined FLServer over real worker
+        subprocesses (eval of round r overlapping round r+1's training on
+        the wire, global eval sharded across the workers' resident test
+        set) produces the exact staged-serial history."""
+        ref_w, ref_h = run_server("serial", pipeline=False)
+
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            w, h = run_server(ex, pipeline=True)
+        finally:
+            ex.close()
+            codes = terminate_workers(procs)
+        assert np.array_equal(ref_w, w), "pipelined distributed diverged"
+        assert h == ref_h, "pipelined distributed history diverged"
+        assert codes == [0, 0], "workers did not exit cleanly after SHUTDOWN"
+
+    def test_staged_distributed_matches_too(self):
+        """The staged path over the v3 protocol (BIND_EVAL + sharded
+        evaluate_model) stays bit-identical as well."""
+        ref_w, ref_h = run_server("serial", pipeline=False)
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            w, h = run_server(ex, pipeline=False)
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+
+    def test_pipelined_tifl_tier_eval_plus_sharded_global_eval(self):
+        """A pipelined TiFL round submits TWO evaluation products (global
+        accuracy over the sharded resident test set + every tier member's
+        holdout) as one sequential future; on the wire both must drain
+        the same eval channel without stealing each other's results.
+        Regression for the queue-theft deadlock the review found."""
+        ref_w, ref_h = run_tifl("uniform", "serial", 1, pipeline=False)
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            w, h = run_tifl("uniform", ex, None, pipeline=True)
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert np.array_equal(ref_w, w), "pipelined TiFL diverged"
+        assert h == ref_h, "pipelined TiFL history diverged"
+
+
+class TestWorkerLossDuringPipelinedRound:
+    def test_sigkill_while_eval_overlaps_training(self):
+        """SIGKILL a worker the moment one of its round-``r+1`` training
+        updates arrives -- i.e. while round ``r``'s evaluation is still
+        in flight on the same sockets.  Both collectors must observe the
+        death (training jobs replayed with authoritative RNG state, eval
+        jobs re-dealt -- they are pure), and the history must stay
+        bit-identical to the staged serial reference."""
+
+        class KillOnRoundOneUpdate(DistributedExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.killed = False
+                self.updates_seen = 0
+
+            def _on_update_received(self, worker_id, client_id):
+                self.updates_seen += 1
+                # First update of the SECOND train cohort: round 0's eval
+                # was submitted before round 1's training began, so the
+                # kill lands while eval results are still streaming in.
+                if not self.killed and self.updates_seen == 7:
+                    self.killed = True
+                    os.kill(self.worker_pid(worker_id), signal.SIGKILL)
+
+        ref_w, ref_h = run_server("serial", pipeline=False, seed=13)
+
+        ex = KillOnRoundOneUpdate(
+            workers=2, heartbeat_interval=0.5, **FAST_TIMEOUTS
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            # run_server's FLServer context closes the executor on exit,
+            # so liveness is asserted via the kill hook, not afterwards.
+            w, h = run_server(ex, pipeline=True, seed=13)
+            assert ex.killed, "the kill hook never fired"
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert np.array_equal(ref_w, w), "worker loss broke bit-identity"
+        assert h == ref_h, "worker loss perturbed the pipelined history"
+
+    def test_sigkill_between_pipelined_rounds(self):
+        """A worker killed after a round completes (eval possibly still
+        pending) is reassigned before the next cohort dispatches."""
+
+        class KillAfterFirstRound(DistributedExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.updates_seen = 0
+                self.killed = False
+
+            def _on_update_received(self, worker_id, client_id):
+                self.updates_seen += 1
+                if not self.killed and self.updates_seen == 3:
+                    self.killed = True
+                    os.kill(self.worker_pid(worker_id), signal.SIGKILL)
+
+        ref_w, ref_h = run_server("serial", pipeline=False, seed=17)
+        ex = KillAfterFirstRound(
+            workers=2, heartbeat_interval=0.5, **FAST_TIMEOUTS
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            w, h = run_server(ex, pipeline=True, seed=17)
+            assert ex.killed
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+
+
+class TestDistributedShardedEvalModel:
+    def test_bit_identical_after_single_bind_eval_ship(self):
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=7) for i in range(6)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        test = make_tiny_dataset(n=1100, seed=5)
+        flat = model.get_flat_weights()
+
+        with SerialExecutor() as serial:
+            serial.bind(pool, model, TRAIN)
+            direct = serial.evaluate_model(flat, test.x, test.y)
+
+        ex = DistributedExecutor(workers=2, **FAST_TIMEOUTS)
+        ex.bind(pool, model, TRAIN)
+        ex.bind_eval_data(test.x, test.y)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            first = ex.evaluate_model(flat, test.x, test.y)
+            shipped_after_first = ex.bytes_sent
+            second = ex.evaluate_model(flat, test.x, test.y)
+            resend = ex.bytes_sent - shipped_after_first
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert first == direct and second == direct
+        # Ship-once: the second pass moves only weights + shard bounds,
+        # never the dataset again (weights blob ~ num_params * 8 bytes).
+        assert resend < test.x.nbytes, (
+            f"second evaluate_model resent {resend} bytes -- the eval "
+            f"set ({test.x.nbytes} bytes) must ship exactly once"
+        )
+
+    def test_worker_loss_mid_sharded_eval_redistributes(self):
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=7) for i in range(6)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        test = make_tiny_dataset(n=1100, seed=5)
+        flat = model.get_flat_weights()
+        with SerialExecutor() as serial:
+            serial.bind(pool, model, TRAIN)
+            direct = serial.evaluate_model(flat, test.x, test.y)
+
+        ex = DistributedExecutor(
+            workers=2, heartbeat_interval=0.5, **FAST_TIMEOUTS
+        )
+        ex.bind(pool, model, TRAIN)
+        ex.bind_eval_data(test.x, test.y)
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            assert ex.evaluate_model(flat, test.x, test.y) == direct
+            os.kill(ex.worker_pid(0), signal.SIGKILL)
+            # The survivor inherits the dead worker's shards; the result
+            # must not move a bit.
+            assert ex.evaluate_model(flat, test.x, test.y) == direct
+            assert ex.num_workers_started == 1
+        finally:
+            ex.close()
+            terminate_workers(procs)

@@ -196,7 +196,11 @@ class TestMergeOrder:
             order_updates([u1, u1, ClientUpdate(2, np.zeros(1), 1, 0.0)], requests)
         with pytest.raises(ExecutorError, match="never requested"):
             order_updates(
-                [u1, ClientUpdate(2, np.zeros(1), 1, 0.0), ClientUpdate(7, np.zeros(1), 1, 0.0)],
+                [
+                    u1,
+                    ClientUpdate(2, np.zeros(1), 1, 0.0),
+                    ClientUpdate(7, np.zeros(1), 1, 0.0),
+                ],
                 requests,
             )
 
@@ -293,7 +297,11 @@ class TestProcessBackend:
     def test_closed_executor_refuses_further_work(self):
         clients = make_pool(num_clients=2, seed=1)
         model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
-        for make in (SerialExecutor, lambda: ThreadExecutor(1), lambda: ProcessExecutor(1)):
+        for make in (
+            SerialExecutor,
+            lambda: ThreadExecutor(1),
+            lambda: ProcessExecutor(1),
+        ):
             ex = make()
             ex.bind({c.client_id: c for c in clients}, model, TRAIN)
             ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
@@ -304,7 +312,11 @@ class TestProcessBackend:
     def test_unknown_client_rejected_by_every_backend(self):
         clients = make_pool(num_clients=2, seed=1)
         model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
-        for make in (SerialExecutor, lambda: ThreadExecutor(1), lambda: ProcessExecutor(1)):
+        for make in (
+            SerialExecutor,
+            lambda: ThreadExecutor(1),
+            lambda: ProcessExecutor(1),
+        ):
             with make() as ex:
                 ex.bind({c.client_id: c for c in clients}, model, TRAIN)
                 with pytest.raises(ExecutorError, match="unknown"):
@@ -392,7 +404,9 @@ class TestFactoryAndConfig:
             # sharing one executor across federations is rejected even
             # before any worker has started (it would train wrong data)
             with pytest.raises(ExecutorError, match="different client pool"):
-                ex.bind({9: other[0]}, build_mlp((4, 4, 1), 3, hidden=(4,), rng=9), TRAIN)
+                ex.bind(
+                    {9: other[0]}, build_mlp((4, 4, 1), 3, hidden=(4,), rng=9), TRAIN
+                )
             ex.train_cohort(0, [TrainRequest(0)], model.get_flat_weights())
             ex.bind(pool, model, TRAIN)  # same-pool rebind stays idempotent
             with pytest.raises(ExecutorError, match="different client pool"):

@@ -1,0 +1,326 @@
+"""Equivalence suite for the staged round engine and the pipelined driver.
+
+The acceptance bar of the round-engine refactor: pipelined runs are
+**bit-identical** to staged runs -- weights, eval accuracies, the full
+``TrainingHistory`` -- across backends, for the vanilla server, TiFL with
+static and adaptive (feedback-gated) policies, and the async server; and
+``evaluate_model`` on the process backend shards across workers after a
+single ``bind_eval_data`` ship while matching the serial result bit-exactly.
+The distributed backend clears the same bars in
+``tests/distributed/test_pipeline.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.execution import ExecutorError, create_executor
+from repro.execution.base import EVAL_BATCH, eval_shard_bounds
+from repro.fl.async_server import AsyncFLServer
+from repro.fl.selection import OverSelector, RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_mlp
+from repro.tifl.server import TiFLServer
+from tests.conftest import make_test_client, make_tiny_dataset
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+
+BACKENDS = [("serial", 1), ("thread", 2), ("process", 2)]
+
+
+def history_fingerprint(history):
+    """Everything a RoundRecord carries, for exact comparison."""
+    return [
+        (
+            r.round_idx,
+            r.round_latency,
+            r.sim_time,
+            r.accuracy,
+            r.selected,
+            r.tier,
+            r.dropped,
+            r.tier_accuracies,
+        )
+        for r in history.records
+    ]
+
+
+def run_vanilla(backend, workers, pipeline, rounds=4, selector="random"):
+    clients = [make_test_client(client_id=i, seed=7) for i in range(6)]
+    model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+    sel = (
+        RandomSelector(3, rng=7)
+        if selector == "random"
+        else OverSelector(2, rng=7)
+    )
+    with FLServer(
+        clients=clients,
+        model=model,
+        selector=sel,
+        test_data=make_tiny_dataset(n=600, seed=999),
+        training=TRAIN,
+        rng=7,
+        executor=backend,
+        workers=workers,
+        pipeline=pipeline,
+    ) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history_fingerprint(history)
+
+
+def run_tifl(policy, backend, workers, pipeline, rounds=4):
+    clients = [
+        make_test_client(client_id=i, seed=3, cpu=1.0 / (1 + i)) for i in range(8)
+    ]
+    with TiFLServer(
+        clients=clients,
+        model=build_mlp((4, 4, 1), 3, hidden=(6,), rng=3),
+        # Above the 2*EVAL_BATCH sharding threshold ON PURPOSE: a
+        # pipelined TiFL round then carries a sharded evaluate_model AND
+        # a tier evaluate_cohort in its single submitted future -- the
+        # configuration that deadlocked when the two were submitted as
+        # concurrent evaluations (review regression).
+        test_data=make_tiny_dataset(n=600, seed=997),
+        clients_per_round=3,
+        policy=policy,
+        num_tiers=2,
+        sync_rounds=2,
+        tier_eval_every=1,
+        total_rounds=rounds,
+        training=TRAIN,
+        rng=5,
+        executor=backend,
+        workers=workers,
+        pipeline=pipeline,
+    ) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history_fingerprint(history)
+
+
+def run_async(backend, workers, pipeline, updates=8):
+    clients = [make_test_client(client_id=i, seed=11) for i in range(6)]
+    with AsyncFLServer(
+        clients=clients,
+        model=build_mlp((4, 4, 1), 3, hidden=(8,), rng=11),
+        test_data=make_tiny_dataset(n=40, seed=5),
+        concurrency=3,
+        training=TRAIN,
+        rng=11,
+        executor=backend,
+        workers=workers,
+        pipeline=pipeline,
+    ) as server:
+        history = server.run(updates)
+        return server.global_weights.copy(), history_fingerprint(history)
+
+
+class TestPipelinedEquivalence:
+    """Pipelined == staged, bit for bit, on every in-process backend."""
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_vanilla_server(self, backend, workers):
+        ref_w, ref_h = run_vanilla("serial", 1, pipeline=False)
+        w, h = run_vanilla(backend, workers, pipeline=True)
+        assert np.array_equal(ref_w, w), f"{backend} pipelined weights diverged"
+        assert h == ref_h, f"{backend} pipelined history diverged"
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_overselection_keeps_discard_semantics(self, backend, workers):
+        ref_w, ref_h = run_vanilla("serial", 1, False, selector="over")
+        w, h = run_vanilla(backend, workers, True, selector="over")
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_tifl_static_policy_overlaps(self, backend, workers):
+        """Static tier policies are feedback-free: the pipeline overlaps
+        (tier eval of round r during round r+1's training) and the
+        history -- tier accuracies included -- must not move a bit."""
+        ref_w, ref_h = run_tifl("uniform", "serial", 1, False)
+        w, h = run_tifl("uniform", backend, workers, True)
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+        assert any(rec[7] for rec in h), "tier accuracies must be recorded"
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_tifl_adaptive_policy_drains(self, backend, workers):
+        """The adaptive policy reads tier accuracies before selecting, so
+        the pipeline must drain (degenerate to staged order) -- and still
+        produce the identical history."""
+        ref_w, ref_h = run_tifl("adaptive", "serial", 1, False)
+        w, h = run_tifl("adaptive", backend, workers, True)
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    def test_async_server(self, backend, workers):
+        ref_w, ref_h = run_async("serial", 1, False)
+        w, h = run_async(backend, workers, True)
+        assert np.array_equal(ref_w, w)
+        assert h == ref_h
+
+    def test_eval_every_gap_rounds_match(self):
+        """Rounds without evaluation flow through the pipeline too."""
+
+        def run(pipeline):
+            clients = [make_test_client(client_id=i, seed=7) for i in range(6)]
+            model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+            with FLServer(
+                clients=clients,
+                model=model,
+                selector=RandomSelector(3, rng=7),
+                test_data=make_tiny_dataset(n=30, seed=999),
+                training=TRAIN,
+                eval_every=2,
+                rng=7,
+                executor="thread",
+                workers=2,
+                pipeline=pipeline,
+            ) as server:
+                history = server.run(5)
+            return history_fingerprint(history)
+
+        assert run(True) == run(False)
+
+
+class TestFeedbackGating:
+    def test_selector_flags(self):
+        from repro.fl.selection import ClientSelector
+        from repro.tifl.adaptive import AdaptiveTierPolicy
+        from repro.tifl.policies import StaticTierPolicy
+        from repro.tifl.scheduler import TierPolicy
+
+        assert ClientSelector.uses_eval_feedback is True  # conservative
+        assert RandomSelector(1).uses_eval_feedback is False
+        assert OverSelector(1).uses_eval_feedback is False
+        assert TierPolicy.uses_eval_feedback is True
+        assert StaticTierPolicy([0.5, 0.5]).uses_eval_feedback is False
+        assert AdaptiveTierPolicy(2, [10.0, 10.0]).uses_eval_feedback is True
+
+    def test_unknown_selector_defaults_to_draining(self):
+        class CustomSelector(RandomSelector):
+            uses_eval_feedback = True
+
+        clients = [make_test_client(client_id=i, seed=7) for i in range(6)]
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        with FLServer(
+            clients=clients,
+            model=model,
+            selector=CustomSelector(3, rng=7),
+            test_data=make_tiny_dataset(n=30, seed=999),
+            training=TRAIN,
+            rng=7,
+            pipeline=True,
+        ) as server:
+            assert server.selector_uses_eval_feedback
+            server.run(2)  # drains every round; must still work
+        assert len(server.history) == 2
+
+
+class TestPipelineFlagPlumbing:
+    def test_training_config_default_flows_to_server(self):
+        clients = [make_test_client(client_id=i, seed=7) for i in range(4)]
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=7)
+        cfg = TRAIN.with_(pipeline=True)
+        with FLServer(
+            clients=clients,
+            model=model,
+            selector=RandomSelector(2, rng=7),
+            test_data=make_tiny_dataset(n=20, seed=1),
+            training=cfg,
+            rng=7,
+        ) as server:
+            assert server.pipeline is True
+        # The explicit argument wins over the config default.
+        clients = [make_test_client(client_id=i, seed=7) for i in range(4)]
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=7)
+        with FLServer(
+            clients=clients,
+            model=model,
+            selector=RandomSelector(2, rng=7),
+            test_data=make_tiny_dataset(n=20, seed=1),
+            training=cfg,
+            rng=7,
+            pipeline=False,
+        ) as server:
+            assert server.pipeline is False
+
+    def test_cli_exposes_pipeline_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--pipeline"])
+        assert args.pipeline is True
+        args = build_parser().parse_args(["run"])
+        assert args.pipeline is False
+
+
+class TestEvalShardBounds:
+    def test_small_inputs_take_serial_path(self):
+        assert eval_shard_bounds(EVAL_BATCH, 4) is None  # one batch
+        assert eval_shard_bounds(10 * EVAL_BATCH, 1) is None  # one worker
+
+    def test_bounds_cover_range_without_overlap(self):
+        n = 5 * EVAL_BATCH + 17
+        bounds = eval_shard_bounds(n, 3)
+        assert bounds is not None
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (a1, b1), (a2, b2) in zip(bounds, bounds[1:]):
+            assert b1 == a2
+        for a, b in bounds[:-1]:
+            assert a % EVAL_BATCH == 0 and b % EVAL_BATCH == 0
+
+    def test_never_more_shards_than_batches(self):
+        bounds = eval_shard_bounds(2 * EVAL_BATCH, 8)
+        assert bounds is not None and len(bounds) <= 2
+
+
+class TestProcessShardedEvalModel:
+    def test_bit_identical_after_single_bind(self):
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=7) for i in range(6)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        test = make_tiny_dataset(n=1100, seed=5)  # 5 shardable batches
+        flat = model.get_flat_weights()
+        model.set_flat_weights(flat)
+        direct = model.evaluate(test.x, test.y)
+        with create_executor("process", workers=3) as ex:
+            ex.bind(pool, model, TRAIN)
+            ex.bind_eval_data(test.x, test.y)
+            assert ex.evaluate_model(flat, test.x, test.y) == direct
+            # A second call re-uses the resident copy (no re-ship path
+            # exists; this simply must stay correct and bit-exact).
+            assert ex.evaluate_model(flat, test.x, test.y) == direct
+
+    def test_unbound_data_falls_back_to_serial_pass(self):
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=7) for i in range(4)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        bound = make_tiny_dataset(n=600, seed=5)
+        other = make_tiny_dataset(n=600, seed=6)
+        flat = model.get_flat_weights()
+        model.set_flat_weights(flat)
+        direct_other = model.evaluate(other.x, other.y)
+        with create_executor("process", workers=2) as ex:
+            ex.bind(pool, model, TRAIN)
+            ex.bind_eval_data(bound.x, bound.y)
+            assert ex.evaluate_model(flat, other.x, other.y) == direct_other
+
+    def test_rebinding_different_data_after_ship_raises(self):
+        pool = {
+            c.client_id: c
+            for c in [make_test_client(client_id=i, seed=7) for i in range(4)]
+        }
+        model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=7)
+        test = make_tiny_dataset(n=600, seed=5)
+        other = make_tiny_dataset(n=600, seed=6)
+        with create_executor("process", workers=2) as ex:
+            ex.bind(pool, model, TRAIN)
+            ex.bind_eval_data(test.x, test.y)
+            ex.evaluate_model(model.get_flat_weights(), test.x, test.y)
+            ex.bind_eval_data(test.x, test.y)  # same arrays: no-op
+            with pytest.raises(ExecutorError, match="fresh executor"):
+                ex.bind_eval_data(other.x, other.y)

@@ -8,7 +8,9 @@ from repro.nn.metrics import accuracy, top_k_accuracy
 
 class TestAccuracy:
     def test_from_predictions(self):
-        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(
+            2 / 3
+        )
 
     def test_from_logits(self):
         logits = np.array([[0.9, 0.1], [0.2, 0.8]])

@@ -158,7 +158,9 @@ class TestReprofile:
         server = make_tifl(num_clients=12, num_tiers=3)
         # initially fastest clients are 0..3 (cpu 4.0)
         assert server.assignment.tier_of(0) == 0
-        server.fault = SlowdownInjector(factor=100.0, slow_clients={0}, start_round=-10**9)
+        server.fault = SlowdownInjector(
+            factor=100.0, slow_clients={0}, start_round=-(10**9)
+        )
         new_asg = server.reprofile()
         assert new_asg.tier_of(0) == new_asg.num_tiers - 1
 
