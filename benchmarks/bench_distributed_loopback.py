@@ -4,23 +4,40 @@ Runs identical full-cohort rounds through the in-process backends and
 through the distributed coordinator driving real worker subprocesses on
 127.0.0.1, then reports seconds-per-round, the distributed backend's
 network cost (one-time setup bytes for shipping clients + model, and
-steady-state bytes per round for weight broadcast + updates), and -- the
-non-negotiable -- bit-identity of every backend's final global weights.
+steady-state bytes per round for weight broadcast + updates) **per
+weight-transport codec** (raw vs delta vs quantized, see
+:mod:`repro.codec`), and -- the non-negotiable -- bit-identity of every
+lossless backend's final global weights.
 
 Loopback numbers are the *floor* for distributed overhead: real networks
 add propagation delay on top, but serialization cost, protocol chatter
 and bytes-on-wire are exactly what a multi-node deployment will see.
+
+The delta codec's savings grow with convergence (its payload is the
+compressed ULP distance between consecutive weight vectors), so the
+steady-state measurement supports ``--warmup-rounds N``: N untimed,
+uncounted rounds run first, then ``--rounds`` measured rounds.  On a
+converged run (``--warmup-rounds 50``) delta cuts steady-state
+bytes/round by >= 30%; from a cold start the cut is smaller because
+early-training deltas carry more entropy.
+
+Bit-identity of the lossless codecs (raw, delta) against serial is the
+hard gate (non-zero exit on divergence); the quantized codec is lossy by
+design and reports its weight drift instead.
 
 Usage::
 
     python benchmarks/bench_distributed_loopback.py                # full run
     python benchmarks/bench_distributed_loopback.py --rounds 2 \\
         --clients 10 --samples-per-client 60                       # CI smoke
+    python benchmarks/bench_distributed_loopback.py --rounds 10 \\
+        --warmup-rounds 50 --codecs raw delta       # steady-state codec cut
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -29,6 +46,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.codec import get_codec  # noqa: E402
 from repro.config import TrainingConfig  # noqa: E402
 from repro.execution import TrainRequest, create_executor  # noqa: E402
 from repro.distributed import (  # noqa: E402
@@ -42,8 +60,16 @@ sys.path.insert(0, os.path.dirname(__file__))
 from bench_executor_throughput import build_federation  # noqa: E402
 
 
-def bench_backend(backend, workers, clients, model, training, rounds):
-    """Time full-cohort rounds; returns (s/round, weights, wire_stats)."""
+def bench_backend(
+    backend, workers, clients, model, training, rounds, warmup_rounds=0
+):
+    """Time full-cohort rounds; returns (s/round, weights, wire_stats).
+
+    ``training.codec`` selects the wire codec for the distributed
+    backend; ``warmup_rounds`` rounds run before the measured window
+    (their bytes are folded into ``setup_bytes``), so the reported
+    ``bytes_per_round`` is the steady state of a converging run.
+    """
     pool = {c.client_id: c for c in clients}
     global_weights = model.get_flat_weights()
     requests = [TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)]
@@ -58,8 +84,15 @@ def bench_backend(backend, workers, clients, model, training, rounds):
     wire = None
     try:
         # Warm-up outside the timer: registration, client shipment,
-        # replica/worker start-up.
+        # replica/worker start-up -- plus any convergence warm-up rounds
+        # requested for the steady-state byte measurement.
         executor.train_cohort(0, requests[:1], global_weights)
+        for r in range(warmup_rounds):
+            updates = executor.train_cohort(r + 1, requests, global_weights)
+            global_weights = fedavg(
+                [u.flat_weights for u in updates],
+                [float(u.num_samples) for u in updates],
+            )
         setup_bytes = (
             executor.bytes_sent + executor.bytes_received
             if backend == "distributed"
@@ -67,7 +100,9 @@ def bench_backend(backend, workers, clients, model, training, rounds):
         )
         start = time.perf_counter()
         for r in range(rounds):
-            updates = executor.train_cohort(r + 1, requests, global_weights)
+            updates = executor.train_cohort(
+                warmup_rounds + r + 1, requests, global_weights
+            )
             global_weights = fedavg(
                 [u.flat_weights for u in updates],
                 [float(u.num_samples) for u in updates],
@@ -105,6 +140,9 @@ def main(argv=None) -> int:
     ap.add_argument("--clients", type=int, default=50)
     ap.add_argument("--samples-per-client", type=int, default=120)
     ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--warmup-rounds", type=int, default=0,
+                    help="uncounted convergence rounds before the measured "
+                         "window (steady-state bytes/round measurement)")
     ap.add_argument("--workers", type=int, default=2)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument(
@@ -112,58 +150,97 @@ def main(argv=None) -> int:
         choices=["serial", "thread", "process", "distributed"],
     )
     ap.add_argument(
+        "--codecs", nargs="+", default=["raw", "delta", "quantized"],
+        choices=["raw", "delta", "quantized"],
+        help="weight-transport codecs to benchmark on the distributed "
+             "backend (one full run each)",
+    )
+    ap.add_argument(
         "--pipeline", action="store_true",
         help="also run full pipelined FLServer rounds per backend and "
              "hold them bit-identical to the staged serial reference",
+    )
+    ap.add_argument(
+        "--json", metavar="PATH", default="BENCH_distributed_loopback.json",
+        help="machine-readable output ('' disables)",
     )
     args = ap.parse_args(argv)
     training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
 
     print(
         f"distributed loopback: {args.clients} clients x "
-        f"{args.samples_per_client} samples, {args.rounds} round(s), "
-        f"{args.workers} worker(s)"
+        f"{args.samples_per_client} samples, {args.rounds} round(s) "
+        f"(+{args.warmup_rounds} warmup), {args.workers} worker(s)"
     )
 
-    results = {}
+    # One run per in-process backend; one run per codec for distributed.
+    # Fresh identically-seeded federation per run (client RNG streams
+    # advance during training).
+    runs = []  # (label, backend, codec)
     for backend in args.backends:
-        # Fresh identically-seeded federation per backend (client RNG
-        # streams advance during training).
+        if backend == "distributed":
+            for codec in args.codecs:
+                runs.append((f"distributed[{codec}]", backend, codec))
+        else:
+            runs.append((backend, backend, "raw"))
+
+    results = {}
+    for label, backend, codec in runs:
         clients, model = build_federation(
             args.clients, args.samples_per_client, args.seed
         )
         workers = 1 if backend == "serial" else args.workers
         secs, weights, wire = bench_backend(
-            backend, workers, clients, model, training, args.rounds
+            backend, workers, clients, model, training.with_(codec=codec),
+            args.rounds, warmup_rounds=args.warmup_rounds,
         )
-        results[backend] = (secs, weights, wire)
+        results[label] = (secs, weights, wire, codec)
 
     identical = True
+    drift = {}
     if "serial" in results:
         ref = results["serial"][1]
-        for backend, (_, weights, _) in results.items():
+        for label, (_, weights, _, codec) in results.items():
             same = np.array_equal(ref, weights)
-            identical &= same
-            if not same:
-                print(f"  WARNING: {backend} weights diverged from serial!")
+            if get_codec(codec).lossless:
+                # The hard gate covers lossless codecs only.
+                identical &= same
+                if not same:
+                    print(f"  WARNING: {label} weights diverged from serial!")
+            else:
+                drift[label] = float(np.max(np.abs(ref - weights)))
 
     base = results.get("serial", next(iter(results.values())))[0]
-    print(f"{'backend':<14} {'s/round':>10} {'vs serial':>10} {'wire/round':>12}")
-    for backend, (secs, _, wire) in results.items():
+    print(f"{'run':<22} {'s/round':>10} {'vs serial':>10} {'wire/round':>12}")
+    for label, (secs, _, wire, _) in results.items():
         per_round = (
             f"{wire['bytes_per_round'] / 1e6:.2f} MB" if wire else "-"
         )
         print(
-            f"{backend:<14} {secs:>10.3f} {base / secs:>9.2f}x {per_round:>12}"
+            f"{label:<22} {secs:>10.3f} {base / secs:>9.2f}x {per_round:>12}"
         )
-    for backend, (_, _, wire) in results.items():
-        if wire:
-            print(
-                f"{backend} one-time setup (registration + client shipment): "
-                f"{wire['setup_bytes'] / 1e6:.2f} MB"
-            )
-    print(f"bit-identical across backends: {identical}")
+    raw_bytes = None
+    wire_raw = results.get("distributed[raw]", (0, 0, None, 0))[2]
+    if wire_raw:
+        raw_bytes = wire_raw["bytes_per_round"]
+    for label, (_, _, wire, _) in results.items():
+        if not wire:
+            continue
+        saving = (
+            f"  ({100 * (1 - wire['bytes_per_round'] / raw_bytes):+.1f}% "
+            "bytes vs raw)"
+            if raw_bytes and label != "distributed[raw]"
+            else ""
+        )
+        print(
+            f"{label} one-time setup (registration + client shipment): "
+            f"{wire['setup_bytes'] / 1e6:.2f} MB{saving}"
+        )
+    for label, diff in drift.items():
+        print(f"{label} max |w - serial| = {diff:.3e} (lossy codec, by design)")
+    print(f"bit-identical across lossless runs: {identical}")
 
+    pipeline_results = {}
     if args.pipeline:
         from pipeline_harness import run_fl_rounds
 
@@ -192,11 +269,53 @@ def main(argv=None) -> int:
             same = staged_fp == ref_fp and pipelined_fp == ref_fp
             identical &= same
             overlap = staged_s / pipelined_s if pipelined_s > 0 else float("inf")
+            pipeline_results[backend] = {
+                "staged_s_per_round": staged_s,
+                "pipelined_s_per_round": pipelined_s,
+                "bit_identical": same,
+            }
             print(
                 f"{backend:<14} {staged_s:>12.3f} {pipelined_s:>10.3f} "
                 f"{overlap:>7.2f}x  "
                 f"{'bit-identical' if same else 'DIVERGED'}"
             )
+
+    if args.json:
+        payload = {
+            "benchmark": "distributed_loopback",
+            "config": {
+                "clients": args.clients,
+                "samples_per_client": args.samples_per_client,
+                "rounds": args.rounds,
+                "warmup_rounds": args.warmup_rounds,
+                "workers": args.workers,
+                "seed": args.seed,
+            },
+            "bit_identical_lossless": identical,
+            "runs": {
+                label: {
+                    "codec": codec,
+                    "lossless": get_codec(codec).lossless,
+                    "s_per_round": secs,
+                    "setup_bytes": wire["setup_bytes"] if wire else None,
+                    "bytes_per_round": (
+                        wire["bytes_per_round"] if wire else None
+                    ),
+                    "bytes_saving_vs_raw": (
+                        1 - wire["bytes_per_round"] / raw_bytes
+                        if wire and raw_bytes and label != "distributed[raw]"
+                        else None
+                    ),
+                    "max_abs_drift_vs_serial": drift.get(label),
+                }
+                for label, (secs, _, wire, codec) in results.items()
+            },
+            "pipeline": pipeline_results or None,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
 
     return 0 if identical else 1
 

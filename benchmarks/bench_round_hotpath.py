@@ -16,6 +16,12 @@ optimised, and this benchmark measures all three on the current hardware:
    (eval every round) through the staged loop and through the
    :class:`repro.fl.engine.RoundPipeline` overlap, with bit-identity of
    the two histories as the hard gate.
+5. **Weight-codec encode/decode cost** (:mod:`repro.codec`): per codec,
+   the CPU time to encode + decode one realistic post-round weight
+   vector and the bytes it travels as, so the codec CPU cost the
+   distributed backend pays per frame can be weighed against its wire
+   savings.  Lossless codecs (raw, delta) must round-trip bit-exactly
+   -- a violation exits non-zero like any other bit-identity break.
 
 Before timing anything it verifies the non-negotiable: every backend's
 trained global weights *and* per-client eval accuracies are bit-identical
@@ -44,6 +50,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.codec import CODEC_NAMES, get_codec  # noqa: E402
 from repro.config import TrainingConfig  # noqa: E402
 from repro.execution import EvalRequest, TrainRequest, create_executor  # noqa: E402
 from repro.fl.aggregator import fedavg  # noqa: E402
@@ -111,6 +118,52 @@ def bench_pipeline(backend, workers, clients_n, samples, seed, rounds, training)
         "speedup": staged_s / pipelined_s if pipelined_s > 0 else float("inf"),
         "bit_identical": staged_h == pipelined_h,
     }
+
+
+def bench_codecs(clients, model, training, reps=5):
+    """Encode/decode cost + wire bytes per weight codec, on real deltas.
+
+    One serial round produces a realistic ``(previous, current)`` global
+    weight pair -- exactly what a distributed BROADCAST ships each round
+    -- and every registered codec is timed encoding and decoding it.
+    Returns ``{codec: stats}``; ``stats['lossless_round_trip']`` is the
+    hard gate for raw/delta.
+    """
+    pool = {c.client_id: c for c in clients}
+    baseline = model.get_flat_weights()
+    requests = [
+        TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)
+    ]
+    with create_executor("serial") as executor:
+        executor.bind(pool, model, training)
+        updates = executor.train_cohort(0, requests, baseline)
+    current = fedavg(
+        [u.flat_weights for u in updates],
+        [float(u.num_samples) for u in updates],
+    )
+    raw_bytes = current.size * 8
+    out = {}
+    for name in CODEC_NAMES:
+        codec = get_codec(name)
+        base = baseline if codec.requires_baseline else None
+        start = time.perf_counter()
+        for _ in range(reps):
+            blob = codec.encode(current, baseline=base)
+        encode_s = (time.perf_counter() - start) / reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            back = codec.decode(blob, current.size, baseline=base)
+        decode_s = (time.perf_counter() - start) / reps
+        round_trip = bool(back.tobytes() == current.tobytes())
+        out[name] = {
+            "encode_s": encode_s,
+            "decode_s": decode_s,
+            "encoded_bytes": len(blob),
+            "bytes_ratio_vs_raw": len(blob) / raw_bytes,
+            "lossless": codec.lossless,
+            "lossless_round_trip": round_trip if codec.lossless else None,
+        }
+    return out
 
 
 def bench_latency_sampling(num_clients, draws, seed):
@@ -228,6 +281,27 @@ def main(argv=None) -> int:
         print(f"  {backend:8s} {t:11.3f} {e:10.3f} "
               f"{base_t / t:7.2f}x {base_e / e:6.2f}x")
 
+    clients, model = build_federation(
+        args.clients, args.samples_per_client, args.seed,
+        holdout_fraction=0.2,
+    )
+    codec_stats = bench_codecs(clients, model, training)
+    codecs_lossless_ok = all(
+        s["lossless_round_trip"] is not False for s in codec_stats.values()
+    )
+    print(f"\n  {'codec':10s} {'encode ms':>10s} {'decode ms':>10s} "
+          f"{'bytes':>9s} {'vs raw':>7s}  round-trip")
+    for name, s in codec_stats.items():
+        rt = (
+            "bit-exact" if s["lossless_round_trip"]
+            else ("VIOLATED" if s["lossless"] else "lossy (by design)")
+        )
+        print(
+            f"  {name:10s} {s['encode_s'] * 1e3:10.2f} "
+            f"{s['decode_s'] * 1e3:10.2f} {s['encoded_bytes']:9d} "
+            f"{s['bytes_ratio_vs_raw']:6.2f}x  {rt}"
+        )
+
     latency = bench_latency_sampling(
         args.latency_cohort, args.latency_draws, args.seed
     )
@@ -277,6 +351,7 @@ def main(argv=None) -> int:
             for backend, (t, e, _, _) in results.items()
         },
         "latency_sampling": latency,
+        "codecs": codec_stats,
         "pipeline": pipeline_results,
     }
     if args.json:
@@ -290,6 +365,10 @@ def main(argv=None) -> int:
         return 1
     if not pipeline_identical:
         print("\n  FAIL: pipelined histories diverged from staged",
+              file=sys.stderr)
+        return 1
+    if not codecs_lossless_ok:
+        print("\n  FAIL: a lossless codec's round-trip is not bit-exact",
               file=sys.stderr)
         return 1
     return 0

@@ -69,6 +69,14 @@ class TrainingConfig:
         agents connect to it); ignored by the in-process backends.
         ``None`` lets the coordinator default to a loopback ephemeral
         port.
+    codec:
+        Weight-transport codec (``"raw" | "delta" | "quantized"``, see
+        :mod:`repro.codec`) used wherever weight vectors cross a machine
+        boundary -- today the distributed backend's BROADCAST/UPDATE
+        frames.  ``raw`` (default) and ``delta`` are lossless and
+        bit-identical to in-process execution; ``quantized`` (float16)
+        is lossy and strictly opt-in.  In-process backends pass weights
+        by reference or shared memory and ignore the codec.
     pipeline:
         Default for the servers' round pipelining (overlap round ``r``'s
         evaluation with round ``r+1``'s training; see
@@ -86,6 +94,7 @@ class TrainingConfig:
     executor: str = "serial"
     workers: int = 1
     endpoint: Optional[str] = None
+    codec: str = "raw"
     pipeline: bool = False
 
     def __post_init__(self) -> None:
@@ -100,6 +109,15 @@ class TrainingConfig:
             )
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        # Lazily validated against the codec registry (the single source
+        # of truth, which custom codecs may extend) -- config stays a
+        # leaf module with no import-time dependency on the codec layer.
+        from repro.codec import codec_names
+
+        if self.codec not in codec_names():
+            raise ValueError(
+                f"codec must be one of {codec_names()}, got {self.codec!r}"
+            )
         if self.endpoint is not None:
             parse_endpoint(self.endpoint)
         if self.lr <= 0:

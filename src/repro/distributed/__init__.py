@@ -15,10 +15,15 @@ The distributed backend promises the same thing PR 1's thread/process
 backends promise: **bit-identical training to the serial schedule**.
 Three mechanisms carry that promise across machine boundaries:
 
-1. *Exact weights on the wire.*  Flat weight vectors travel as raw
-   little-endian float64 (:mod:`repro.serialization`); no text round-trip,
-   no precision loss, so a broadcast weight vector is bit-equal to one
-   passed by reference.
+1. *Exact weights on the wire.*  Flat weight vectors travel through a
+   lossless :mod:`repro.codec` weight codec -- ``raw`` little-endian
+   float64 (:mod:`repro.serialization`) by default, or ``delta``
+   (ULP-delta against the retained last broadcast, bit-identical by
+   construction, ~30% fewer steady-state bytes on a converging run);
+   no text round-trip, no precision loss, so a broadcast weight vector
+   is bit-equal to one passed by reference.  The ``quantized`` codec
+   (float16) deliberately steps outside this contract: lossy, opt-in
+   via ``TrainingConfig(codec="quantized")``, never the default.
 2. *Pinned RNG streams.*  Every client is pinned to one worker
    (capacity-weighted round-robin over sorted client ids), so its
    training RNG stream advances in exactly one address space, in the
@@ -32,7 +37,13 @@ Three mechanisms carry that promise across machine boundaries:
    advances once its update has been merged, so replayed work resumes
    at exactly the stream position the serial schedule prescribes and
    the final global weights stay bit-identical (enforced by the
-   worker-kill test in ``tests/distributed``).
+   worker-kill test in ``tests/distributed``).  With
+   ``reconnect_grace > 0`` a dropped *connection* gets a second chance
+   first: the worker re-dials with its session token, the coordinator
+   replays the authoritative RNG state over the new connection, resyncs
+   weights with a raw broadcast and re-dispatches the outstanding jobs
+   -- same bit-identity argument, no retirement (enforced by the
+   connection-drop tests in ``tests/distributed/test_reconnect.py``).
 
 Updates are returned in request order -- never completion order -- so
 FedAvg summation order is preserved; a versioned handshake plus a model

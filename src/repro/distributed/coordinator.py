@@ -12,11 +12,21 @@
   :class:`repro.execution.process.ProcessExecutor`, so every client's
   training RNG stream advances in exactly one address space.
 * **Rounds.**  The global flat weight vector is broadcast once per
-  participating worker per round (raw float64, bit-exact); jobs are
-  dispatched per worker; updates stream back in completion order and are
-  reordered into request order before the server sees them.  Every
-  update carries the client's advanced RNG state, which is applied to
-  the coordinator's authoritative client pool immediately.
+  participating worker per round; jobs are dispatched per worker;
+  updates stream back in completion order and are reordered into
+  request order before the server sees them.  Every update carries the
+  client's advanced RNG state, which is applied to the coordinator's
+  authoritative client pool immediately.
+* **Codec-pluggable weight transport (v4).**  BROADCAST and UPDATE
+  payloads travel through the :mod:`repro.codec` codec named by
+  ``TrainingConfig.codec``: ``raw`` (bit-exact float64, the default),
+  ``delta`` (lossless ULP-delta against the last broadcast the worker
+  retains -- the coordinator mirrors each worker's retained-BROADCAST
+  cache per connection, so encoder and decoder always agree on the
+  baseline) or ``quantized`` (lossy float16, opt-in).  When no shared
+  baseline exists -- first broadcast on a connection, or right after a
+  reconnect -- the coordinator falls back to ``raw`` for that frame;
+  the codec id in the header keeps every frame self-describing.
 * **Worker loss.**  A dead worker (EOF, send failure, or heartbeat
   silence) has its pinned clients re-dealt over the survivors and
   re-shipped *with their current RNG state*; its unfinished jobs for the
@@ -26,6 +36,17 @@
   ``tests/distributed`` enforces this.  Retire-and-re-pin is idempotent
   and serialised by a lock, so a concurrent training and evaluation
   collector can both observe the same death without double-shipping.
+* **Reconnect-and-resume (v4).**  With ``reconnect_grace > 0`` a lost
+  *connection* is not a lost worker: the handle is parked in a ``lost``
+  state and the worker may re-dial within the grace window, presenting
+  the session token issued in its WELCOME.  On a valid resume the
+  coordinator re-pins the worker's clients by re-shipping them with the
+  authoritative RNG state (an ASSIGN), re-ships the resident eval set,
+  clears the delta-baseline mirror (the next broadcast is a raw
+  resync), and wakes any in-flight collector to re-dispatch the
+  worker's outstanding jobs.  A window that expires -- or an unknown /
+  mismatched token -- falls back to the retire path above, exactly the
+  pre-v4 behaviour.  ``reconnect_grace=0`` (default) disables parking.
 * **Liveness.**  The coordinator PINGs quiet workers while waiting;
   workers answer PONG from a dedicated thread even mid-training, so
   only a truly hung or killed process trips the heartbeat limit.
@@ -34,24 +55,29 @@
   *separate* event queues by the per-worker reader threads, so an async
   evaluation driver (:meth:`ClientExecutor.submit_cohort_evaluation`)
   can collect round ``r``'s evaluation while the main thread collects
-  round ``r+1``'s updates.  Death events fan out to both queues.  The
-  server-held eval set ships once per worker (BIND_EVAL), after which
-  :meth:`DistributedExecutor.evaluate_model` shards across workers on
-  the same 256-sample boundaries as the thread backend -- bit-exact.
+  round ``r+1``'s updates.  Death and resume events fan out to both
+  queues.  The server-held eval set ships once per worker (BIND_EVAL),
+  after which :meth:`DistributedExecutor.evaluate_model` shards across
+  workers on the same 256-sample boundaries as the thread backend --
+  bit-exact.
 """
 
 from __future__ import annotations
 
 import queue as queue_mod
+import secrets
 import socket
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.codec import get_codec
 from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
+from repro.distributed.worker import BROADCAST_RETAIN
 from repro.execution.base import (
     ClientExecutor,
     EvalRequest,
@@ -64,11 +90,25 @@ from repro.simcluster.client import ClientUpdate
 
 __all__ = ["DistributedExecutor"]
 
-_Job = Tuple[int, int]  # (client_id, epochs)
+_Job = Tuple[int, int]  # (client_id, epochs) -- or (start, end) eval shards
+
+#: Synthetic event-queue marker: a parked worker's connection resumed
+#: (cannot collide with ``MsgType`` values, which are >= 1, or with
+#: ``None``, which marks a lost connection).
+_EVT_RESUMED = -1
 
 
 class _WorkerHandle:
-    """Coordinator-side bookkeeping for one registered worker."""
+    """Coordinator-side bookkeeping for one registered worker.
+
+    ``state`` walks ``up -> (lost -> up)* -> retired``: ``lost`` parks a
+    dropped connection for the reconnect grace window, ``retired`` is
+    final.  ``gen`` counts connections (bumped per resume) so events
+    from a stale reader thread can be told from live ones.
+    ``baselines`` mirrors the worker's retained-BROADCAST cache for the
+    *current* connection -- the delta codec's shared state -- and is
+    cleared on every resume (the worker is resynced raw).
+    """
 
     def __init__(
         self, worker_id: int, conn: Connection, capacity: int, pid: int
@@ -77,9 +117,46 @@ class _WorkerHandle:
         self.conn = conn
         self.capacity = capacity
         self.pid = pid
-        self.alive = True
+        self.state = "up"  # "up" | "lost" | "retired"
+        self.gen = 0
+        self.lost_at: Optional[float] = None
+        self.token = secrets.token_hex(16)
         self.last_seen = time.monotonic()
         self.reader: Optional[threading.Thread] = None
+        # Serialises baseline-cache mutation with the frame send/decode
+        # that must agree with it (train and eval drivers share a handle).
+        self.lock = threading.Lock()
+        self.baselines: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    @property
+    def alive(self) -> bool:
+        return self.state == "up"
+
+
+class _InFlight:
+    """One collector's in-flight batch (a training cohort, an eval
+    cohort, or a sharded model evaluation).
+
+    ``pending`` maps worker id -> outstanding jobs; ``broadcasted``
+    tracks who already received this seq's weights; ``dispatch_gen``
+    records the connection generation each worker's jobs were last sent
+    on, so a resume re-dispatches exactly when the jobs were sent to a
+    connection that no longer exists.
+    """
+
+    def __init__(
+        self, seq: int, round_idx: int, weights: np.ndarray, kind: str
+    ) -> None:
+        self.seq = seq
+        self.round_idx = round_idx
+        self.weights = np.ascontiguousarray(np.asarray(weights, np.float64))
+        self.kind = kind  # "train" | "eval" | "eval_model"
+        self.pending: Dict[int, List[_Job]] = {}
+        self.broadcasted: Set[int] = set()
+        self.dispatch_gen: Dict[int, int] = {}
+
+    def outstanding(self) -> int:
+        return sum(len(jobs) for jobs in self.pending.values())
 
 
 class DistributedExecutor(ClientExecutor):
@@ -101,6 +178,14 @@ class DistributedExecutor(ClientExecutor):
         A worker silent for ``interval`` seconds is PINGed; silent for
         ``interval * misses`` seconds it is declared dead and its clients
         are reassigned.
+    reconnect_grace:
+        Seconds a worker whose TCP connection dropped may take to
+        reconnect-and-resume (see the module docstring) before it is
+        retired and its clients reassigned.  ``0`` (default) retires on
+        the first loss, the pre-v4 behaviour.
+    max_frame_payload:
+        Optional cap on incoming frame payloads (rejects corrupt length
+        headers early; see :mod:`repro.distributed.transport`).
     """
 
     name = "distributed"
@@ -114,6 +199,8 @@ class DistributedExecutor(ClientExecutor):
         result_timeout: float = 600.0,
         heartbeat_interval: float = 2.0,
         heartbeat_misses: int = 5,
+        reconnect_grace: float = 0.0,
+        max_frame_payload: Optional[int] = None,
     ) -> None:
         super().__init__()
         if workers <= 0:
@@ -122,6 +209,10 @@ class DistributedExecutor(ClientExecutor):
             raise ValueError("accept_timeout and result_timeout must be positive")
         if heartbeat_interval <= 0 or heartbeat_misses < 1:
             raise ValueError("heartbeat_interval/misses must be positive")
+        if reconnect_grace < 0:
+            raise ValueError(
+                f"reconnect_grace must be >= 0, got {reconnect_grace}"
+            )
         self.workers = int(workers)
         self._requested_endpoint = endpoint or "127.0.0.1:0"
         proto.parse_endpoint(self._requested_endpoint)  # validate early
@@ -129,31 +220,35 @@ class DistributedExecutor(ClientExecutor):
         self.result_timeout = float(result_timeout)
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_misses = int(heartbeat_misses)
+        self.reconnect_grace = float(reconnect_grace)
+        self.max_frame_payload = max_frame_payload
 
         self._listener: Optional[socket.socket] = None
         self._bound_endpoint: Optional[str] = None
         self._handles: Dict[int, _WorkerHandle] = {}
         self._owner: Dict[int, int] = {}  # client_id -> worker_id
         # Training results and control events (UPDATE/TRAINFAIL/deaths).
-        self._events: "queue_mod.Queue[Tuple[int, Optional[int], Optional[bytes]]]" = (
+        self._events: "queue_mod.Queue[Tuple[int, Optional[int], object]]" = (
             queue_mod.Queue()
         )
         # Evaluation results (EVAL_RESULT/EVAL_MODEL_RESULT) plus a copy
-        # of every death event, so an async eval collector never races
-        # the training collector for a message.
+        # of every death/resume event, so an async eval collector never
+        # races the training collector for a message.
         self._eval_events: (
-            "queue_mod.Queue[Tuple[int, Optional[int], Optional[bytes]]]"
+            "queue_mod.Queue[Tuple[int, Optional[int], object]]"
         ) = queue_mod.Queue()
         self._seq = 0
         self._assigned = False
         self._signature: Optional[str] = None
+        self._num_params = 0
         self._closed_bytes_sent = 0
         self._closed_bytes_received = 0
         self._eval_shipped = False
+        self._accept_thread: Optional[threading.Thread] = None
         # Serialises seq allocation across concurrent train/eval drivers.
         self._submit_lock = threading.Lock()
-        # Serialises retire-and-re-pin; RLock because a failed re-ship
-        # recurses onto the next survivor.
+        # Serialises retire-and-re-pin and resume; RLock because a failed
+        # re-ship recurses onto the next survivor.
         self._death_lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -216,13 +311,15 @@ class DistributedExecutor(ClientExecutor):
         )
 
     # ------------------------------------------------------------------
-    # registration
+    # registration + resume handshakes
     # ------------------------------------------------------------------
-    def _handshake(self, conn: Connection) -> Optional[Tuple[int, int]]:
+    def _handshake(self, conn: Connection) -> Optional[Dict[str, object]]:
         """Run the coordinator side of the handshake on a new connection.
 
-        Returns ``(capacity, pid)`` on success; on any mismatch sends
-        ``REJECT``, closes the connection and returns ``None``.
+        Returns the decoded HELLO (version-checked) on success; on any
+        mismatch sends ``REJECT``, closes the connection and returns
+        ``None``.  The caller decides whether the HELLO registers a
+        fresh worker or resumes a parked one (its ``resume`` key).
         """
         try:
             msg_type, payload = conn.recv(timeout=10.0)
@@ -234,7 +331,17 @@ class DistributedExecutor(ClientExecutor):
                 conn.close()
                 return None
             hello = proto.decode_hello(payload)
-        except (proto.ProtocolError, ConnectionClosed, OSError, socket.timeout) as exc:
+        except (
+            proto.ProtocolError,
+            ConnectionClosed,
+            FrameError,
+            OSError,
+            socket.timeout,
+        ) as exc:
+            # FrameError included: a non-protocol peer (port scanner,
+            # stray HTTP probe) announces a garbage frame length; it
+            # must be rejected here, not allowed to kill the accept
+            # thread and silently disable reconnect-and-resume.
             try:
                 conn.send(proto.MsgType.REJECT, proto.encode_reject(str(exc)))
             except OSError:
@@ -258,7 +365,14 @@ class DistributedExecutor(ClientExecutor):
                 pass
             conn.close()
             return None
-        return hello["capacity"], hello["pid"]
+        return hello
+
+    def _reject(self, conn: Connection, reason: str) -> None:
+        try:
+            conn.send(proto.MsgType.REJECT, proto.encode_reject(reason))
+        except OSError:
+            pass
+        conn.close()
 
     def _accept_workers(self) -> None:
         """Block until ``self.workers`` agents have registered."""
@@ -276,18 +390,21 @@ class DistributedExecutor(ClientExecutor):
                 sock, _addr = self._listener.accept()
             except socket.timeout:
                 continue
-            conn = Connection(sock)
-            result = self._handshake(conn)
-            if result is None:
+            conn = Connection(sock, max_payload=self.max_frame_payload)
+            hello = self._handshake(conn)
+            if hello is None:
                 continue
-            capacity, pid = result
+            if hello.get("resume") is not None:
+                self._reject(conn, "no session to resume: registration is open")
+                continue
             wid = len(self._handles)
+            handle = _WorkerHandle(wid, conn, hello["capacity"], hello["pid"])
             try:
                 conn.send(
                     proto.MsgType.WELCOME,
                     proto.encode_welcome(
                         proto.PROTOCOL_VERSION, wid, self._signature,
-                        self._model.num_params(),
+                        self._num_params, handle.token,
                     ),
                 )
             except OSError:
@@ -296,7 +413,137 @@ class DistributedExecutor(ClientExecutor):
                 # the whole registration window.
                 conn.close()
                 continue
-            self._handles[wid] = _WorkerHandle(wid, conn, capacity, pid)
+            self._handles[wid] = handle
+
+    def _accept_loop(self) -> None:
+        """Post-registration accept thread: resume handshakes only.
+
+        Runs until :meth:`close`.  Fresh registrations are refused (the
+        client pinning is fixed for the federation's lifetime); a HELLO
+        with a valid ``resume`` token revives a parked worker.
+        """
+        listener = self._listener
+        assert listener is not None
+        while not self._closed:
+            listener.settimeout(1.0)
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: shutting down
+            conn = Connection(sock, max_payload=self.max_frame_payload)
+            hello = self._handshake(conn)
+            if hello is None:
+                continue
+            resume = hello.get("resume")
+            if resume is None:
+                self._reject(
+                    conn,
+                    "federation already running: clients are pinned, new "
+                    "workers cannot join mid-run",
+                )
+                continue
+            self._try_resume(conn, resume)  # type: ignore[arg-type]
+
+    def _try_resume(self, conn: Connection, resume: Mapping[str, object]) -> None:
+        """Resume a parked worker on a fresh connection (or refuse).
+
+        Under ``_death_lock`` so it can never interleave with a
+        retire-and-reassign observing the same worker.  On success the
+        worker's clients are re-shipped with the coordinator's
+        authoritative RNG state (the replay that keeps a re-trained job
+        bit-identical), the resident eval set is re-shipped, the delta
+        baseline mirror is cleared (next broadcast resyncs raw) and a
+        resume event wakes both collectors to re-dispatch outstanding
+        jobs.
+        """
+        wid = int(resume["worker_id"])  # type: ignore[arg-type]
+        token = str(resume["token"])
+        if self.reconnect_grace <= 0:
+            # Pre-v4 semantics on request: a lost connection is a lost
+            # worker, full stop -- even one that re-dials instantly.
+            self._reject(
+                conn,
+                f"worker {wid} cannot resume: this coordinator runs with "
+                "reconnect_grace=0 (resume disabled)",
+            )
+            return
+        with self._death_lock:
+            handle = self._handles.get(wid)
+            if handle is None or handle.state == "retired":
+                self._reject(
+                    conn,
+                    f"worker {wid} cannot resume: unknown or already retired "
+                    "(grace window expired?)",
+                )
+                return
+            if not secrets.compare_digest(token, handle.token):
+                self._reject(conn, f"worker {wid} resume token mismatch")
+                return
+            if (
+                handle.state == "lost"
+                and handle.lost_at is not None
+                and time.monotonic() - handle.lost_at > self.reconnect_grace
+            ):
+                # Expired but not yet observed by a collector: refuse the
+                # resume; the next collector pass retires and reassigns.
+                self._reject(
+                    conn,
+                    f"worker {wid} reconnect grace of "
+                    f"{self.reconnect_grace:.0f}s expired",
+                )
+                return
+            if handle.state == "up":
+                # The worker noticed the drop before we did: the old
+                # connection is a zombie.  Fold and replace it; stale
+                # events from its reader are gen-filtered.
+                self._fold_and_close(handle)
+            try:
+                conn.send(
+                    proto.MsgType.WELCOME,
+                    proto.encode_welcome(
+                        proto.PROTOCOL_VERSION, wid, self._signature,
+                        self._num_params, handle.token,
+                    ),
+                )
+                owned = {
+                    cid: self._clients[cid]
+                    for cid, owner in self._owner.items()
+                    if owner == wid
+                }
+                # RNG replay: the coordinator pool is authoritative
+                # (synced on every merged UPDATE), so this overwrites
+                # whatever half-trained state the worker kept.
+                conn.send(
+                    proto.MsgType.ASSIGN,
+                    proto.encode_assign(owned, self._training, self._signature),
+                )
+                if self._eval_shipped and self._eval_data is not None:
+                    conn.send(
+                        proto.MsgType.BIND_EVAL,
+                        proto.encode_bind_eval(*self._eval_data),
+                    )
+            except OSError:
+                conn.close()
+                if handle.state == "up":
+                    handle.state = "lost"
+                    handle.lost_at = time.monotonic()
+                return
+            with handle.lock:
+                handle.conn = conn
+                handle.baselines.clear()
+            handle.state = "up"
+            handle.lost_at = None
+            handle.gen += 1
+            handle.last_seen = time.monotonic()
+            handle.reader = threading.Thread(
+                target=self._reader, args=(handle, handle.gen), daemon=True,
+                name=f"repro-dist-reader-{wid}.{handle.gen}",
+            )
+            handle.reader.start()
+        self._events.put((wid, _EVT_RESUMED, None))
+        self._eval_events.put((wid, _EVT_RESUMED, None))
 
     def _worker_cycle(self, worker_ids: Sequence[int]) -> List[int]:
         """Capacity-weighted deal cycle (a capacity-2 worker appears twice)."""
@@ -312,7 +559,9 @@ class DistributedExecutor(ClientExecutor):
         BIND_EVAL frame per worker right after ASSIGN; bound afterwards,
         it ships immediately.  Re-binding the same arrays is a no-op;
         re-binding different data after the shipment is an error (the
-        ship-once invariant -- workers hold exactly one resident copy).
+        ship-once invariant -- workers hold exactly one resident copy;
+        the only re-send is the replay to a resumed worker, which
+        restores that same copy).
         """
         if self._bound_eval_data_matches(x, y):
             return
@@ -342,6 +591,7 @@ class DistributedExecutor(ClientExecutor):
             return
         clients = self._require_bound()
         self._signature = proto.model_signature(self._model)
+        self._num_params = self._model.num_params()
         self.listen()
         self._accept_workers()
 
@@ -364,30 +614,38 @@ class DistributedExecutor(ClientExecutor):
             if eval_blob is not None:
                 handle.conn.send(proto.MsgType.BIND_EVAL, eval_blob)
             handle.reader = threading.Thread(
-                target=self._reader, args=(handle,), daemon=True,
+                target=self._reader, args=(handle, handle.gen), daemon=True,
                 name=f"repro-dist-reader-{wid}",
             )
             handle.reader.start()
         if eval_blob is not None:
             self._eval_shipped = True
+        # Keep accepting after registration closes: resumes arrive here.
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-dist-accept"
+        )
+        self._accept_thread.start()
         self._assigned = True
 
-    def _reader(self, handle: _WorkerHandle) -> None:
-        """Per-worker receive loop routing frames to the event queues.
+    def _reader(self, handle: _WorkerHandle, gen: int) -> None:
+        """Per-connection receive loop routing frames to the event queues.
 
         Evaluation results go to the eval queue, training results to the
         training queue; death-class events (EOF, REJECT, BYE) fan out to
         *both*, because whichever collectors are running must all learn
-        of the loss (the retire path itself is idempotent).
+        of the loss (the retire path itself is idempotent).  Loss events
+        carry this connection's ``gen`` so a stale reader (superseded by
+        a resume) can never park the replacement connection.
         """
+        conn = handle.conn
         while True:
             try:
-                msg_type, payload = handle.conn.recv()
+                msg_type, payload = conn.recv()
             except (ConnectionClosed, OSError, FrameError):
                 # A corrupt stream (FrameError) is as dead as a closed one:
                 # report the loss so the round reassigns, never hang.
-                self._events.put((handle.id, None, None))
-                self._eval_events.put((handle.id, None, None))
+                self._events.put((handle.id, None, gen))
+                self._eval_events.put((handle.id, None, gen))
                 return
             handle.last_seen = time.monotonic()
             if msg_type == proto.MsgType.PONG:
@@ -409,29 +667,75 @@ class DistributedExecutor(ClientExecutor):
     def _live_ids(self) -> List[int]:
         return sorted(wid for wid, h in self._handles.items() if h.alive)
 
-    def _retire(self, wid: int) -> None:
-        handle = self._handles[wid]
-        if not handle.alive:
-            return
-        handle.alive = False
+    def _reassign_candidates(self) -> List[int]:
+        """Worker ids eligible to inherit clients or shards.
+
+        Workers that are ``up``; when none are, workers parked ``lost``
+        whose reconnect grace window is still open -- a run whose only
+        survivors are mid-blip must wait for a resume (or the window's
+        expiry), not abort.  Jobs pinned to a lost candidate simply stay
+        pending: dispatching to it fails and parks, and its resume both
+        re-ships every owned client and re-dispatches the pending jobs.
+        Empty means the federation is truly out of workers.
+        """
+        up = self._live_ids()
+        if up:
+            return up
+        now = time.monotonic()
+        return sorted(
+            wid
+            for wid, h in self._handles.items()
+            if h.state == "lost"
+            and h.lost_at is not None
+            and now - h.lost_at <= self.reconnect_grace
+        )
+
+    def _fold_and_close(self, handle: _WorkerHandle) -> None:
+        """Fold a connection's byte counters into the totals and close it."""
         self._closed_bytes_sent += handle.conn.bytes_sent
         self._closed_bytes_received += handle.conn.bytes_received
         handle.conn.close()
 
-    def _dispatch_jobs(
-        self, handle: _WorkerHandle, kind: str, seq: int, round_idx: int,
-        jobs: List[_Job],
-    ) -> None:
-        """Send one worker its round work order (TRAIN or EVAL frame)."""
-        if kind == "train":
-            handle.conn.send(
-                proto.MsgType.TRAIN, proto.encode_train(seq, round_idx, jobs)
-            )
-        else:
-            handle.conn.send(
-                proto.MsgType.EVAL,
-                proto.encode_eval(seq, [cid for cid, _ in jobs]),
-            )
+    def _retire(self, wid: int) -> None:
+        handle = self._handles[wid]
+        if handle.state == "retired":
+            return
+        if handle.state == "up":
+            self._fold_and_close(handle)
+        handle.state = "retired"
+
+    def _grace_lost(self, wid: int, gen: object = None) -> bool:
+        """Absorb a connection loss into the grace window.
+
+        Covers both reader loss-events (which carry the connection
+        ``gen``) and send failures (``gen=None`` -- a broken pipe on
+        dispatch is the same drop seen from the other side).  Returns
+        ``True`` when the loss needs no action from the collector
+        (stale event, already parked/retired, or just parked now) --
+        the caller leaves the worker's jobs pending for the resume or
+        the grace expiry; ``False`` when the collector must
+        retire-and-reassign (grace disabled).
+        """
+        with self._death_lock:
+            handle = self._handles.get(wid)
+            if handle is None:
+                return True
+            if handle.state == "retired":
+                # Another collector already retired it, but THIS
+                # collector may still hold pending jobs for it: let the
+                # death handler run (retire is idempotent, and it
+                # redistributes this collector's outstanding work).
+                return False
+            if isinstance(gen, int) and gen != handle.gen:
+                return True  # stale reader of a superseded connection
+            if handle.state == "lost":
+                return True  # already parked; the window is ticking
+            if self.reconnect_grace <= 0:
+                return False
+            self._fold_and_close(handle)
+            handle.state = "lost"
+            handle.lost_at = time.monotonic()
+            return True
 
     def _retire_and_reassign(self, wid: int, reason: str) -> None:
         """Retire ``wid``, re-pin and re-ship its clients (idempotent).
@@ -446,10 +750,10 @@ class DistributedExecutor(ClientExecutor):
         """
         with self._death_lock:
             handle = self._handles.get(wid)
-            if handle is None or not handle.alive:
+            if handle is None or handle.state == "retired":
                 return
             self._retire(wid)
-            survivors = self._live_ids()
+            survivors = self._reassign_candidates()
             if not survivors:
                 raise ExecutorError(
                     f"all distributed workers are gone (last failure: worker "
@@ -471,76 +775,250 @@ class DistributedExecutor(ClientExecutor):
                     cid
                 ]
             for target in sorted(by_target):
+                handle = self._handles[target]
+                if not handle.alive:
+                    # A lost candidate: its resume re-ships every owned
+                    # client (the ones just moved included), so there is
+                    # nothing to send until it comes back.
+                    continue
+                gen = handle.gen
                 try:
-                    self._handles[target].conn.send(
+                    handle.conn.send(
                         proto.MsgType.ASSIGN,
                         proto.encode_assign(
                             by_target[target], self._training, self._signature
                         ),
                     )
                 except OSError as exc:
-                    # The replacement died too: retiring it re-pins all
-                    # its clients (the ones just moved included) onto the
-                    # next survivor.
+                    # A transient blip parks the replacement for its own
+                    # resume (which re-ships all owned clients); only
+                    # with resume disabled does the failure cascade into
+                    # retiring it and moving the clients again.
+                    if self._grace_lost(target, gen):
+                        continue
                     self._retire_and_reassign(
                         target, f"send failed during reassignment: {exc}"
                     )
 
-    def _handle_worker_death(
-        self,
-        wid: int,
-        seq: int,
-        round_idx: int,
-        pending: Dict[int, List[_Job]],
-        broadcasted: Set[int],
-        weights_blob: bytes,
-        reason: str,
-        kind: str = "train",
+    # ------------------------------------------------------------------
+    # codec-aware broadcast + dispatch
+    # ------------------------------------------------------------------
+    def _send_broadcast(self, handle: _WorkerHandle, seq: int,
+                        weights: np.ndarray) -> None:
+        """Send one worker this seq's weights through the bound codec.
+
+        For the delta codec the baseline is the most recent entry of the
+        per-connection mirror of the worker's retained-BROADCAST cache;
+        with no shared baseline (first send on a connection, post-resume
+        resync) the frame falls back to raw.  Mirror maintenance is the
+        invariant that makes delta safe: both caches see the same
+        insertions in the same order with the same retention bound, so
+        any baseline the encoder picks is still retained by the decoder.
+
+        Caller must hold ``handle.lock`` (``_dispatch_to`` does): the
+        baseline mirror and the wire must observe sends in one order.
+        """
+        codec = self.codec
+        use = codec
+        baseline: Optional[np.ndarray] = None
+        baseline_seq = 0
+        if codec.requires_baseline:
+            if handle.baselines:
+                baseline_seq = next(reversed(handle.baselines))
+                baseline = handle.baselines[baseline_seq]
+            else:
+                use = get_codec("raw")
+        handle.conn.send(
+            proto.MsgType.BROADCAST,
+            proto.encode_broadcast(
+                seq, weights, codec=use, baseline=baseline,
+                baseline_seq=baseline_seq,
+            ),
+        )
+        if codec.requires_baseline:
+            handle.baselines[seq] = np.array(
+                weights, dtype=np.float64, copy=True
+            )
+            handle.baselines.move_to_end(seq)
+            while len(handle.baselines) > BROADCAST_RETAIN:
+                handle.baselines.popitem(last=False)
+
+    def _dispatch_to(
+        self, handle: _WorkerHandle, state: _InFlight, jobs: List[_Job]
     ) -> None:
-        """Process a worker loss for one collector's in-flight cohort.
+        """Send one worker its work order (+ the broadcast, first time).
+
+        Runs under ``handle.lock``: a resume swapping the connection can
+        then never interleave mid-dispatch (which could split the
+        BROADCAST and its work order across two connections), and the
+        ``dispatch_gen`` recorded is exactly the connection every frame
+        of this dispatch went to.
+        """
+        with handle.lock:
+            gen = handle.gen
+            if handle.id not in state.broadcasted:
+                self._send_broadcast(handle, state.seq, state.weights)
+                state.broadcasted.add(handle.id)
+            if state.kind == "train":
+                handle.conn.send(
+                    proto.MsgType.TRAIN,
+                    proto.encode_train(state.seq, state.round_idx, jobs),
+                )
+            elif state.kind == "eval":
+                handle.conn.send(
+                    proto.MsgType.EVAL,
+                    proto.encode_eval(state.seq, [cid for cid, _ in jobs]),
+                )
+            else:
+                handle.conn.send(
+                    proto.MsgType.EVAL_MODEL,
+                    proto.encode_eval_model(state.seq, jobs),
+                )
+            state.dispatch_gen[handle.id] = gen
+
+    def _initial_dispatch(self, state: _InFlight) -> None:
+        """First dispatch of a collector's jobs to their pinned workers.
+
+        Dispatches from a snapshot: a death during this loop reassigns
+        the dead worker's jobs into ``state.pending`` (and dispatches
+        them), so iterating the live dict would dispatch reassigned jobs
+        a second time -- the duplicate result would be discarded, but a
+        training replica's local RNG streams would advance twice and
+        every later round would silently diverge from the serial
+        schedule.  Workers currently parked ``lost`` are skipped: their
+        jobs stay pending and are dispatched by the resume event (or
+        reassigned when the grace window expires).
+        """
+        initial = {wid: list(jobs) for wid, jobs in state.pending.items()}
+        for wid in sorted(initial):
+            handle = self._handles[wid]
+            if not handle.alive:
+                # Retired by an earlier iteration's death handling (its
+                # whole pending list was already reassigned and
+                # dispatched) or parked lost (the resume/grace path
+                # owns these jobs now).
+                continue
+            gen = handle.gen
+            try:
+                self._dispatch_to(handle, state, initial[wid])
+            except OSError as exc:
+                if self._grace_lost(wid, gen):
+                    continue  # parked: jobs stay pending for the resume
+                self._handle_worker_death(wid, state, f"send failed: {exc}")
+
+    def _handle_worker_death(
+        self, wid: int, state: _InFlight, reason: str
+    ) -> None:
+        """Process a worker loss for one collector's in-flight batch.
 
         Retires + re-pins globally (idempotent -- see
         :meth:`_retire_and_reassign`), then re-dispatches *this
         collector's* outstanding jobs for the dead worker to the new
-        owners.  ``kind`` selects the frame re-dispatched: training jobs
-        replay as TRAIN, evaluation jobs (pure -- no RNG to replay) as
-        EVAL.
+        owners (training and per-client eval jobs follow the pinning;
+        eval-model shards are re-dealt over the survivors, the eval set
+        being resident everywhere).
         """
         self._retire_and_reassign(wid, reason)
-        outstanding = pending.pop(wid, [])
+        outstanding = state.pending.pop(wid, [])
+        state.dispatch_gen.pop(wid, None)
         if not outstanding:
             return
-        jobs_by_target: Dict[int, List[_Job]] = {}
-        for cid, epochs in outstanding:
-            jobs_by_target.setdefault(self._owner[cid], []).append((cid, epochs))
-        for target in sorted(jobs_by_target):
-            jobs = jobs_by_target[target]
+        candidates = self._reassign_candidates()
+        if not candidates:
+            # _retire_and_reassign only raises for the FIRST collector to
+            # observe the terminal death; a second collector with its own
+            # outstanding jobs must fail the same way, not spin.
+            raise ExecutorError(
+                f"all distributed workers are gone (last failure: worker "
+                f"{wid}: {reason})"
+            )
+        by_target: Dict[int, List[_Job]] = {}
+        if state.kind == "eval_model":
+            for i, shard in enumerate(outstanding):
+                by_target.setdefault(
+                    candidates[i % len(candidates)], []
+                ).append(shard)
+        else:
+            for cid, epochs in outstanding:
+                by_target.setdefault(self._owner[cid], []).append((cid, epochs))
+        for target in sorted(by_target):
+            jobs = by_target[target]
             # Recorded in `pending` BEFORE the send: if the send fails,
             # the recursion below pops the target's whole pending list
             # (these jobs included) and moves it on -- nothing is lost.
-            pending.setdefault(target, []).extend(jobs)
+            state.pending.setdefault(target, []).extend(jobs)
+            target_handle = self._handles[target]
+            if not target_handle.alive:
+                # A lost reassignment candidate: jobs wait for its resume
+                # (or its grace expiry through the heartbeat check).
+                continue
+            gen = target_handle.gen
             try:
-                handle = self._handles[target]
-                if target not in broadcasted:
-                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                    broadcasted.add(target)
-                self._dispatch_jobs(handle, kind, seq, round_idx, jobs)
+                self._dispatch_to(target_handle, state, jobs)
             except OSError as exc:
-                # The replacement died too -- recurse onto the next survivor.
+                if self._grace_lost(target, gen):
+                    continue  # parked: the moved jobs await its resume
                 self._handle_worker_death(
-                    target, seq, round_idx, pending, broadcasted, weights_blob,
-                    f"send failed during reassignment: {exc}", kind=kind,
+                    target, state, f"send failed during reassignment: {exc}"
                 )
 
-    def _check_heartbeats(
-        self, pending: Dict[int, List[_Job]]
-    ) -> List[Tuple[int, str]]:
-        """PING quiet busy workers; return those past the miss limit."""
+    def _redispatch_after_resume(self, wid: int, state: _InFlight) -> None:
+        """Re-send a resumed worker its outstanding jobs for this batch.
+
+        Only when the jobs were dispatched to a *previous* connection
+        (``dispatch_gen`` differs): a stale resume event must never
+        double-dispatch jobs the current connection already holds --
+        the duplicate result would be discarded, but the worker's local
+        RNG streams would advance twice and diverge from serial.  The
+        broadcast is re-sent (raw resync: the resume cleared the
+        baseline mirror).
+        """
+        handle = self._handles.get(wid)
+        if handle is None or not handle.alive:
+            return
+        jobs = state.pending.get(wid)
+        if not jobs:
+            return
+        if state.dispatch_gen.get(wid) == handle.gen:
+            return
+        state.broadcasted.discard(wid)
+        gen = handle.gen
+        try:
+            self._dispatch_to(handle, state, list(jobs))
+        except OSError as exc:
+            if self._grace_lost(wid, gen):
+                return  # dropped again already: park for the next resume
+            self._handle_worker_death(
+                wid, state, f"send failed after resume: {exc}"
+            )
+
+    def _check_heartbeats(self, state: _InFlight) -> List[Tuple[int, str]]:
+        """PING quiet busy workers; return those past their limit.
+
+        Workers parked ``lost`` are never PINGed (there is no connection
+        to ping) -- they expire when their reconnect grace window does.
+        """
         now = time.monotonic()
         dead: List[Tuple[int, str]] = []
-        for wid in list(pending):
+        for wid in list(state.pending):
             handle = self._handles[wid]
-            if not handle.alive:
+            if handle.state == "retired":
+                if state.pending.get(wid):
+                    # Jobs stranded on a worker another collector retired
+                    # (e.g. it was retired between this collector's
+                    # owner-map read and its dispatch): redistribute.
+                    dead.append((wid, "worker already retired"))
+                continue
+            if handle.state == "lost":
+                if (
+                    handle.lost_at is not None
+                    and now - handle.lost_at > self.reconnect_grace
+                ):
+                    dead.append(
+                        (wid,
+                         f"did not reconnect within the "
+                         f"{self.reconnect_grace:.0f}s grace window")
+                    )
                 continue
             silent = now - handle.last_seen
             if silent > self.heartbeat_interval * self.heartbeat_misses:
@@ -548,11 +1026,38 @@ class DistributedExecutor(ClientExecutor):
                     (wid, f"no heartbeat for {silent:.1f}s (process hung?)")
                 )
             elif silent > self.heartbeat_interval:
+                gen = handle.gen
                 try:
                     handle.conn.send(proto.MsgType.PING)
                 except OSError as exc:
-                    dead.append((wid, f"ping failed: {exc}"))
+                    if not self._grace_lost(wid, gen):
+                        dead.append((wid, f"ping failed: {exc}"))
         return dead
+
+    def _decode_update_frame(self, wid: int, payload: bytes, state: _InFlight):
+        """Decode an UPDATE against the worker's baseline mirror.
+
+        Returns the decoded tuple, or ``None`` when the frame was stale
+        (an abandoned cohort's update whose delta baseline may already
+        be gone) or fatally malformed (the worker is then retired).
+        """
+        handle = self._handles[wid]
+        try:
+            with handle.lock:
+                return proto.decode_update(
+                    payload,
+                    baselines=handle.baselines,
+                    expected_size=self._num_params,
+                )
+        except proto.ProtocolError as exc:
+            try:
+                stale = proto.update_seq(payload) != state.seq
+            except proto.ProtocolError:
+                stale = False
+            if stale:
+                return None
+            self._handle_worker_death(wid, state, f"malformed UPDATE: {exc}")
+            return None
 
     # ------------------------------------------------------------------
     # the round
@@ -574,83 +1079,55 @@ class DistributedExecutor(ClientExecutor):
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
-        weights_blob = proto.encode_broadcast(seq, np.asarray(global_weights))
-
-        pending: Dict[int, List[_Job]] = {}
+        state = _InFlight(seq, round_idx, global_weights, "train")
         for req in requests:
-            pending.setdefault(self._owner[req.client_id], []).append(
+            state.pending.setdefault(self._owner[req.client_id], []).append(
                 (req.client_id, req.epochs)
             )
-        broadcasted: Set[int] = set()
-        # Dispatch from a snapshot: a death during this loop reassigns the
-        # dead worker's jobs into `pending` (and dispatches them), so
-        # sending `pending[wid]` here would dispatch the reassigned jobs a
-        # second time -- the duplicate UPDATE would be discarded, but the
-        # survivor's local RNG streams would advance twice and every later
-        # round would silently diverge from the serial schedule.
-        initial_jobs = {wid: list(jobs) for wid, jobs in pending.items()}
-        for wid in sorted(initial_jobs):
-            handle = self._handles[wid]
-            if not handle.alive:
-                # Retired by an earlier iteration's death handling; its
-                # whole pending list (these jobs included) was already
-                # reassigned and dispatched.
-                continue
-            try:
-                if wid not in broadcasted:
-                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                    broadcasted.add(wid)
-                handle.conn.send(
-                    proto.MsgType.TRAIN,
-                    proto.encode_train(seq, round_idx, initial_jobs[wid]),
-                )
-            except OSError as exc:
-                self._handle_worker_death(
-                    wid, seq, round_idx, pending, broadcasted, weights_blob,
-                    f"send failed: {exc}",
-                )
+        self._initial_dispatch(state)
 
         updates: List[ClientUpdate] = []
         failures: List[str] = []
         done: Set[int] = set()
         deadline = time.monotonic() + self.result_timeout
 
-        def _outstanding() -> int:
-            return sum(len(jobs) for jobs in pending.values())
-
-        while _outstanding() > 0:
+        while state.outstanding() > 0:
             if time.monotonic() > deadline:
                 raise ExecutorError(
                     f"timed out after {self.result_timeout:.0f}s waiting for "
-                    f"{_outstanding()} client update(s)"
+                    f"{state.outstanding()} client update(s)"
                 )
             try:
                 wid, msg_type, payload = self._events.get(
                     timeout=self.heartbeat_interval
                 )
             except queue_mod.Empty:
-                for dead_wid, reason in self._check_heartbeats(pending):
-                    self._handle_worker_death(
-                        dead_wid, seq, round_idx, pending, broadcasted,
-                        weights_blob, reason,
-                    )
+                for dead_wid, reason in self._check_heartbeats(state):
+                    self._handle_worker_death(dead_wid, state, reason)
                 continue
 
-            if msg_type is None or msg_type == proto.MsgType.BYE:
-                self._handle_worker_death(
-                    wid, seq, round_idx, pending, broadcasted, weights_blob,
-                    "connection lost",
-                )
+            if msg_type == _EVT_RESUMED:
+                self._redispatch_after_resume(wid, state)
+                continue
+            if msg_type is None:
+                if self._grace_lost(wid, payload):
+                    continue
+                self._handle_worker_death(wid, state, "connection lost")
+                continue
+            if msg_type == proto.MsgType.BYE:
+                self._handle_worker_death(wid, state, "worker exited")
                 continue
             if msg_type == proto.MsgType.REJECT:
                 reason = proto.decode_reject(payload)
                 self._handle_worker_death(
-                    wid, seq, round_idx, pending, broadcasted, weights_blob,
-                    f"worker refused to continue: {reason}",
+                    wid, state, f"worker refused to continue: {reason}"
                 )
                 continue
             if msg_type == proto.MsgType.UPDATE:
-                msg_seq, cid, n_samples, rng_state, w = proto.decode_update(payload)
+                decoded = self._decode_update_frame(wid, payload, state)
+                if decoded is None:
+                    continue
+                msg_seq, cid, n_samples, rng_state, w = decoded
                 if msg_seq != seq:
                     # Stale result from an abandoned cohort (see the
                     # equivalent note in ProcessExecutor.train_cohort).
@@ -659,9 +1136,9 @@ class DistributedExecutor(ClientExecutor):
                 # worker's in-flight update can land after its job was
                 # already reassigned, and the replica's copy must not keep
                 # the round open.
-                for owner_wid in pending:
-                    pending[owner_wid] = [
-                        j for j in pending[owner_wid] if j[0] != cid
+                for owner_wid in state.pending:
+                    state.pending[owner_wid] = [
+                        j for j in state.pending[owner_wid] if j[0] != cid
                     ]
                 if cid in done:
                     # Duplicate from a reassignment race: both the dead
@@ -681,9 +1158,9 @@ class DistributedExecutor(ClientExecutor):
                 msg_seq, cid, tb = proto.decode_trainfail(payload)
                 if msg_seq != seq:
                     continue
-                for owner_wid in pending:
-                    pending[owner_wid] = [
-                        j for j in pending[owner_wid] if j[0] != cid
+                for owner_wid in state.pending:
+                    state.pending[owner_wid] = [
+                        j for j in state.pending[owner_wid] if j[0] != cid
                     ]
                 if cid in done:
                     continue
@@ -693,8 +1170,7 @@ class DistributedExecutor(ClientExecutor):
             # Unknown frame from a registered worker: protocol violation
             # (eval results travel on their own queue and never land here).
             self._handle_worker_death(
-                wid, seq, round_idx, pending, broadcasted, weights_blob,
-                f"unexpected message type {msg_type}",
+                wid, state, f"unexpected message type {msg_type}"
             )
 
         if failures:
@@ -711,11 +1187,11 @@ class DistributedExecutor(ClientExecutor):
         """Batched holdout evaluation with the same failover as training.
 
         Weights reach the workers through the same BROADCAST frame the
-        training path uses; each owning worker answers one EVAL_RESULT
-        per client.  Evaluation is pure, so a dead worker's unfinished
-        jobs are simply re-dispatched to whoever inherits its clients --
-        no RNG state replay is needed and duplicates are merged
-        first-wins (copies are bit-identical).
+        training path uses (and therefore the same codec); each owning
+        worker answers one EVAL_RESULT per client.  Evaluation is pure,
+        so a dead worker's unfinished jobs are simply re-dispatched to
+        whoever inherits its clients -- no RNG state replay is needed
+        and duplicates are merged first-wins (copies are bit-identical).
         """
         self._check_requests(requests)
         if not requests:
@@ -724,78 +1200,59 @@ class DistributedExecutor(ClientExecutor):
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
-        weights_blob = proto.encode_broadcast(seq, np.asarray(flat_weights))
-
         # Eval jobs reuse the (client_id, epochs) job shape with epochs=0
         # so death-handling can share the training path's bookkeeping.
-        pending: Dict[int, List[_Job]] = {}
+        state = _InFlight(seq, 0, flat_weights, "eval")
         for req in requests:
-            pending.setdefault(self._owner[req.client_id], []).append(
+            state.pending.setdefault(self._owner[req.client_id], []).append(
                 (req.client_id, 0)
             )
-        broadcasted: Set[int] = set()
-        initial_jobs = {wid: list(jobs) for wid, jobs in pending.items()}
-        for wid in sorted(initial_jobs):
-            handle = self._handles[wid]
-            if not handle.alive:
-                continue
-            try:
-                if wid not in broadcasted:
-                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                    broadcasted.add(wid)
-                self._dispatch_jobs(handle, "eval", seq, 0, initial_jobs[wid])
-            except OSError as exc:
-                self._handle_worker_death(
-                    wid, seq, 0, pending, broadcasted, weights_blob,
-                    f"send failed: {exc}", kind="eval",
-                )
+        self._initial_dispatch(state)
 
         accs: Dict[int, float] = {}
         failures: List[str] = []
         done: Set[int] = set()
         deadline = time.monotonic() + self.result_timeout
 
-        def _outstanding() -> int:
-            return sum(len(jobs) for jobs in pending.values())
-
-        while _outstanding() > 0:
+        while state.outstanding() > 0:
             if time.monotonic() > deadline:
                 raise ExecutorError(
                     f"timed out after {self.result_timeout:.0f}s waiting for "
-                    f"{_outstanding()} evaluation result(s)"
+                    f"{state.outstanding()} evaluation result(s)"
                 )
             try:
                 wid, msg_type, payload = self._eval_events.get(
                     timeout=self.heartbeat_interval
                 )
             except queue_mod.Empty:
-                for dead_wid, reason in self._check_heartbeats(pending):
-                    self._handle_worker_death(
-                        dead_wid, seq, 0, pending, broadcasted,
-                        weights_blob, reason, kind="eval",
-                    )
+                for dead_wid, reason in self._check_heartbeats(state):
+                    self._handle_worker_death(dead_wid, state, reason)
                 continue
 
-            if msg_type is None or msg_type == proto.MsgType.BYE:
-                self._handle_worker_death(
-                    wid, seq, 0, pending, broadcasted, weights_blob,
-                    "connection lost", kind="eval",
-                )
+            if msg_type == _EVT_RESUMED:
+                self._redispatch_after_resume(wid, state)
+                continue
+            if msg_type is None:
+                if self._grace_lost(wid, payload):
+                    continue
+                self._handle_worker_death(wid, state, "connection lost")
+                continue
+            if msg_type == proto.MsgType.BYE:
+                self._handle_worker_death(wid, state, "worker exited")
                 continue
             if msg_type == proto.MsgType.REJECT:
                 reason = proto.decode_reject(payload)
                 self._handle_worker_death(
-                    wid, seq, 0, pending, broadcasted, weights_blob,
-                    f"worker refused to continue: {reason}", kind="eval",
+                    wid, state, f"worker refused to continue: {reason}"
                 )
                 continue
             if msg_type == proto.MsgType.EVAL_RESULT:
                 msg_seq, cid, acc, err = proto.decode_eval_result(payload)
                 if msg_seq != seq:
                     continue
-                for owner_wid in pending:
-                    pending[owner_wid] = [
-                        j for j in pending[owner_wid] if j[0] != cid
+                for owner_wid in state.pending:
+                    state.pending[owner_wid] = [
+                        j for j in state.pending[owner_wid] if j[0] != cid
                     ]
                 if cid in done:
                     continue
@@ -812,8 +1269,7 @@ class DistributedExecutor(ClientExecutor):
                 if msg_seq != seq:
                     continue
             self._handle_worker_death(
-                wid, seq, 0, pending, broadcasted, weights_blob,
-                f"unexpected message type {msg_type}", kind="eval",
+                wid, state, f"unexpected message type {msg_type}"
             )
 
         if failures:
@@ -850,67 +1306,46 @@ class DistributedExecutor(ClientExecutor):
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
-        weights_blob = proto.encode_broadcast(seq, np.asarray(flat_weights))
-
-        pending: Dict[int, List[Tuple[int, int]]] = {}
+        state = _InFlight(seq, 0, flat_weights, "eval_model")
         for i, bd in enumerate(bounds):
-            pending.setdefault(live[i % len(live)], []).append(bd)
-        broadcasted: Set[int] = set()
-        initial = {wid: list(shards) for wid, shards in pending.items()}
-        for wid in sorted(initial):
-            handle = self._handles[wid]
-            if not handle.alive:
-                continue
-            try:
-                handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                broadcasted.add(wid)
-                handle.conn.send(
-                    proto.MsgType.EVAL_MODEL,
-                    proto.encode_eval_model(seq, initial[wid]),
-                )
-            except OSError as exc:
-                self._redistribute_shards(
-                    wid, seq, pending, broadcasted, weights_blob,
-                    f"send failed: {exc}",
-                )
+            state.pending.setdefault(live[i % len(live)], []).append(bd)
+        self._initial_dispatch(state)
 
         correct = 0
         failures: List[str] = []
         done: Set[Tuple[int, int]] = set()
         deadline = time.monotonic() + self.result_timeout
 
-        def _outstanding() -> int:
-            return sum(len(shards) for shards in pending.values())
-
-        while _outstanding() > 0:
+        while state.outstanding() > 0:
             if time.monotonic() > deadline:
                 raise ExecutorError(
                     f"timed out after {self.result_timeout:.0f}s waiting for "
-                    f"{_outstanding()} evaluation shard(s)"
+                    f"{state.outstanding()} evaluation shard(s)"
                 )
             try:
                 wid, msg_type, payload = self._eval_events.get(
                     timeout=self.heartbeat_interval
                 )
             except queue_mod.Empty:
-                for dead_wid, reason in self._check_heartbeats(pending):
-                    self._redistribute_shards(
-                        dead_wid, seq, pending, broadcasted, weights_blob,
-                        reason,
-                    )
+                for dead_wid, reason in self._check_heartbeats(state):
+                    self._handle_worker_death(dead_wid, state, reason)
                 continue
 
-            if msg_type is None or msg_type == proto.MsgType.BYE:
-                self._redistribute_shards(
-                    wid, seq, pending, broadcasted, weights_blob,
-                    "connection lost",
-                )
+            if msg_type == _EVT_RESUMED:
+                self._redispatch_after_resume(wid, state)
+                continue
+            if msg_type is None:
+                if self._grace_lost(wid, payload):
+                    continue
+                self._handle_worker_death(wid, state, "connection lost")
+                continue
+            if msg_type == proto.MsgType.BYE:
+                self._handle_worker_death(wid, state, "worker exited")
                 continue
             if msg_type == proto.MsgType.REJECT:
                 reason = proto.decode_reject(payload)
-                self._redistribute_shards(
-                    wid, seq, pending, broadcasted, weights_blob,
-                    f"worker refused to continue: {reason}",
+                self._handle_worker_death(
+                    wid, state, f"worker refused to continue: {reason}"
                 )
                 continue
             if msg_type == proto.MsgType.EVAL_MODEL_RESULT:
@@ -919,9 +1354,9 @@ class DistributedExecutor(ClientExecutor):
                 )
                 if msg_seq != seq:
                     continue
-                for owner_wid in pending:
-                    pending[owner_wid] = [
-                        s for s in pending[owner_wid] if s != (a, b)
+                for owner_wid in state.pending:
+                    state.pending[owner_wid] = [
+                        s for s in state.pending[owner_wid] if s != (a, b)
                     ]
                 if (a, b) in done:
                     # Duplicate from a redistribution race: shard counts
@@ -938,9 +1373,8 @@ class DistributedExecutor(ClientExecutor):
                 msg_seq = proto.decode_eval_result(payload)[0]
                 if msg_seq != seq:
                     continue
-            self._redistribute_shards(
-                wid, seq, pending, broadcasted, weights_blob,
-                f"unexpected message type {msg_type}",
+            self._handle_worker_death(
+                wid, state, f"unexpected message type {msg_type}"
             )
 
         if failures:
@@ -951,51 +1385,6 @@ class DistributedExecutor(ClientExecutor):
         # Same float as `np.mean(preds == y)` over the full pass: the
         # boolean sum is exact in float64 and the division identical.
         return float(correct / n)
-
-    def _redistribute_shards(
-        self,
-        wid: int,
-        seq: int,
-        pending: Dict[int, List[Tuple[int, int]]],
-        broadcasted: Set[int],
-        weights_blob: bytes,
-        reason: str,
-    ) -> None:
-        """Re-deal a dead worker's outstanding eval shards over survivors.
-
-        Shards are not client-pinned (the eval set is resident in every
-        worker), so any survivor can take them.
-        """
-        self._retire_and_reassign(wid, reason)
-        outstanding = pending.pop(wid, [])
-        if not outstanding:
-            return
-        live = self._live_ids()
-        if not live:
-            raise ExecutorError(
-                f"all distributed workers are gone (last failure: worker "
-                f"{wid}: {reason})"
-            )
-        shards_by_target: Dict[int, List[Tuple[int, int]]] = {}
-        for i, bd in enumerate(outstanding):
-            shards_by_target.setdefault(live[i % len(live)], []).append(bd)
-        for target in sorted(shards_by_target):
-            shards = shards_by_target[target]
-            pending.setdefault(target, []).extend(shards)
-            try:
-                handle = self._handles[target]
-                if target not in broadcasted:
-                    handle.conn.send(proto.MsgType.BROADCAST, weights_blob)
-                    broadcasted.add(target)
-                handle.conn.send(
-                    proto.MsgType.EVAL_MODEL,
-                    proto.encode_eval_model(seq, shards),
-                )
-            except OSError as exc:
-                self._redistribute_shards(
-                    target, seq, pending, broadcasted, weights_blob,
-                    f"send failed during redistribution: {exc}",
-                )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -1018,11 +1407,14 @@ class DistributedExecutor(ClientExecutor):
                 continue
             if msg_type is None or msg_type == proto.MsgType.BYE:
                 waiting.discard(wid)
-        for handle in live:
+        for handle in self._handles.values():
             self._retire(handle.id)
         for handle in self._handles.values():
             if handle.reader is not None:
                 handle.reader.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
         self._handles = {}
         self._owner = {}
         if self._listener is not None:

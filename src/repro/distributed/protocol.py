@@ -6,17 +6,21 @@ The conversation:
 .. code-block:: text
 
     worker                        coordinator
-      | -- HELLO {version, capacity, pid} -->|   handshake
+      | -- HELLO {version, capacity, pid,    |   handshake; `resume` only
+      |           resume?} ----------------->|   on a reconnect attempt
       |<-- WELCOME {version, worker_id,      |
       |            model_signature,          |
-      |            num_params} --------------|   (or REJECT {reason})
+      |            num_params,               |
+      |            session_token} -----------|   (or REJECT {reason})
       |<-- ASSIGN {clients, model, training, |   pinning: the worker now
       |           signature} ----------------|   owns these clients
       |                                      |
-      |<-- BROADCAST {seq, weights} ---------|   per round, weights reuse
-      |<-- TRAIN {seq, round, jobs} ---------|   repro.serialization
-      | -- UPDATE {seq, cid, n, rng, w} ---->|   one per client, carries
-      | -- TRAINFAIL {seq, cid, tb} -------->|   the advanced RNG state
+      |<-- BROADCAST {seq, codec,            |   per round; weights travel
+      |       baseline_seq, weights} --------|   through a repro.codec
+      |<-- TRAIN {seq, round, jobs} ---------|   weight-transport codec
+      | -- UPDATE {seq, cid, n, codec,       |   one per client, carries
+      |       baseline_seq, rng, w} -------->|   the advanced RNG state
+      | -- TRAINFAIL {seq, cid, tb} -------->|
       |                                      |
       |<-- BIND_EVAL {x, y} -----------------|   ship-once: the server-held
       |                                      |   eval set becomes resident
@@ -63,12 +67,34 @@ Version history (every entry is a wire-incompatible break: it bumps
   broadcast plus a few bytes of bounds, never a dataset re-ship.  A v2
   worker would choke on BIND_EVAL and assumes single-broadcast
   semantics, so v2 peers are REJECTed at the handshake.
+* **v3 -> v4**: the weight-transport hot path became codec-pluggable and
+  connections became resumable.
+
+  - BROADCAST and UPDATE headers now carry a ``codec_id`` plus a
+    ``baseline_seq`` (0 = none), so weight vectors may travel through
+    any registered :class:`repro.codec.WeightCodec`: ``raw`` (the v3
+    format's payload, still the default), ``delta`` (lossless
+    ULP-XOR-delta against the retained BROADCAST named by
+    ``baseline_seq``) or ``quantized`` (lossy float16, opt-in).  The
+    weights evaluation uses travel through the same BROADCAST frames, so
+    EVAL / EVAL_MODEL orders inherit the codec via the ``seq`` they
+    reference.  A v3 peer would misparse the widened headers.
+  - WELCOME gained a per-worker ``session_token``; HELLO gained an
+    optional ``resume`` object (``{worker_id, token}``).  A worker whose
+    TCP connection drops may reconnect and present its token within the
+    coordinator's grace window: the coordinator re-pins its clients,
+    replays their authoritative RNG state via a fresh ASSIGN, resyncs
+    weights with a **raw** BROADCAST (delta baselines never survive a
+    reconnect) and re-dispatches the round's outstanding jobs, instead
+    of permanently retiring the worker.  Expired or unknown resume
+    attempts are REJECTed and fall back to the v3 retire path.
 
 Control messages are JSON (small, debuggable); client shipping uses
 pickle (the payload *is* Python objects: datasets, RNG streams); weight
-vectors travel as raw little-endian float64 via
+vectors travel through the :mod:`repro.codec` weight-transport codecs
+(default ``raw``: little-endian float64 via
 :func:`repro.serialization.flat_weights_to_bytes` -- bit-exact, no
-pickle overhead on the per-round hot path.
+pickle overhead on the per-round hot path).
 """
 
 from __future__ import annotations
@@ -78,15 +104,16 @@ import json
 import pickle
 import struct
 from enum import IntEnum
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.codec import CodecError, WeightCodec, codec_for_id, get_codec
 
 # parse_endpoint is canonically defined next to TrainingConfig (which
 # validates its endpoint field with it) and re-exported here.
 from repro.config import TrainingConfig, parse_endpoint
 from repro.nn.model import Sequential
-from repro.serialization import flat_weights_from_bytes, flat_weights_to_bytes
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -108,6 +135,7 @@ __all__ = [
     "decode_train",
     "encode_update",
     "decode_update",
+    "update_seq",
     "encode_trainfail",
     "decode_trainfail",
     "encode_eval",
@@ -125,9 +153,19 @@ __all__ = [
 #: Bump on any wire-incompatible change; checked in the handshake.
 #: See the version history in the module docstring: v2 added EVAL /
 #: EVAL_RESULT; v3 added BIND_EVAL / EVAL_MODEL / EVAL_MODEL_RESULT and
-#: multi-broadcast retention for round pipelining.  Older peers are
-#: REJECTed at the handshake with a reason naming both versions.
-PROTOCOL_VERSION = 3
+#: multi-broadcast retention for round pipelining; v4 added codec id +
+#: baseline seq to the BROADCAST/UPDATE headers (pluggable raw / delta /
+#: quantized weight transport) and session tokens for worker
+#: reconnect-and-resume.  Older peers are REJECTed at the handshake with
+#: a reason naming both versions.
+PROTOCOL_VERSION = 4
+
+#: Hard cap on the parameter count a BROADCAST/UPDATE header may claim.
+#: Guards the decode path the same way the transport's frame-payload
+#: limit guards the framing layer: an absurd ``num_params`` is rejected
+#: with :class:`ProtocolError` before any allocation is attempted.
+#: Configurable (module attribute) for deployments with bigger models.
+MAX_WEIGHT_COUNT = (1 << 30) // 8
 
 
 class MsgType(IntEnum):
@@ -199,31 +237,67 @@ def _decode_json(payload: bytes, required: Sequence[str], what: str) -> Dict[str
     return obj
 
 
-def encode_hello(version: int, capacity: int, pid: int) -> bytes:
+def encode_hello(
+    version: int,
+    capacity: int,
+    pid: int,
+    resume: Optional[Tuple[int, str]] = None,
+) -> bytes:
+    """The worker's opening frame.
+
+    ``resume`` (v4) is ``(worker_id, session_token)`` when the worker is
+    reconnecting after a dropped connection: the coordinator resumes the
+    session in place of registering a fresh worker.
+    """
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
-    return json.dumps(
-        {"version": int(version), "capacity": int(capacity), "pid": int(pid)}
-    ).encode("utf-8")
+    obj: Dict[str, Any] = {
+        "version": int(version),
+        "capacity": int(capacity),
+        "pid": int(pid),
+    }
+    if resume is not None:
+        worker_id, token = resume
+        obj["resume"] = {"worker_id": int(worker_id), "token": str(token)}
+    return json.dumps(obj).encode("utf-8")
 
 
-def decode_hello(payload: bytes) -> Dict[str, int]:
+def decode_hello(payload: bytes) -> Dict[str, Any]:
     obj = _decode_json(payload, ("version", "capacity", "pid"), "HELLO")
-    out = {k: int(obj[k]) for k in ("version", "capacity", "pid")}
+    out: Dict[str, Any] = {k: int(obj[k]) for k in ("version", "capacity", "pid")}
     if out["capacity"] < 1:
         raise ProtocolError(f"HELLO capacity must be >= 1, got {out['capacity']}")
+    resume = obj.get("resume")
+    if resume is not None:
+        if not isinstance(resume, dict) or not {"worker_id", "token"} <= set(
+            resume
+        ):
+            raise ProtocolError(
+                "HELLO resume must carry {worker_id, token}"
+            )
+        out["resume"] = {
+            "worker_id": int(resume["worker_id"]),
+            "token": str(resume["token"]),
+        }
     return out
 
 
 def encode_welcome(
-    version: int, worker_id: int, model_sig: str, num_params: int
+    version: int,
+    worker_id: int,
+    model_sig: str,
+    num_params: int,
+    session_token: str = "",
 ) -> bytes:
+    """The coordinator's acceptance; ``session_token`` (v4) is the secret
+    the worker must present to resume after a dropped connection."""
     return json.dumps(
         {
             "version": int(version),
             "worker_id": int(worker_id),
             "model_signature": str(model_sig),
             "num_params": int(num_params),
+            "session_token": str(session_token),
         }
     ).encode("utf-8")
 
@@ -237,6 +311,7 @@ def decode_welcome(payload: bytes) -> Dict[str, Any]:
         "worker_id": int(obj["worker_id"]),
         "model_signature": str(obj["model_signature"]),
         "num_params": int(obj["num_params"]),
+        "session_token": str(obj.get("session_token", "")),
     }
 
 
@@ -466,26 +541,105 @@ def decode_assign(payload: bytes) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# BROADCAST / UPDATE: the binary hot path
+# BROADCAST / UPDATE: the binary hot path (codec-pluggable since v4)
 # ----------------------------------------------------------------------
-_BROADCAST_HEADER = struct.Struct("!IQ")  # (seq, num_params)
-_UPDATE_HEADER = struct.Struct("!IIQI")  # (seq, client_id, num_samples, rng_len)
+# (seq, num_params, codec_id, baseline_seq); baseline_seq 0 = none
+# (cohort seqs start at 1).
+_BROADCAST_HEADER = struct.Struct("!IQBI")
+# (seq, client_id, num_samples, rng_len, codec_id, baseline_seq)
+_UPDATE_HEADER = struct.Struct("!IIQIBI")
+
+_RAW = get_codec("raw")
 
 
-def encode_broadcast(seq: int, flat_weights: np.ndarray) -> bytes:
-    blob = flat_weights_to_bytes(flat_weights)
-    return _BROADCAST_HEADER.pack(int(seq), len(blob) // 8) + blob
+def _resolve_codec(codec: Union[str, WeightCodec, None]) -> WeightCodec:
+    if codec is None:
+        return _RAW
+    if isinstance(codec, str):
+        return get_codec(codec)
+    return codec
 
 
-def decode_broadcast(payload: bytes) -> Tuple[int, np.ndarray]:
+def _check_count(count: int, what: str) -> None:
+    if count > MAX_WEIGHT_COUNT:
+        raise ProtocolError(
+            f"{what} claims {count} weight values, over the "
+            f"{MAX_WEIGHT_COUNT}-value limit (corrupt frame?)"
+        )
+
+
+def _lookup_baseline(
+    codec: WeightCodec,
+    baseline_seq: int,
+    baselines: Optional[Mapping[int, np.ndarray]],
+    what: str,
+) -> Optional[np.ndarray]:
+    """The retained-BROADCAST baseline a delta frame references."""
+    if not codec.requires_baseline:
+        return None
+    if baseline_seq == 0:
+        raise ProtocolError(
+            f"{what} uses the {codec.name} codec but names no baseline seq"
+        )
+    if baselines is None or baseline_seq not in baselines:
+        have = sorted(baselines) if baselines else []
+        raise ProtocolError(
+            f"{what} references baseline seq {baseline_seq} but the "
+            f"retained baselines are {have}"
+        )
+    return baselines[baseline_seq]
+
+
+def encode_broadcast(
+    seq: int,
+    flat_weights: np.ndarray,
+    codec: Union[str, WeightCodec, None] = None,
+    baseline: Optional[np.ndarray] = None,
+    baseline_seq: int = 0,
+) -> bytes:
+    """Weights for cohort ``seq``, encoded through a weight codec.
+
+    ``codec`` defaults to ``raw`` (bit-exact, always decodable).  A
+    baseline-requiring codec (``delta``) must be given the ``baseline``
+    vector and the ``baseline_seq`` of the retained BROADCAST it was
+    taken from -- the decoder looks the same seq up on its side.
+    """
+    codec = _resolve_codec(codec)
+    arr = np.ascontiguousarray(np.asarray(flat_weights, dtype=np.float64))
+    blob = codec.encode(arr, baseline=baseline)
+    return (
+        _BROADCAST_HEADER.pack(
+            int(seq), arr.size, codec.codec_id, int(baseline_seq)
+        )
+        + blob
+    )
+
+
+def decode_broadcast(
+    payload: bytes,
+    baselines: Optional[Mapping[int, np.ndarray]] = None,
+) -> Tuple[int, np.ndarray]:
+    """Inverse of :func:`encode_broadcast`.
+
+    ``baselines`` maps retained BROADCAST seqs to their weight vectors
+    (what a v4 worker keeps); it is only consulted for codecs that need
+    a baseline, and a missing one raises :class:`ProtocolError` naming
+    the seqs actually retained.
+    """
     if len(payload) < _BROADCAST_HEADER.size:
         raise ProtocolError("truncated BROADCAST payload")
-    seq, count = _BROADCAST_HEADER.unpack_from(payload)
+    seq, count, codec_id, baseline_seq = _BROADCAST_HEADER.unpack_from(payload)
+    _check_count(count, "BROADCAST")
     try:
-        weights = flat_weights_from_bytes(
-            payload[_BROADCAST_HEADER.size :], expected_size=count
-        )
+        codec = codec_for_id(codec_id)
     except ValueError as exc:
+        raise ProtocolError(f"BROADCAST: {exc}") from exc
+    baseline = _lookup_baseline(codec, baseline_seq, baselines, "BROADCAST")
+    try:
+        weights = codec.decode(
+            payload[_BROADCAST_HEADER.size :], count, baseline=baseline
+        )
+    except (CodecError, ValueError) as exc:
         raise ProtocolError(f"malformed BROADCAST payload: {exc}") from exc
     return int(seq), weights
 
@@ -496,25 +650,80 @@ def encode_update(
     num_samples: int,
     rng_state: Optional[dict],
     flat_weights: np.ndarray,
+    codec: Union[str, WeightCodec, None] = None,
+    baseline: Optional[np.ndarray] = None,
+    baseline_seq: int = 0,
 ) -> bytes:
+    """One trained client's result, weights encoded through a codec.
+
+    For the ``delta`` codec the natural baseline is the BROADCAST the
+    client trained from (``baseline_seq == seq``): both peers hold it by
+    construction, even on the very first round.
+    """
+    codec = _resolve_codec(codec)
+    arr = np.ascontiguousarray(np.asarray(flat_weights, dtype=np.float64))
     rng_blob = pickle.dumps(rng_state, protocol=pickle.HIGHEST_PROTOCOL)
     return (
-        _UPDATE_HEADER.pack(int(seq), int(client_id), int(num_samples), len(rng_blob))
+        _UPDATE_HEADER.pack(
+            int(seq),
+            int(client_id),
+            int(num_samples),
+            len(rng_blob),
+            codec.codec_id,
+            int(baseline_seq),
+        )
         + rng_blob
-        + flat_weights_to_bytes(flat_weights)
+        + codec.encode(arr, baseline=baseline)
     )
 
 
-def decode_update(payload: bytes) -> Tuple[int, int, int, Optional[dict], np.ndarray]:
+def update_seq(payload: bytes) -> int:
+    """The cohort seq an UPDATE frame belongs to, from the header alone.
+
+    Lets the coordinator tell a *stale* update (whose delta baseline may
+    already have been evicted) from a live one before attempting the
+    full decode.
+    """
     if len(payload) < _UPDATE_HEADER.size:
         raise ProtocolError("truncated UPDATE payload")
-    seq, client_id, num_samples, rng_len = _UPDATE_HEADER.unpack_from(payload)
+    return int(_UPDATE_HEADER.unpack_from(payload)[0])
+
+
+def decode_update(
+    payload: bytes,
+    baselines: Optional[Mapping[int, np.ndarray]] = None,
+    expected_size: int = -1,
+) -> Tuple[int, int, int, Optional[dict], np.ndarray]:
+    """Inverse of :func:`encode_update` (same baseline contract as
+    :func:`decode_broadcast`); ``expected_size`` guards the weight count
+    when the caller knows the model's parameter count."""
+    if len(payload) < _UPDATE_HEADER.size:
+        raise ProtocolError("truncated UPDATE payload")
+    seq, client_id, num_samples, rng_len, codec_id, baseline_seq = (
+        _UPDATE_HEADER.unpack_from(payload)
+    )
     rng_end = _UPDATE_HEADER.size + rng_len
     if len(payload) < rng_end:
         raise ProtocolError("truncated UPDATE rng-state blob")
     try:
+        codec = codec_for_id(codec_id)
+    except ValueError as exc:
+        raise ProtocolError(f"UPDATE: {exc}") from exc
+    baseline = _lookup_baseline(codec, baseline_seq, baselines, "UPDATE")
+    if expected_size >= 0:
+        count = expected_size
+    else:
+        remaining = len(payload) - rng_end
+        if codec is not _RAW:
+            raise ProtocolError(
+                f"UPDATE with the {codec.name} codec needs an explicit "
+                "expected weight count"
+            )
+        count = remaining // 8
+    _check_count(count, "UPDATE")
+    try:
         rng_state = pickle.loads(payload[_UPDATE_HEADER.size : rng_end])
-        weights = flat_weights_from_bytes(payload[rng_end:])
+        weights = codec.decode(payload[rng_end:], count, baseline=baseline)
     except ProtocolError:
         raise
     except Exception as exc:

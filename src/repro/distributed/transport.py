@@ -40,9 +40,12 @@ __all__ = [
 #: ``(payload_length, msg_type)`` -- 5 bytes, network byte order.
 FRAME_HEADER = struct.Struct("!IB")
 
-#: Hard upper bound on a single frame's payload.  A corrupt or
-#: misaligned stream shows up as a nonsense length; failing fast here
-#: beats attempting a multi-gigabyte allocation.
+#: Default upper bound on a single frame's payload.  A corrupt or
+#: misaligned stream shows up as a nonsense length in the ``!IB`` header;
+#: failing fast on the *announcement* beats buffering toward a
+#: multi-gigabyte allocation.  The bound is configurable per decoder /
+#: connection (``max_payload=``) -- a coordinator that knows its model
+#: is 3 MB can refuse anything bigger long before the bytes arrive.
 MAX_FRAME_PAYLOAD = 1 << 30
 
 
@@ -73,10 +76,22 @@ class FrameDecoder:
     ``(msg_type, payload)`` pairs and buffers partial frames until the
     rest arrives.  TCP guarantees ordering, so frames pop out exactly as
     the peer sent them.
+
+    ``max_payload`` caps the payload length a header may announce;
+    anything larger raises :class:`FrameError` the moment the 5-byte
+    header parses, so a corrupt or malicious stream can never make the
+    decoder buffer gigabytes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_payload: Optional[int] = None) -> None:
         self._buf = bytearray()
+        self.max_payload = (
+            MAX_FRAME_PAYLOAD if max_payload is None else int(max_payload)
+        )
+        if self.max_payload < 1:
+            raise ValueError(
+                f"max_payload must be positive, got {self.max_payload}"
+            )
 
     def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
         """Absorb ``data``; return every frame completed by it."""
@@ -92,10 +107,10 @@ class FrameDecoder:
         if len(self._buf) < FRAME_HEADER.size:
             return None
         length, msg_type = FRAME_HEADER.unpack_from(self._buf)
-        if length > MAX_FRAME_PAYLOAD:
+        if length > self.max_payload:
             raise FrameError(
                 f"peer announced a {length}-byte payload, over the "
-                f"{MAX_FRAME_PAYLOAD}-byte frame limit (corrupt stream?)"
+                f"{self.max_payload}-byte frame limit (corrupt stream?)"
             )
         end = FRAME_HEADER.size + length
         if len(self._buf) < end:
@@ -115,14 +130,16 @@ class Connection:
 
     RECV_CHUNK = 1 << 16
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self, sock: socket.socket, max_payload: Optional[int] = None
+    ) -> None:
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - e.g. AF_UNIX socketpair
             pass
         self._sock = sock
         self._send_lock = threading.Lock()
-        self._decoder = FrameDecoder()
+        self._decoder = FrameDecoder(max_payload=max_payload)
         self._ready: List[Tuple[int, bytes]] = []
         self._closed = False
         self.bytes_sent = 0

@@ -16,6 +16,22 @@ A dedicated reader thread answers PING with PONG even while a long
 local pass is running, so a busy worker is never mistaken for a dead
 one; only a killed or genuinely hung process trips the coordinator's
 heartbeat limit.
+
+Reconnect-and-resume (v4): a worker that loses its TCP connection keeps
+its state (clients, workspace, resident eval data) and re-dials the
+coordinator, presenting its ``worker_id`` + ``session_token`` in the
+HELLO's ``resume`` field.  Within the coordinator's grace window the
+session resumes -- the coordinator replays authoritative client RNG
+state via a fresh ASSIGN and re-dispatches the in-flight round's
+outstanding jobs -- so a transient network blip costs a retransmit, not
+a permanent retirement.  A REJECTed resume (grace expired, token
+mismatch) exits with :data:`EXIT_REJECTED`, the v3 behaviour.
+
+Weight transport is codec-pluggable (v4): broadcasts decode through the
+codec named in their header (delta frames resolve against the retained
+BROADCAST cache), and UPDATEs are encoded with ``TrainingConfig.codec``
+-- for ``delta``, against the broadcast the client just trained from,
+which both peers hold by construction.
 """
 
 from __future__ import annotations
@@ -32,6 +48,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.codec import get_codec
 from repro.config import TrainingConfig
 from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
@@ -42,9 +59,13 @@ __all__ = ["WorkerAgent"]
 
 #: How many BROADCASTs a worker retains, keyed by seq.  A pipelined
 #: coordinator keeps at most one evaluation in flight alongside one
-#: training cohort, so two live broadcasts is the steady state; four
-#: leaves slack for redispatch races without unbounded memory.
-BROADCAST_RETAIN = 4
+#: training cohort, so two live broadcasts is the steady state; the
+#: extra slack absorbs redispatch races and keeps delta baselines
+#: resolvable for slow in-flight updates without unbounded memory.  The
+#: coordinator mirrors this constant for its per-worker baseline caches;
+#: the two retention policies must match or delta frames could name an
+#: evicted baseline.
+BROADCAST_RETAIN = 8
 
 #: Worker process exit codes (asserted by the test-suite).
 EXIT_OK = 0
@@ -68,6 +89,15 @@ class WorkerAgent:
         The agent retries the initial TCP connect until
         ``connect_timeout`` elapses, so workers may be launched slightly
         before the coordinator listens.
+    reconnect_grace:
+        How long (seconds) to keep re-dialling the coordinator after an
+        established connection drops, presenting the session token for a
+        resume.  ``0`` disables reconnection (a lost connection exits
+        immediately, the pre-v4 behaviour).  The coordinator enforces
+        its own grace window; a worker that outlives it is REJECTed.
+    max_frame_payload:
+        Optional cap on incoming frame payloads (see
+        :mod:`repro.distributed.transport`).
     """
 
     def __init__(
@@ -77,18 +107,27 @@ class WorkerAgent:
         capacity: int = 1,
         connect_timeout: float = 30.0,
         retry_interval: float = 0.2,
+        reconnect_grace: float = 30.0,
+        max_frame_payload: Optional[int] = None,
         log=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if reconnect_grace < 0:
+            raise ValueError(
+                f"reconnect_grace must be >= 0, got {reconnect_grace}"
+            )
         self.host = host
         self.port = int(port)
         self.capacity = int(capacity)
         self.connect_timeout = float(connect_timeout)
         self.retry_interval = float(retry_interval)
+        self.reconnect_grace = float(reconnect_grace)
+        self.max_frame_payload = max_frame_payload
         self._log_stream = log if log is not None else sys.stderr
 
         self.worker_id: Optional[int] = None
+        self._session_token: Optional[str] = None
         self._expected_signature: Optional[str] = None
         self._expected_num_params: Optional[int] = None
         self._clients: Dict[int, object] = {}
@@ -97,7 +136,9 @@ class WorkerAgent:
         # seq -> weights; a pipelined coordinator interleaves an eval
         # broadcast with the next round's training broadcast, so the
         # last few are retained (v3 semantics) instead of only the last.
-        self._broadcasts: "OrderedDict[int, object]" = OrderedDict()
+        # Doubles as the baseline cache for decoding delta broadcasts
+        # and encoding delta updates (v4).
+        self._broadcasts: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _log(self, msg: str) -> None:
@@ -107,29 +148,42 @@ class WorkerAgent:
     # ------------------------------------------------------------------
     # connection + handshake
     # ------------------------------------------------------------------
-    def _connect(self) -> Connection:
-        deadline = time.monotonic() + self.connect_timeout
+    def _connect(self, timeout: Optional[float] = None) -> Connection:
+        window = self.connect_timeout if timeout is None else timeout
+        deadline = time.monotonic() + window
         last_err: Optional[Exception] = None
         while time.monotonic() < deadline:
             try:
                 sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.connect_timeout
+                    (self.host, self.port), timeout=window
                 )
                 sock.settimeout(None)
-                return Connection(sock)
+                return Connection(sock, max_payload=self.max_frame_payload)
             except OSError as exc:
                 last_err = exc
                 time.sleep(self.retry_interval)
         raise ConnectionError(
             f"could not reach coordinator at {self.host}:{self.port} within "
-            f"{self.connect_timeout:.0f}s: {last_err}"
+            f"{window:.0f}s: {last_err}"
         )
 
-    def _handshake(self, conn: Connection) -> Optional[int]:
-        """HELLO/WELCOME exchange; returns an exit code on failure."""
+    def _handshake(self, conn: Connection, resume: bool = False) -> Optional[int]:
+        """HELLO/WELCOME exchange; returns an exit code on failure.
+
+        With ``resume=True`` the HELLO carries this agent's prior
+        ``worker_id`` + session token, asking the coordinator to resume
+        the session instead of registering a fresh worker.
+        """
+        resume_info = None
+        if resume:
+            assert self.worker_id is not None and self._session_token is not None
+            resume_info = (self.worker_id, self._session_token)
         conn.send(
             proto.MsgType.HELLO,
-            proto.encode_hello(proto.PROTOCOL_VERSION, self.capacity, os.getpid()),
+            proto.encode_hello(
+                proto.PROTOCOL_VERSION, self.capacity, os.getpid(),
+                resume=resume_info,
+            ),
         )
         msg_type, payload = conn.recv(timeout=self.connect_timeout)
         if msg_type == proto.MsgType.REJECT:
@@ -145,14 +199,24 @@ class WorkerAgent:
                 f"this worker speaks {proto.PROTOCOL_VERSION}"
             )
             return EXIT_PROTOCOL_ERROR
+        if resume and welcome["worker_id"] != self.worker_id:
+            self._log(
+                f"coordinator resumed the wrong session (worker "
+                f"{welcome['worker_id']}, expected {self.worker_id})"
+            )
+            return EXIT_PROTOCOL_ERROR
         self.worker_id = welcome["worker_id"]
+        self._session_token = welcome["session_token"] or None
         self._expected_signature = welcome["model_signature"]
         self._expected_num_params = welcome["num_params"]
-        self._log(
-            f"registered with coordinator (capacity {self.capacity}, "
-            f"model {self._expected_signature[:12]}..., "
-            f"{self._expected_num_params} params)"
-        )
+        if resume:
+            self._log("session resumed with coordinator")
+        else:
+            self._log(
+                f"registered with coordinator (capacity {self.capacity}, "
+                f"model {self._expected_signature[:12]}..., "
+                f"{self._expected_num_params} params)"
+            )
         return None
 
     # ------------------------------------------------------------------
@@ -191,7 +255,10 @@ class WorkerAgent:
         )
 
     def _store_broadcast(self, payload: bytes) -> None:
-        seq, weights = proto.decode_broadcast(payload)
+        # The retained broadcasts double as the delta-codec baseline
+        # cache; a re-broadcast of a seq (post-resume raw resync)
+        # overwrites in place without disturbing retention order.
+        seq, weights = proto.decode_broadcast(payload, baselines=self._broadcasts)
         self._broadcasts[seq] = weights
         while len(self._broadcasts) > BROADCAST_RETAIN:
             self._broadcasts.popitem(last=False)
@@ -225,6 +292,12 @@ class WorkerAgent:
                 f"TRAIN for clients {unknown} this worker does not own"
             )
         factory = self._training.optimizer_factory(round_idx)
+        # Updates travel through the configured codec; for delta the
+        # baseline is the broadcast this cohort trains from -- both
+        # peers hold it by construction, first round included.
+        codec = get_codec(self._training.codec)
+        baseline = global_flat if codec.requires_baseline else None
+        baseline_seq = seq if codec.requires_baseline else 0
         for client_id, epochs in jobs:
             try:
                 client = self._clients[client_id]
@@ -241,7 +314,9 @@ class WorkerAgent:
                 conn.send(
                     proto.MsgType.UPDATE,
                     proto.encode_update(
-                        seq, client_id, client.num_train_samples, state, w
+                        seq, client_id, client.num_train_samples, state, w,
+                        codec=codec, baseline=baseline,
+                        baseline_seq=baseline_seq,
                     ),
                 )
             except Exception:
@@ -336,57 +411,93 @@ class WorkerAgent:
                 return
 
     def run(self) -> int:
-        """Connect, register, and serve until shutdown; returns exit code."""
-        try:
-            conn = self._connect()
-        except ConnectionError as exc:
-            self._log(str(exc))
-            return EXIT_CONNECTION_LOST
-        try:
-            failure = self._handshake(conn)
-            if failure is not None:
-                return failure
-            inbox: "queue_mod.Queue" = queue_mod.Queue()
-            reader = threading.Thread(
-                target=self._reader, args=(conn, inbox), daemon=True,
-                name="repro-dist-worker-reader",
-            )
-            reader.start()
-            while True:
-                msg_type, payload = inbox.get()
-                if msg_type is None:
-                    self._log("coordinator connection lost")
+        """Connect, register, and serve until shutdown; returns exit code.
+
+        A dropped connection is retried with a resume handshake within
+        ``reconnect_grace`` seconds (state -- clients, workspace,
+        resident eval data, retained broadcasts -- survives in this
+        process); anything the coordinator REJECTs, or a window that
+        closes without reaching it, ends the agent.
+        """
+        resume_deadline: Optional[float] = None
+        while True:
+            if resume_deadline is None:
+                window = self.connect_timeout
+            else:
+                window = resume_deadline - time.monotonic()
+                if window <= 0:
+                    self._log(
+                        f"reconnect window of {self.reconnect_grace:.0f}s "
+                        "closed without reaching the coordinator"
+                    )
                     return EXIT_CONNECTION_LOST
-                if msg_type == proto.MsgType.SHUTDOWN:
-                    conn.send(proto.MsgType.BYE)
-                    self._log("shutdown requested; exiting cleanly")
-                    return EXIT_OK
+            try:
+                conn = self._connect(timeout=window)
+            except ConnectionError as exc:
+                self._log(str(exc))
+                return EXIT_CONNECTION_LOST
+            code: Optional[int] = None
+            try:
+                code = self._handshake(conn, resume=resume_deadline is not None)
+                if code is None:
+                    resume_deadline = None  # session (re-)established
+                    code = self._serve(conn)
+            except (ConnectionClosed, OSError) as exc:
+                self._log(f"connection error: {exc}")
+                code = None
+            finally:
+                conn.close()
+            if code is not None:
+                return code
+            if self.reconnect_grace <= 0 or self._session_token is None:
+                self._log("coordinator connection lost")
+                return EXIT_CONNECTION_LOST
+            if resume_deadline is None:
+                resume_deadline = time.monotonic() + self.reconnect_grace
+                self._log(
+                    f"coordinator connection lost; attempting resume for up "
+                    f"to {self.reconnect_grace:.0f}s"
+                )
+
+    def _serve(self, conn: Connection) -> Optional[int]:
+        """Serve one connection; ``None`` means the connection was lost
+        (the caller decides whether to resume), an int is a final exit
+        code."""
+        inbox: "queue_mod.Queue" = queue_mod.Queue()
+        reader = threading.Thread(
+            target=self._reader, args=(conn, inbox), daemon=True,
+            name="repro-dist-worker-reader",
+        )
+        reader.start()
+        while True:
+            msg_type, payload = inbox.get()
+            if msg_type is None:
+                return None
+            if msg_type == proto.MsgType.SHUTDOWN:
+                conn.send(proto.MsgType.BYE)
+                self._log("shutdown requested; exiting cleanly")
+                return EXIT_OK
+            try:
+                if msg_type == proto.MsgType.ASSIGN:
+                    self._handle_assign(payload)
+                elif msg_type == proto.MsgType.BROADCAST:
+                    self._store_broadcast(payload)
+                elif msg_type == proto.MsgType.TRAIN:
+                    self._handle_train(conn, payload)
+                elif msg_type == proto.MsgType.EVAL:
+                    self._handle_eval(conn, payload)
+                elif msg_type == proto.MsgType.BIND_EVAL:
+                    self._handle_bind_eval(payload)
+                elif msg_type == proto.MsgType.EVAL_MODEL:
+                    self._handle_eval_model(conn, payload)
+                else:
+                    raise proto.ProtocolError(
+                        f"unexpected message type {msg_type}"
+                    )
+            except proto.ProtocolError as exc:
+                self._log(f"protocol error: {exc}")
                 try:
-                    if msg_type == proto.MsgType.ASSIGN:
-                        self._handle_assign(payload)
-                    elif msg_type == proto.MsgType.BROADCAST:
-                        self._store_broadcast(payload)
-                    elif msg_type == proto.MsgType.TRAIN:
-                        self._handle_train(conn, payload)
-                    elif msg_type == proto.MsgType.EVAL:
-                        self._handle_eval(conn, payload)
-                    elif msg_type == proto.MsgType.BIND_EVAL:
-                        self._handle_bind_eval(payload)
-                    elif msg_type == proto.MsgType.EVAL_MODEL:
-                        self._handle_eval_model(conn, payload)
-                    else:
-                        raise proto.ProtocolError(
-                            f"unexpected message type {msg_type}"
-                        )
-                except proto.ProtocolError as exc:
-                    self._log(f"protocol error: {exc}")
-                    try:
-                        conn.send(proto.MsgType.REJECT, proto.encode_reject(str(exc)))
-                    except OSError:
-                        pass
-                    return EXIT_PROTOCOL_ERROR
-        except (ConnectionClosed, OSError) as exc:
-            self._log(f"connection error: {exc}")
-            return EXIT_CONNECTION_LOST
-        finally:
-            conn.close()
+                    conn.send(proto.MsgType.REJECT, proto.encode_reject(str(exc)))
+                except OSError:
+                    pass
+                return EXIT_PROTOCOL_ERROR

@@ -40,6 +40,20 @@ the process backend, a BIND_EVAL frame on the distributed backend), so
 later ``evaluate_model`` calls on those exact arrays can shard across
 workers instead of evaluating in the server process.
 
+Weight-transport codecs
+-----------------------
+``TrainingConfig.codec`` names the :mod:`repro.codec` codec weight
+vectors travel through wherever they cross a *machine* boundary; the
+bound codec is exposed to backends as :attr:`ClientExecutor.codec`.
+Only the distributed backend actually encodes: serial and thread pass
+arrays by reference, and the process backend moves them through shared
+memory -- in-process transports have no wire, so encoding them would
+add CPU without removing a single copy (and a lossy codec would
+silently break their bit-identity contract).  The lossless codecs
+(``raw``, ``delta``) keep the distributed backend inside the
+determinism contract above; ``quantized`` is lossy and explicitly
+opts the run out of bit-identity.
+
 Asynchronous evaluation
 -----------------------
 The pipelined round driver (:class:`repro.fl.engine.RoundPipeline`)
@@ -249,6 +263,20 @@ class ClientExecutor:
     def _started(self) -> bool:
         """Whether worker resources have been allocated (backend hook)."""
         return False
+
+    @property
+    def codec(self):
+        """The bound :class:`repro.codec.WeightCodec` weight vectors use
+        on machine-boundary transports (``TrainingConfig.codec``).
+
+        In-process backends ignore it (see the module docstring); the
+        distributed backend encodes every BROADCAST/UPDATE through it.
+        ``raw`` until the executor is bound.
+        """
+        from repro.codec import get_codec
+
+        name = "raw" if self._training is None else self._training.codec
+        return get_codec(name)
 
     # ------------------------------------------------------------------
     def train_cohort(

@@ -22,6 +22,14 @@ Design (the memory / determinism contract):
   Evaluation weights travel through a **separate** shared segment, so a
   pipelined evaluation (round ``r``'s weights) can be in flight while
   round ``r+1``'s training weights occupy the training segment.
+  The segments always hold **raw float64**, whatever
+  ``TrainingConfig.codec`` says: the :mod:`repro.codec` weight codecs
+  exist to cut *bytes on a wire*, and shared memory has no wire -- the
+  one ``memcpy`` into the segment is already cheaper than any
+  encode+decode pair, a delta codec would *add* a baseline copy per
+  round without removing one, and a lossy codec would silently break
+  this backend's bit-identity contract.  Only the distributed backend
+  encodes (its BROADCAST/UPDATE frames actually cross machines).
 * **Shared-memory returns.**  Updated weight vectors come back the same
   way: each worker owns a private return segment (the mirror of the
   broadcast segment) guarded by a one-slot semaphore.  The worker writes

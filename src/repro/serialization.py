@@ -7,10 +7,15 @@ module provides both with plain, dependency-free formats:
 * model weights -> ``.npz`` (one array per parameter tensor, order
   preserved via zero-padded keys),
 * :class:`~repro.fl.history.TrainingHistory` -> JSON (and back),
-* flat weight vectors -> raw little-endian float64 bytes (the wire
-  format of :mod:`repro.distributed` -- bit-exact both ways, so a
+* flat weight vectors -> raw little-endian float64 bytes (the ``raw``
+  wire codec of :mod:`repro.distributed` -- bit-exact both ways, so a
   weight vector broadcast over TCP is *identical* to one passed by
   reference in-process).
+
+The raw byte pair below is the *identity* codec of the pluggable
+weight-transport layer in :mod:`repro.codec` (``raw`` / ``delta`` /
+``quantized``); the frame headers that name a codec id and a baseline
+sequence number live in :mod:`repro.distributed.protocol`.
 """
 
 from __future__ import annotations
@@ -21,6 +26,10 @@ from typing import Union
 
 import numpy as np
 
+# The raw byte pair physically lives in repro.codec (a leaf module the
+# config layer may import without cycles) and is re-exported here, its
+# historical home, so existing imports keep working.
+from repro.codec import flat_weights_from_bytes, flat_weights_to_bytes
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.nn.model import Sequential
 
@@ -55,39 +64,6 @@ def load_weights(model: Sequential, path: PathLike) -> Sequential:
         weights = [data[k] for k in sorted(data.files)]
     model.set_weights(weights)
     return model
-
-
-def flat_weights_to_bytes(flat: np.ndarray) -> bytes:
-    """Encode a flat weight vector as raw little-endian float64 bytes.
-
-    The encoding is bit-exact (NaNs, signed zeros and subnormals round
-    trip unchanged), which is what lets the distributed executor promise
-    bit-identical training to the in-process backends.
-    """
-    arr = np.asarray(flat, dtype=np.float64)
-    if arr.ndim != 1:
-        raise ValueError(f"flat weights must be 1-D, got shape {arr.shape}")
-    return np.ascontiguousarray(arr, dtype="<f8").tobytes()
-
-
-def flat_weights_from_bytes(buf: bytes, expected_size: int = -1) -> np.ndarray:
-    """Inverse of :func:`flat_weights_to_bytes`; returns a writable array.
-
-    ``expected_size`` (when >= 0) guards against truncated or misframed
-    payloads -- a mismatch raises ``ValueError`` instead of silently
-    training on garbage.
-    """
-    if len(buf) % 8 != 0:
-        raise ValueError(
-            f"weight payload of {len(buf)} bytes is not a whole number of "
-            "float64 values"
-        )
-    arr = np.frombuffer(buf, dtype="<f8").astype(np.float64, copy=True)
-    if expected_size >= 0 and arr.size != expected_size:
-        raise ValueError(
-            f"expected {expected_size} weight values, got {arr.size}"
-        )
-    return arr
 
 
 def history_to_dict(history: TrainingHistory) -> dict:

@@ -65,11 +65,11 @@ class TestEvalCodecs:
 
 
 class TestVersioning:
-    def test_protocol_version_is_3(self):
-        """v3 introduced BIND_EVAL / EVAL_MODEL / EVAL_MODEL_RESULT and
-        multi-broadcast retention; regressing the constant would let
-        pre-pipelining workers join and then choke on BIND_EVAL frames."""
-        assert proto.PROTOCOL_VERSION == 3
+    def test_protocol_version_is_4(self):
+        """v4 widened the BROADCAST/UPDATE headers (codec id + baseline
+        seq) and added resumable sessions; regressing the constant would
+        let pre-codec workers join and then misparse every weight frame."""
+        assert proto.PROTOCOL_VERSION == 4
         assert proto.MsgType.EVAL == 13
         assert proto.MsgType.EVAL_RESULT == 14
         assert proto.MsgType.BIND_EVAL == 15

@@ -74,6 +74,26 @@ class TestFraming:
         with pytest.raises(FrameError, match="frame limit"):
             FrameDecoder().feed(bad)
 
+    def test_max_payload_is_configurable(self):
+        """A deployment that knows its largest legitimate frame can
+        reject an absurd ``!IB`` length announcement long before the
+        default 1 GiB bound -- and before a single payload byte lands."""
+        decoder = FrameDecoder(max_payload=64)
+        ok = encode_frame(proto.MsgType.PING, b"x" * 64)
+        assert decoder.feed(ok) == [(proto.MsgType.PING, b"x" * 64)]
+        bad = (65).to_bytes(4, "big") + b"\x01"  # header only, no payload
+        with pytest.raises(FrameError, match="64-byte frame limit"):
+            decoder.feed(bad)
+        with pytest.raises(ValueError, match="positive"):
+            FrameDecoder(max_payload=0)
+
+    def test_connection_honours_max_payload(self):
+        a, b = socket.socketpair()
+        with Connection(a) as ca, Connection(b, max_payload=8) as cb:
+            ca.send(proto.MsgType.PING, b"way more than eight bytes")
+            with pytest.raises(FrameError, match="frame limit"):
+                cb.recv(timeout=5.0)
+
     def test_encode_rejects_bad_type(self):
         with pytest.raises(FrameError, match="one byte"):
             encode_frame(300, b"")
@@ -144,6 +164,40 @@ class TestCodecs:
         with pytest.raises(proto.ProtocolError):
             proto.decode_broadcast(proto.encode_broadcast(5, w)[:-3])
 
+    def test_broadcast_delta_codec_round_trip(self):
+        """v4: a delta BROADCAST names its baseline seq; the decoder
+        resolves it from the retained-broadcast map, bit-exactly."""
+        baseline = np.linspace(-1, 1, 32)
+        w = baseline + 1e-9
+        blob = proto.encode_broadcast(
+            6, w, codec="delta", baseline=baseline, baseline_seq=5
+        )
+        seq, back = proto.decode_broadcast(blob, baselines={5: baseline})
+        assert seq == 6 and back.tobytes() == w.tobytes()
+
+    def test_broadcast_delta_missing_baseline_names_retained_seqs(self):
+        baseline = np.zeros(4)
+        blob = proto.encode_broadcast(
+            2, np.ones(4), codec="delta", baseline=baseline, baseline_seq=1
+        )
+        with pytest.raises(proto.ProtocolError, match=r"retained .* \[7\]"):
+            proto.decode_broadcast(blob, baselines={7: baseline})
+        with pytest.raises(proto.ProtocolError, match="retained"):
+            proto.decode_broadcast(blob)  # no baselines at all
+
+    def test_broadcast_unknown_codec_id_rejected(self):
+        blob = bytearray(proto.encode_broadcast(1, np.zeros(2)))
+        blob[12] = 200  # codec id byte of the !IQBI header
+        with pytest.raises(proto.ProtocolError, match="unknown weight codec"):
+            proto.decode_broadcast(bytes(blob))
+
+    def test_broadcast_absurd_count_rejected_early(self):
+        header = proto._BROADCAST_HEADER.pack(
+            1, proto.MAX_WEIGHT_COUNT + 1, 1, 0
+        )
+        with pytest.raises(proto.ProtocolError, match="limit"):
+            proto.decode_broadcast(header)
+
     def test_update_round_trip_carries_rng_state(self):
         rng = np.random.default_rng(3)
         rng.normal(size=10)  # advance so the state is non-trivial
@@ -154,6 +208,34 @@ class TestCodecs:
         assert (seq, cid, n) == (2, 11, 30)
         assert state_back == state
         assert w.tobytes() == w_back.tobytes()
+
+    def test_update_delta_codec_round_trip_and_seq_peek(self):
+        """v4: delta UPDATEs resolve against the broadcast they trained
+        from (baseline_seq == seq); ``update_seq`` reads the header so a
+        stale, undecodable frame can be identified without its baseline."""
+        baseline = np.linspace(0, 1, 9)
+        w = baseline * 1.0000001
+        payload = proto.encode_update(
+            4, 2, 30, None, w, codec="delta", baseline=baseline,
+            baseline_seq=4,
+        )
+        assert proto.update_seq(payload) == 4
+        seq, cid, n, state, back = proto.decode_update(
+            payload, baselines={4: baseline}, expected_size=9
+        )
+        assert (seq, cid, n, state) == (4, 2, 30, None)
+        assert back.tobytes() == w.tobytes()
+        with pytest.raises(proto.ProtocolError, match="retained"):
+            proto.decode_update(payload, baselines={}, expected_size=9)
+
+    def test_update_non_raw_requires_expected_size(self):
+        payload = proto.encode_update(
+            1, 0, 5, None, np.zeros(4), codec="quantized"
+        )
+        with pytest.raises(proto.ProtocolError, match="expected weight count"):
+            proto.decode_update(payload)
+        _, _, _, _, back = proto.decode_update(payload, expected_size=4)
+        assert back.size == 4
 
     def test_assign_round_trip_ships_clients_and_config(self):
         client = make_test_client(client_id=4, seed=1)
@@ -233,7 +315,10 @@ class TestHandshakeRejection:
             proto.MsgType.HELLO,
             proto.encode_hello(proto.PROTOCOL_VERSION, 2, 77),
         )
-        assert ex._handshake(coord_side) == (2, 77)
+        hello = ex._handshake(coord_side)
+        assert hello is not None
+        assert (hello["capacity"], hello["pid"]) == (2, 77)
+        assert hello.get("resume") is None
         coord_side.close()
         worker_side.close()
         ex.close()

@@ -54,6 +54,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["worker"])
 
+    def test_codec_flag_parses_and_validates(self):
+        args = build_parser().parse_args(["run", "--codec", "delta"])
+        assert args.codec == "delta"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--codec", "zstd"])
+
+    def test_codec_threads_into_training_config(self):
+        """--codec must reach TrainingConfig (what executors read) --
+        an accepted-but-ignored flag would be a silent lie."""
+        from repro.cli import _scenario_config
+
+        args = build_parser().parse_args(["run", "--codec", "delta"])
+        assert _scenario_config(args).resolved_training().codec == "delta"
+        args = build_parser().parse_args(["run"])
+        assert _scenario_config(args).resolved_training().codec == "raw"
+
+    def test_reconnect_grace_flags_parse(self):
+        args = build_parser().parse_args(["run", "--reconnect-grace", "15"])
+        assert args.reconnect_grace == 15.0
+        args = build_parser().parse_args(
+            ["worker", "--connect", "h:1", "--reconnect-grace", "0"]
+        )
+        assert args.reconnect_grace == 0.0
+
 
 class TestCommands:
     def test_run(self, capsys):

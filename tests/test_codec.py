@@ -1,0 +1,210 @@
+"""Property tests for the pluggable weight-transport codecs.
+
+The lossless codecs (raw, delta) must round-trip ANY float64 vector
+bit-for-bit -- NaN payloads, signed zeros, infinities and subnormals
+included -- because the distributed backend's bit-identity contract
+rides on them.  The quantized codec is lossy by design and is held to a
+tolerance instead.  Corrupt payloads must raise, never return garbage.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import (
+    CODEC_NAMES,
+    CodecError,
+    DeltaCodec,
+    QuantizedCodec,
+    RawCodec,
+    WeightCodec,
+    codec_for_id,
+    get_codec,
+    register_codec,
+)
+
+f64_vectors = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    min_size=0,
+    max_size=64,
+).map(lambda v: np.asarray(v, dtype=np.float64))
+
+
+class TestRegistry:
+    def test_builtins_registered_raw_first(self):
+        assert CODEC_NAMES[0] == "raw"
+        assert set(CODEC_NAMES) == {"raw", "delta", "quantized"}
+
+    def test_lookup_by_name_and_id_agree(self):
+        for name in CODEC_NAMES:
+            codec = get_codec(name)
+            assert codec_for_id(codec.codec_id) is codec
+
+    def test_unknown_name_and_id_raise(self):
+        with pytest.raises(ValueError, match="unknown weight codec"):
+            get_codec("zstd")
+        with pytest.raises(ValueError, match="unknown weight codec id"):
+            codec_for_id(200)
+
+    def test_duplicate_registration_rejected(self):
+        class Clash(WeightCodec):
+            name = "raw"
+            codec_id = 77
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec(Clash())
+
+        class IdClash(WeightCodec):
+            name = "unique-name"
+            codec_id = 1  # raw's wire id
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec(IdClash())
+
+    def test_lossless_flags(self):
+        assert get_codec("raw").lossless
+        assert get_codec("delta").lossless
+        assert not get_codec("quantized").lossless
+        assert get_codec("delta").requires_baseline
+        assert not get_codec("raw").requires_baseline
+
+
+class TestRawCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(values=f64_vectors)
+    def test_round_trip_bit_exact(self, values):
+        codec = RawCodec()
+        back = codec.decode(codec.encode(values), values.size)
+        assert back.tobytes() == values.tobytes()
+        assert back.flags.writeable
+
+    def test_size_mismatch_raises(self):
+        codec = RawCodec()
+        blob = codec.encode(np.zeros(4))
+        with pytest.raises(ValueError):
+            codec.decode(blob, 5)
+        with pytest.raises(ValueError):
+            codec.decode(blob[:-3], 4)
+
+
+class TestDeltaCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(values=f64_vectors, baseline_seed=st.integers(0, 2**31))
+    def test_round_trip_bit_exact_against_any_baseline(
+        self, values, baseline_seed
+    ):
+        """Losslessness may not depend on the baseline being close: any
+        (vector, baseline) pair must round-trip bit-for-bit."""
+        codec = DeltaCodec()
+        baseline = np.random.default_rng(baseline_seed).standard_normal(
+            values.size
+        )
+        blob = codec.encode(values, baseline=baseline)
+        back = codec.decode(blob, values.size, baseline=baseline)
+        assert back.tobytes() == values.tobytes()
+
+    def test_special_values_survive(self):
+        codec = DeltaCodec()
+        values = np.array(
+            [np.nan, -np.nan, 0.0, -0.0, np.inf, -np.inf, 5e-324, -5e-324,
+             1e308, -1e308, 1.0, np.pi],
+            dtype=np.float64,
+        )
+        baseline = np.linspace(-2, 2, values.size)
+        back = codec.decode(
+            codec.encode(values, baseline=baseline),
+            values.size,
+            baseline=baseline,
+        )
+        assert back.tobytes() == values.tobytes()
+
+    def test_converging_delta_compresses(self):
+        """The point of the codec: a near-baseline vector costs far
+        fewer bytes than raw."""
+        rng = np.random.default_rng(0)
+        baseline = rng.standard_normal(20_000) * 0.1
+        values = baseline + rng.standard_normal(20_000) * 1e-6
+        blob = DeltaCodec().encode(values, baseline=baseline)
+        assert len(blob) < 0.8 * values.size * 8
+
+    def test_missing_baseline_raises(self):
+        codec = DeltaCodec()
+        with pytest.raises(CodecError, match="requires a baseline"):
+            codec.encode(np.zeros(3))
+        with pytest.raises(CodecError, match="requires a baseline"):
+            codec.decode(b"x", 3)
+
+    def test_baseline_size_mismatch_raises(self):
+        codec = DeltaCodec()
+        with pytest.raises(CodecError, match="baseline"):
+            codec.encode(np.zeros(3), baseline=np.zeros(4))
+
+    def test_corrupt_payload_raises(self):
+        codec = DeltaCodec()
+        baseline = np.zeros(4)
+        with pytest.raises(CodecError, match="inflate"):
+            codec.decode(b"\x00not zlib", 4, baseline=baseline)
+
+    def test_inflation_bomb_rejected(self):
+        """A payload decompressing past the promised size must raise
+        before allocating, not hand back a silently-wrong vector."""
+        codec = DeltaCodec()
+        baseline = np.zeros(4)
+        bomb = zlib.compress(b"\x00" * 10_000)
+        with pytest.raises(CodecError, match="inflates past"):
+            codec.decode(bomb, 4, baseline=baseline)
+
+    def test_short_payload_rejected(self):
+        codec = DeltaCodec()
+        baseline = np.zeros(100)
+        short = zlib.compress(b"\x00" * 8)  # one word, 100 promised
+        with pytest.raises(CodecError, match="inflated to"):
+            codec.decode(short, 100, baseline=baseline)
+
+    def test_empty_vector(self):
+        codec = DeltaCodec()
+        empty = np.empty(0, dtype=np.float64)
+        back = codec.decode(
+            codec.encode(empty, baseline=empty), 0, baseline=empty
+        )
+        assert back.size == 0
+
+
+class TestQuantizedCodec:
+    def test_within_float16_tolerance(self):
+        codec = QuantizedCodec()
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(10_000)
+        back = codec.decode(codec.encode(values), values.size)
+        # float16 keeps ~3 decimal digits; relative error < 2^-10.
+        np.testing.assert_allclose(back, values, rtol=1e-3, atol=1e-6)
+
+    def test_quarter_the_bytes(self):
+        codec = QuantizedCodec()
+        values = np.zeros(1000)
+        assert len(codec.encode(values)) == values.size * 2
+
+    def test_size_mismatch_raises(self):
+        codec = QuantizedCodec()
+        blob = codec.encode(np.zeros(8))
+        with pytest.raises(CodecError):
+            codec.decode(blob, 9)
+        with pytest.raises(CodecError, match="float16"):
+            codec.decode(blob[:-1], 8)
+
+    def test_no_baseline_needed(self):
+        assert not QuantizedCodec().requires_baseline
+
+
+class TestShapeValidation:
+    @pytest.mark.parametrize("name", ["raw", "delta", "quantized"])
+    def test_non_1d_rejected(self, name):
+        codec = get_codec(name)
+        with pytest.raises(ValueError, match="1-D"):
+            codec.encode(
+                np.zeros((2, 2)),
+                baseline=np.zeros(4) if codec.requires_baseline else None,
+            )

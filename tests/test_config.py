@@ -46,6 +46,13 @@ class TestValidation:
         with pytest.raises(ValueError):
             TrainingConfig(**kwargs)
 
+    def test_codec_validated_against_registry(self):
+        assert TrainingConfig().codec == "raw"
+        assert TrainingConfig(codec="delta").codec == "delta"
+        assert TrainingConfig(codec="quantized").codec == "quantized"
+        with pytest.raises(ValueError, match="codec"):
+            TrainingConfig(codec="zstd")
+
 
 class TestSchedule:
     def test_lr_at(self):
