@@ -46,6 +46,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import telemetry  # noqa: E402
 from repro.codec import get_codec  # noqa: E402
 from repro.config import TrainingConfig  # noqa: E402
 from repro.execution import TrainRequest, create_executor  # noqa: E402
@@ -98,6 +99,10 @@ def bench_backend(
             if backend == "distributed"
             else 0
         )
+        # The measured window is read back from the telemetry
+        # executor.train_cohort spans (the same spans a --trace-out
+        # trace records), with a stopwatch fallback for telemetry-off.
+        telemetry.clear_spans()
         start = time.perf_counter()
         for r in range(rounds):
             updates = executor.train_cohort(
@@ -108,6 +113,11 @@ def bench_backend(
                 [float(u.num_samples) for u in updates],
             )
         elapsed = time.perf_counter() - start
+        if telemetry.enabled():
+            elapsed = sum(
+                s.duration
+                for s in telemetry.span_records("executor.train_cohort")
+            )
         if backend == "distributed":
             total = executor.bytes_sent + executor.bytes_received
             wire = {
@@ -164,8 +174,25 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", default="BENCH_distributed_loopback.json",
         help="machine-readable output ('' disables)",
     )
+    ap.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write a JSONL telemetry trace of the benchmark runs",
+    )
     args = ap.parse_args(argv)
     training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
+
+    config = {
+        "clients": args.clients,
+        "samples_per_client": args.samples_per_client,
+        "rounds": args.rounds,
+        "warmup_rounds": args.warmup_rounds,
+        "workers": args.workers,
+        "seed": args.seed,
+    }
+    meta = telemetry.run_metadata(config=config)
+    # Bench timings are read from executor.train_cohort spans, so the
+    # numbers reported here are the ones the trace records.
+    telemetry.configure(enabled=True, trace_path=args.trace_out, meta=meta)
 
     print(
         f"distributed loopback: {args.clients} clients x "
@@ -283,14 +310,8 @@ def main(argv=None) -> int:
     if args.json:
         payload = {
             "benchmark": "distributed_loopback",
-            "config": {
-                "clients": args.clients,
-                "samples_per_client": args.samples_per_client,
-                "rounds": args.rounds,
-                "warmup_rounds": args.warmup_rounds,
-                "workers": args.workers,
-                "seed": args.seed,
-            },
+            "meta": meta,
+            "config": config,
             "bit_identical_lossless": identical,
             "runs": {
                 label: {
@@ -316,6 +337,11 @@ def main(argv=None) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
+
+    telemetry.flush()
+    telemetry.shutdown()
+    if args.trace_out:
+        print(f"wrote trace {args.trace_out}")
 
     return 0 if identical else 1
 

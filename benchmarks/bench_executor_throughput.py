@@ -171,16 +171,20 @@ def main(argv=None) -> int:
         print(f"  {backend:8s} {secs:10.3f} {base / secs:8.2f}x")
 
     if args.json:
+        from repro import telemetry
+
+        config = {
+            "clients": args.clients,
+            "samples_per_client": args.samples_per_client,
+            "rounds": args.rounds,
+            "workers": args.workers,
+            "seed": args.seed,
+            "cores": cores,
+        }
         payload = {
             "benchmark": "executor_throughput",
-            "config": {
-                "clients": args.clients,
-                "samples_per_client": args.samples_per_client,
-                "rounds": args.rounds,
-                "workers": args.workers,
-                "seed": args.seed,
-                "cores": cores,
-            },
+            "meta": telemetry.run_metadata(config=config),
+            "config": config,
             "bit_identical": identical,
             "backends": {
                 backend: {

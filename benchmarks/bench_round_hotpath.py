@@ -50,6 +50,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import telemetry  # noqa: E402
 from repro.codec import CODEC_NAMES, get_codec  # noqa: E402
 from repro.config import TrainingConfig  # noqa: E402
 from repro.execution import EvalRequest, TrainRequest, create_executor  # noqa: E402
@@ -62,8 +63,19 @@ sys.path.insert(0, os.path.dirname(__file__))
 from bench_executor_throughput import build_federation  # noqa: E402
 
 
+def _span_total(name):
+    """Summed duration of every recorded span called ``name``."""
+    return sum(s.duration for s in telemetry.span_records(name))
+
+
 def bench_backend(backend, workers, clients, model, training, rounds):
-    """Time train and eval rounds; returns (train_s, eval_s, weights, accs)."""
+    """Time train and eval rounds; returns (train_s, eval_s, weights, accs).
+
+    Timings are read from the telemetry ``executor.train_cohort`` /
+    ``executor.eval_cohort`` spans (cleared between phases), so the
+    benchmark reports exactly what a ``--trace-out`` trace would show
+    for the same cohorts.
+    """
     pool = {c.client_id: c for c in clients}
     global_weights = model.get_flat_weights()
     train_requests = [
@@ -76,19 +88,19 @@ def bench_backend(backend, workers, clients, model, training, rounds):
         executor.bind(pool, model, training)
         # Warm-up outside the timer: spawns workers / builds replicas.
         executor.train_cohort(0, train_requests[:1], global_weights)
-        start = time.perf_counter()
+        telemetry.clear_spans()
         for r in range(rounds):
             updates = executor.train_cohort(r + 1, train_requests, global_weights)
             global_weights = fedavg(
                 [u.flat_weights for u in updates],
                 [float(u.num_samples) for u in updates],
             )
-        train_elapsed = time.perf_counter() - start
+        train_elapsed = _span_total("executor.train_cohort")
 
-        start = time.perf_counter()
+        telemetry.clear_spans()
         for _ in range(rounds):
             accs = executor.evaluate_cohort(eval_requests, global_weights)
-        eval_elapsed = time.perf_counter() - start
+        eval_elapsed = _span_total("executor.eval_cohort")
     return train_elapsed / rounds, eval_elapsed / rounds, global_weights, accs
 
 
@@ -231,6 +243,9 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
     training = TrainingConfig(optimizer="rmsprop", lr=0.01, batch_size=10)
+    # Span collection on for the whole benchmark: every timing below is
+    # read from telemetry spans, not private stopwatches.
+    telemetry.configure(enabled=True)
 
     cores = (
         len(os.sched_getaffinity(0))
@@ -330,16 +345,18 @@ def main(argv=None) -> int:
             f"{'bit-identical' if res['bit_identical'] else 'DIVERGED'}"
         )
 
+    config = {
+        "clients": args.clients,
+        "samples_per_client": args.samples_per_client,
+        "rounds": args.rounds,
+        "workers": args.workers,
+        "seed": args.seed,
+        "cores": cores,
+    }
     payload = {
         "benchmark": "round_hotpath",
-        "config": {
-            "clients": args.clients,
-            "samples_per_client": args.samples_per_client,
-            "rounds": args.rounds,
-            "workers": args.workers,
-            "seed": args.seed,
-            "cores": cores,
-        },
+        "meta": telemetry.run_metadata(config=config),
+        "config": config,
         "bit_identical": identical,
         "backends": {
             backend: {

@@ -5,13 +5,17 @@ history" loop, used by ``bench_round_hotpath.py`` (in-process backends)
 and ``bench_distributed_loopback.py --pipeline`` (real TCP workers), so
 the two bit-identity gates can never drift apart.  Callers must have put
 ``src`` and this directory on ``sys.path`` (every benchmark does).
+
+Timings come from the :mod:`repro.telemetry` ``fl.run`` span rather
+than a private stopwatch, so the number a benchmark reports is the same
+number a ``--trace-out`` trace of the run would show.
 """
 
 from __future__ import annotations
 
-import time
-
 from bench_executor_throughput import MNIST_SHAPE, NUM_CLASSES, build_federation
+
+from repro import telemetry
 
 
 def fingerprint(history):
@@ -66,6 +70,9 @@ def run_fl_rounds(
     protos = class_prototypes(spec, rng=seed)
     x, y = generate_synthetic(spec, 1024, rng=seed + 9999, prototypes=protos)
     executor, cleanup = make_executor()
+    was_enabled = telemetry.enabled()
+    if not was_enabled:
+        telemetry.configure(enabled=True)
     try:
         with FLServer(
             clients=clients,
@@ -78,9 +85,12 @@ def run_fl_rounds(
             pipeline=pipeline,
         ) as server:
             server.run_round(0)  # warm-up: workers spawn outside the timer
-            start = time.perf_counter()
+            telemetry.clear_spans()
             server.run(rounds, start_round=1)
-            elapsed = time.perf_counter() - start
+            # The fl.run span covers exactly the measured server.run call.
+            elapsed = telemetry.span_records("fl.run")[-1].duration
             return elapsed / rounds, fingerprint(server.history)
     finally:
         cleanup()
+        if not was_enabled:
+            telemetry.shutdown()

@@ -7,6 +7,7 @@ Commands
 ``estimate`` profile a scenario and print Eq. 6 predictions per policy
 ``privacy``  print the Sec. 4.6 amplification table for a pool/cohort
 ``worker``   join a distributed coordinator as a training agent
+``report``   summarize a ``--trace-out`` JSONL trace file
 
 Examples::
 
@@ -45,6 +46,17 @@ harmless when the coordinator has resume disabled::
         --connect 0.0.0.0:7777 --reconnect-grace 30 --rounds 60
     python -m repro.cli worker --connect coord-host:7777 \\
         --reconnect-grace 30
+
+Observability (see :mod:`repro.telemetry`): ``--trace-out`` records a
+schema-versioned JSONL trace of every phase span, executor timing
+histogram and wire counter the run produced -- tracing is off by
+default and, being clock-only, never perturbs training results.
+``--log-level`` tunes the shared ``repro`` logger.  ``report``
+summarizes a recorded trace (per-phase p50/p95, bytes per round by
+frame type, worker utilization)::
+
+    python -m repro.cli run --rounds 20 --trace-out trace.jsonl
+    python -m repro.cli report trace.jsonl
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.codec import CODEC_NAMES
 from repro.execution import EXECUTOR_BACKENDS
 from repro.experiments import (
@@ -98,6 +111,16 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--test-size", type=int, default=400)
     p.add_argument("--model", default="linear")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--log-level", default="info",
+                   choices=["debug", "info", "warning", "error", "critical"],
+                   help="threshold for the shared repro logger")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record a schema-versioned JSONL telemetry trace "
+                        "of the run (phase spans, executor timings, wire "
+                        "counters); summarize it with `repro.cli report`")
 
 
 def _add_executor_args(p: argparse.ArgumentParser) -> None:
@@ -176,13 +199,36 @@ def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
     return cfg
 
 
+def _start_tracing(args: argparse.Namespace, cfg: ScenarioConfig) -> bool:
+    """Enable telemetry with a trace file when ``--trace-out`` was given."""
+    if getattr(args, "trace_out", None) is None:
+        return False
+    telemetry.configure(
+        enabled=True,
+        trace_path=args.trace_out,
+        meta=telemetry.run_metadata(config=cfg),
+    )
+    return True
+
+
+def _finish_tracing(args: argparse.Namespace) -> None:
+    telemetry.flush()
+    telemetry.shutdown()
+    print(f"[telemetry] trace written to {args.trace_out}", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _scenario_config(args)
-    result = run_policy(
-        cfg, args.policy, rounds=args.rounds, seed=args.seed,
-        executor=_make_executor(args), workers=args.workers,
-        pipeline=True if args.pipeline else None,
-    )
+    tracing = _start_tracing(args, cfg)
+    try:
+        result = run_policy(
+            cfg, args.policy, rounds=args.rounds, seed=args.seed,
+            executor=_make_executor(args), workers=args.workers,
+            pipeline=True if args.pipeline else None,
+        )
+    finally:
+        if tracing:
+            _finish_tracing(args)
     print(result.history.summary())
     if result.tier_latencies is not None:
         print("tier latencies [s]:", np.round(result.tier_latencies, 3).tolist())
@@ -204,11 +250,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
         return 2
     cfg = _scenario_config(args)
-    results = run_policies(
-        cfg, args.policies, rounds=args.rounds, seed=args.seed,
-        repeats=args.repeats, executor=args.executor, workers=args.workers,
-        pipeline=True if args.pipeline else None,
-    )
+    tracing = _start_tracing(args, cfg)
+    try:
+        results = run_policies(
+            cfg, args.policies, rounds=args.rounds, seed=args.seed,
+            repeats=args.repeats, executor=args.executor,
+            workers=args.workers,
+            pipeline=True if args.pipeline else None,
+        )
+    finally:
+        if tracing:
+            _finish_tracing(args)
     times = {
         p: float(np.mean([r.total_time for r in runs]))
         for p, runs in results.items()
@@ -284,6 +336,13 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return agent.run()
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import report_main
+
+    print(report_main(args.trace, validate_only=args.validate))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="TiFL reproduction command line"
@@ -293,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="train one policy")
     _add_scenario_args(p_run)
     _add_executor_args(p_run)
+    _add_observability_args(p_run)
     p_run.add_argument("--policy", default="adaptive")
     p_run.add_argument("--rounds", type=int, default=60)
     p_run.set_defaults(func=cmd_run)
@@ -300,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="train several policies")
     _add_scenario_args(p_cmp)
     _add_executor_args(p_cmp)
+    _add_observability_args(p_cmp)
     p_cmp.add_argument("--policies", nargs="+",
                        default=["vanilla", "uniform", "adaptive"])
     p_cmp.add_argument("--rounds", type=int, default=60)
@@ -336,13 +397,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-dialling the coordinator for this long and "
                             "resume the session with its token (0 disables "
                             "reconnection)")
+    p_wrk.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error",
+                                "critical"],
+                       help="threshold for the shared repro logger")
     p_wrk.set_defaults(func=cmd_worker)
+
+    p_rep = sub.add_parser(
+        "report", help="summarize a --trace-out JSONL telemetry trace"
+    )
+    p_rep.add_argument("trace", help="path to a trace.jsonl file")
+    p_rep.add_argument("--validate", action="store_true",
+                       help="only validate the trace against the schema "
+                            "(exit 0 on a valid file)")
+    p_rep.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "log_level"):
+        from repro.telemetry.log import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)
 
 

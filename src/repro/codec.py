@@ -47,6 +47,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "flat_weights_to_bytes",
     "flat_weights_from_bytes",
@@ -367,22 +369,28 @@ def register_codec(codec: WeightCodec) -> WeightCodec:
 def get_codec(name: str) -> WeightCodec:
     """Look a codec up by name; raises ``ValueError`` for unknown names."""
     try:
-        return _BY_NAME[name]
+        codec = _BY_NAME[name]
     except KeyError:
         raise ValueError(
             f"unknown weight codec {name!r}; registered: {codec_names()}"
         ) from None
+    if telemetry.enabled():
+        telemetry.count("codec.registry_lookups", 1, codec=codec.name)
+    return codec
 
 
 def codec_for_id(codec_id: int) -> WeightCodec:
     """Look a codec up by its wire id; raises ``ValueError`` when unknown."""
     try:
-        return _BY_ID[int(codec_id)]
+        codec = _BY_ID[int(codec_id)]
     except KeyError:
         raise ValueError(
             f"unknown weight codec id {codec_id}; registered ids: "
             f"{sorted(_BY_ID)}"
         ) from None
+    if telemetry.enabled():
+        telemetry.count("codec.registry_lookups", 1, codec=codec.name)
+    return codec
 
 
 def codec_names() -> Tuple[str, ...]:

@@ -50,6 +50,18 @@
 * **Liveness.**  The coordinator PINGs quiet workers while waiting;
   workers answer PONG from a dedicated thread even mid-training, so
   only a truly hung or killed process trips the heartbeat limit.
+* **Telemetry (v5).**  When :mod:`repro.telemetry` is enabled the
+  coordinator records cohort spans (``executor.train_cohort`` etc. with
+  ``backend="distributed"``), codec encode/decode histograms, heartbeat
+  round-trip times, and worker lifecycle counters
+  (``distributed.worker_lost/resumed/retired``).  Per-frame-type wire
+  tallies come free from :class:`~repro.distributed.transport.Connection`
+  and are folded into ``wire.*`` counters at :meth:`close`; each worker
+  additionally ships a compact summary on the v5 TELEMETRY frame
+  (between SHUTDOWN and BYE), exposed via :attr:`worker_summaries` and
+  turned into ``distributed.worker.busy_s`` gauges.  All of it is
+  observational: with telemetry disabled no extra clock reads or
+  branches touch the dispatch path.
 * **Pipelined evaluation (v3).**  Training results (UPDATE / TRAINFAIL)
   and evaluation results (EVAL_RESULT / EVAL_MODEL_RESULT) are routed to
   *separate* event queues by the per-worker reader threads, so an async
@@ -74,6 +86,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.codec import get_codec
 from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
@@ -123,6 +136,11 @@ class _WorkerHandle:
         self.token = secrets.token_hex(16)
         self.last_seen = time.monotonic()
         self.reader: Optional[threading.Thread] = None
+        #: When the last unanswered PING left (monotonic); the PONG turns
+        #: it into one ``distributed.heartbeat_rtt_s`` observation.
+        self.ping_sent_at: Optional[float] = None
+        #: The worker's TELEMETRY summary (arrives during shutdown).
+        self.summary: Optional[Dict[str, object]] = None
         # Serialises baseline-cache mutation with the frame send/decode
         # that must agree with it (train and eval drivers share a handle).
         self.lock = threading.Lock()
@@ -243,6 +261,14 @@ class DistributedExecutor(ClientExecutor):
         self._num_params = 0
         self._closed_bytes_sent = 0
         self._closed_bytes_received = 0
+        # Per-frame-type tallies folded from closed connections, keyed
+        # by the type byte (live connections are summed on read).
+        self._closed_frames_sent: Dict[int, int] = {}
+        self._closed_frames_received: Dict[int, int] = {}
+        self._closed_bytes_sent_by_type: Dict[int, int] = {}
+        self._closed_bytes_received_by_type: Dict[int, int] = {}
+        # worker_id -> the summary its TELEMETRY frame carried.
+        self._worker_summaries: Dict[int, Dict[str, object]] = {}
         self._eval_shipped = False
         self._accept_thread: Optional[threading.Thread] = None
         # Serialises seq allocation across concurrent train/eval drivers.
@@ -309,6 +335,40 @@ class DistributedExecutor(ClientExecutor):
         return self._closed_bytes_received + sum(
             h.conn.bytes_received for h in self._handles.values() if h.alive
         )
+
+    def _by_type(self, closed: Dict[int, int], attr: str) -> Dict[int, int]:
+        """Closed-connection tallies plus every live connection's."""
+        total = dict(closed)
+        for h in self._handles.values():
+            if h.alive:
+                for key, value in getattr(h.conn, attr).items():
+                    total[key] = total.get(key, 0) + value
+        return total
+
+    @property
+    def frames_sent_by_type(self) -> Dict[int, int]:
+        return self._by_type(self._closed_frames_sent, "frames_sent")
+
+    @property
+    def frames_received_by_type(self) -> Dict[int, int]:
+        return self._by_type(self._closed_frames_received, "frames_received")
+
+    @property
+    def bytes_sent_by_type(self) -> Dict[int, int]:
+        return self._by_type(
+            self._closed_bytes_sent_by_type, "bytes_sent_by_type"
+        )
+
+    @property
+    def bytes_received_by_type(self) -> Dict[int, int]:
+        return self._by_type(
+            self._closed_bytes_received_by_type, "bytes_received_by_type"
+        )
+
+    @property
+    def worker_summaries(self) -> Dict[int, Dict[str, object]]:
+        """Per-worker TELEMETRY summaries (populated during close())."""
+        return dict(self._worker_summaries)
 
     # ------------------------------------------------------------------
     # registration + resume handshakes
@@ -542,6 +602,7 @@ class DistributedExecutor(ClientExecutor):
                 name=f"repro-dist-reader-{wid}.{handle.gen}",
             )
             handle.reader.start()
+        telemetry.count("distributed.worker_resumed", 1)
         self._events.put((wid, _EVT_RESUMED, None))
         self._eval_events.put((wid, _EVT_RESUMED, None))
 
@@ -649,6 +710,22 @@ class DistributedExecutor(ClientExecutor):
                 return
             handle.last_seen = time.monotonic()
             if msg_type == proto.MsgType.PONG:
+                sent_at = handle.ping_sent_at
+                if sent_at is not None:
+                    handle.ping_sent_at = None
+                    telemetry.observe(
+                        "distributed.heartbeat_rtt_s",
+                        time.monotonic() - sent_at,
+                        worker=handle.id,
+                    )
+                continue
+            if msg_type == proto.MsgType.TELEMETRY:
+                try:
+                    wid, summary = proto.decode_telemetry(payload)
+                except proto.ProtocolError:
+                    continue  # observability only: never fail a shutdown
+                handle.summary = summary
+                self._worker_summaries[wid] = summary
                 continue
             if msg_type in (
                 proto.MsgType.EVAL_RESULT, proto.MsgType.EVAL_MODEL_RESULT,
@@ -692,9 +769,21 @@ class DistributedExecutor(ClientExecutor):
 
     def _fold_and_close(self, handle: _WorkerHandle) -> None:
         """Fold a connection's byte counters into the totals and close it."""
-        self._closed_bytes_sent += handle.conn.bytes_sent
-        self._closed_bytes_received += handle.conn.bytes_received
-        handle.conn.close()
+        conn = handle.conn
+        self._closed_bytes_sent += conn.bytes_sent
+        self._closed_bytes_received += conn.bytes_received
+        for closed, live in (
+            (self._closed_frames_sent, conn.frames_sent),
+            (self._closed_frames_received, conn.frames_received),
+            (self._closed_bytes_sent_by_type, conn.bytes_sent_by_type),
+            (
+                self._closed_bytes_received_by_type,
+                conn.bytes_received_by_type,
+            ),
+        ):
+            for key, value in live.items():
+                closed[key] = closed.get(key, 0) + value
+        conn.close()
 
     def _retire(self, wid: int) -> None:
         handle = self._handles[wid]
@@ -735,6 +824,7 @@ class DistributedExecutor(ClientExecutor):
             self._fold_and_close(handle)
             handle.state = "lost"
             handle.lost_at = time.monotonic()
+            telemetry.count("distributed.worker_lost", 1)
             return True
 
     def _retire_and_reassign(self, wid: int, reason: str) -> None:
@@ -753,6 +843,9 @@ class DistributedExecutor(ClientExecutor):
             if handle is None or handle.state == "retired":
                 return
             self._retire(wid)
+            # Counted here, not in _retire: close() retires every handle
+            # on a normal shutdown, which is not a failure.
+            telemetry.count("distributed.worker_retired", 1)
             survivors = self._reassign_candidates()
             if not survivors:
                 raise ExecutorError(
@@ -828,13 +921,17 @@ class DistributedExecutor(ClientExecutor):
                 baseline = handle.baselines[baseline_seq]
             else:
                 use = get_codec("raw")
-        handle.conn.send(
-            proto.MsgType.BROADCAST,
-            proto.encode_broadcast(
-                seq, weights, codec=use, baseline=baseline,
-                baseline_seq=baseline_seq,
-            ),
+        collect = telemetry.enabled()
+        t0 = time.perf_counter() if collect else 0.0
+        frame = proto.encode_broadcast(
+            seq, weights, codec=use, baseline=baseline,
+            baseline_seq=baseline_seq,
         )
+        if collect:
+            telemetry.observe(
+                "codec.encode_s", time.perf_counter() - t0, codec=use.name
+            )
+        handle.conn.send(proto.MsgType.BROADCAST, frame)
         if codec.requires_baseline:
             handle.baselines[seq] = np.array(
                 weights, dtype=np.float64, copy=True
@@ -1029,6 +1126,7 @@ class DistributedExecutor(ClientExecutor):
                 gen = handle.gen
                 try:
                     handle.conn.send(proto.MsgType.PING)
+                    handle.ping_sent_at = time.monotonic()
                 except OSError as exc:
                     if not self._grace_lost(wid, gen):
                         dead.append((wid, f"ping failed: {exc}"))
@@ -1042,13 +1140,22 @@ class DistributedExecutor(ClientExecutor):
         be gone) or fatally malformed (the worker is then retired).
         """
         handle = self._handles[wid]
+        collect = telemetry.enabled()
         try:
+            t0 = time.perf_counter() if collect else 0.0
             with handle.lock:
-                return proto.decode_update(
+                decoded = proto.decode_update(
                     payload,
                     baselines=handle.baselines,
                     expected_size=self._num_params,
                 )
+            if collect:
+                telemetry.observe(
+                    "codec.decode_s",
+                    time.perf_counter() - t0,
+                    codec=self.codec.name,
+                )
+            return decoded
         except proto.ProtocolError as exc:
             try:
                 stale = proto.update_seq(payload) != state.seq
@@ -1076,6 +1183,23 @@ class DistributedExecutor(ClientExecutor):
         if not requests:
             return []
         self._ensure_started()
+        with telemetry.span(
+            "executor.train_cohort",
+            backend=self.name,
+            round=round_idx,
+            clients=len(requests),
+        ):
+            return self._train_cohort_started(
+                round_idx, requests, global_weights, latencies
+            )
+
+    def _train_cohort_started(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]],
+    ) -> List[ClientUpdate]:
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
@@ -1197,6 +1321,16 @@ class DistributedExecutor(ClientExecutor):
         if not requests:
             return {}
         self._ensure_started()
+        with telemetry.span(
+            "executor.eval_cohort", backend=self.name, clients=len(requests)
+        ):
+            return self._evaluate_cohort_started(requests, flat_weights)
+
+    def _evaluate_cohort_started(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
@@ -1303,6 +1437,21 @@ class DistributedExecutor(ClientExecutor):
         bounds = eval_shard_bounds(n, len(live))
         if bounds is None:
             return super().evaluate_model(flat_weights, x, y)
+        with telemetry.span(
+            "executor.eval_model",
+            backend=self.name,
+            samples=n,
+            shards=len(bounds),
+        ):
+            return self._evaluate_model_sharded(flat_weights, live, bounds, n)
+
+    def _evaluate_model_sharded(
+        self,
+        flat_weights: np.ndarray,
+        live: List[int],
+        bounds: List[Tuple[int, int]],
+        n: int,
+    ) -> float:
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
@@ -1387,6 +1536,30 @@ class DistributedExecutor(ClientExecutor):
         return float(correct / n)
 
     # ------------------------------------------------------------------
+    def _emit_wire_metrics(self) -> None:
+        """Flush per-frame-type wire tallies and worker-busy gauges into
+        the telemetry registry (called once, at close, when every
+        connection's counters have been folded)."""
+        tables = (
+            ("wire.frames_sent", self.frames_sent_by_type),
+            ("wire.frames_received", self.frames_received_by_type),
+            ("wire.bytes_sent", self.bytes_sent_by_type),
+            ("wire.bytes_received", self.bytes_received_by_type),
+        )
+        for name, table in tables:
+            for key, value in table.items():
+                try:
+                    label = proto.MsgType(key).name
+                except ValueError:
+                    label = str(key)
+                telemetry.count(name, value, msg_type=label)
+        for wid, summary in sorted(self._worker_summaries.items()):
+            busy = summary.get("busy_s")
+            if isinstance(busy, (int, float)):
+                telemetry.gauge(
+                    "distributed.worker.busy_s", worker=wid
+                ).set(float(busy))
+
     def close(self) -> None:
         if self._closed:
             return
@@ -1409,6 +1582,8 @@ class DistributedExecutor(ClientExecutor):
                 waiting.discard(wid)
         for handle in self._handles.values():
             self._retire(handle.id)
+        if telemetry.enabled():
+            self._emit_wire_metrics()
         for handle in self._handles.values():
             if handle.reader is not None:
                 handle.reader.join(timeout=2.0)

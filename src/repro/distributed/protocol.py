@@ -36,7 +36,8 @@ The conversation:
       |<-- PING -----------------------------|   liveness (answered by a
       | -- PONG ---------------------------->|   dedicated worker thread)
       |<-- SHUTDOWN -------------------------|   clean teardown
-      | -- BYE ----------------------------->|
+      | -- TELEMETRY {worker_id, summary} -->|   compact per-worker metrics
+      | -- BYE ----------------------------->|   summary, then goodbye (v5)
 
 Versioning and safety checks:
 
@@ -88,6 +89,33 @@ Version history (every entry is a wire-incompatible break: it bumps
     reconnect) and re-dispatches the round's outstanding jobs, instead
     of permanently retiring the worker.  Expired or unknown resume
     attempts are REJECTed and fall back to the v3 retire path.
+* **v4 -> v5**: added the TELEMETRY frame -- observability joined the
+  wire contract.  The frame-by-frame obligations:
+
+  ============  =====================================================
+  frame         v5 contract
+  ============  =====================================================
+  TELEMETRY     worker -> coordinator, JSON ``{worker_id, summary}``.
+                Sent exactly once, after SHUTDOWN is received and
+                *before* BYE, so the coordinator's close() -- which
+                already waits for BYE -- collects every summary
+                without a new synchronization point.  ``summary`` is
+                a flat JSON object of counters/durations the worker
+                accumulated (frames and bytes by type, train/eval
+                requests served, codec encode/decode seconds, busy
+                seconds, reconnects); unknown keys must be preserved
+                by the coordinator, so the summary can grow without
+                another version bump.
+  SHUTDOWN      unchanged on the wire; now additionally promises the
+                coordinator will keep reading until BYE (it always
+                did), which is what makes the TELEMETRY reply safe.
+  all others    byte-identical to v4.
+  ============  =====================================================
+
+  A v4 worker never sends TELEMETRY and a v4 coordinator would treat
+  it as an unknown frame mid-teardown, so the handshake REJECTs the
+  mismatch with the established stale-worker message ("worker speaks
+  v4, coordinator requires v5").
 
 Control messages are JSON (small, debuggable); client shipping uses
 pickle (the payload *is* Python objects: datasets, RNG streams); weight
@@ -148,6 +176,8 @@ __all__ = [
     "decode_eval_model",
     "encode_eval_model_result",
     "decode_eval_model_result",
+    "encode_telemetry",
+    "decode_telemetry",
 ]
 
 #: Bump on any wire-incompatible change; checked in the handshake.
@@ -156,9 +186,10 @@ __all__ = [
 #: multi-broadcast retention for round pipelining; v4 added codec id +
 #: baseline seq to the BROADCAST/UPDATE headers (pluggable raw / delta /
 #: quantized weight transport) and session tokens for worker
-#: reconnect-and-resume.  Older peers are REJECTed at the handshake with
-#: a reason naming both versions.
-PROTOCOL_VERSION = 4
+#: reconnect-and-resume; v5 added the worker's end-of-session TELEMETRY
+#: summary frame.  Older peers are REJECTed at the handshake with a
+#: reason naming both versions.
+PROTOCOL_VERSION = 5
 
 #: Hard cap on the parameter count a BROADCAST/UPDATE header may claim.
 #: Guards the decode path the same way the transport's frame-payload
@@ -188,6 +219,7 @@ class MsgType(IntEnum):
     BIND_EVAL = 15
     EVAL_MODEL = 16
     EVAL_MODEL_RESULT = 17
+    TELEMETRY = 18
 
 
 class ProtocolError(RuntimeError):
@@ -469,6 +501,34 @@ def decode_eval_model_result(
         None if correct is None else int(correct),
         None if error is None else str(error),
     )
+
+
+# ----------------------------------------------------------------------
+# TELEMETRY: the worker's end-of-session metrics summary (v5)
+# ----------------------------------------------------------------------
+def encode_telemetry(worker_id: int, summary: Mapping[str, Any]) -> bytes:
+    """The worker's compact telemetry summary, sent once before BYE.
+
+    ``summary`` is a flat JSON object (frames/bytes by type, requests
+    served, codec seconds, busy seconds, reconnects -- see
+    ``repro.distributed.worker``); coordinators must preserve keys they
+    do not recognise, so the summary can grow without a version bump.
+    """
+    if not isinstance(summary, Mapping):
+        raise ValueError(
+            f"telemetry summary must be a mapping, got {type(summary).__name__}"
+        )
+    return json.dumps(
+        {"worker_id": int(worker_id), "summary": dict(summary)}
+    ).encode("utf-8")
+
+
+def decode_telemetry(payload: bytes) -> Tuple[int, Dict[str, Any]]:
+    obj = _decode_json(payload, ("worker_id", "summary"), "TELEMETRY")
+    summary = obj["summary"]
+    if not isinstance(summary, dict):
+        raise ProtocolError("TELEMETRY summary must be a JSON object")
+    return int(obj["worker_id"]), summary
 
 
 # ----------------------------------------------------------------------

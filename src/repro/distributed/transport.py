@@ -15,9 +15,12 @@ directly property-tested without any sockets involved.
 
 :class:`Connection` wraps a connected socket with thread-safe frame
 sends (the worker's heartbeat-responder thread and its training loop
-share one socket) and per-connection byte counters, which the
-coordinator aggregates into the bytes-on-wire numbers reported by
-``benchmarks/bench_distributed_loopback.py``.
+share one socket) and per-connection byte counters -- totals plus
+always-on per-frame-type frame and byte tallies (one dict update per
+frame, no telemetry branching on the hot path) -- which the coordinator
+aggregates into the bytes-on-wire numbers reported by
+``benchmarks/bench_distributed_loopback.py`` and into the telemetry
+``wire.*`` metrics.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from __future__ import annotations
 import socket
 import struct
 import threading
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "FRAME_HEADER",
@@ -144,14 +147,28 @@ class Connection:
         self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Always-on per-frame-type accounting, keyed by the type byte:
+        #: one dict update per frame.  ``bytes_*_by_type`` counts framed
+        #: bytes (header + payload); ``bytes_received`` above counts raw
+        #: socket reads, so it can momentarily run ahead of the per-type
+        #: sum while a frame is partially buffered.
+        self.frames_sent: Dict[int, int] = {}
+        self.frames_received: Dict[int, int] = {}
+        self.bytes_sent_by_type: Dict[int, int] = {}
+        self.bytes_received_by_type: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def send(self, msg_type: int, payload: bytes = b"") -> None:
         """Send one frame atomically (safe from multiple threads)."""
         frame = encode_frame(msg_type, payload)
+        key = int(msg_type)
         with self._send_lock:
             self._sock.sendall(frame)
             self.bytes_sent += len(frame)
+            self.frames_sent[key] = self.frames_sent.get(key, 0) + 1
+            self.bytes_sent_by_type[key] = (
+                self.bytes_sent_by_type.get(key, 0) + len(frame)
+            )
 
     def recv(self, timeout: Optional[float] = None) -> Tuple[int, bytes]:
         """Receive the next frame.
@@ -165,7 +182,18 @@ class Connection:
             if not data:
                 raise ConnectionClosed("peer closed the connection")
             self.bytes_received += len(data)
-            self._ready.extend(self._decoder.feed(data))
+            completed = self._decoder.feed(data)
+            for msg_type, payload in completed:
+                key = int(msg_type)
+                self.frames_received[key] = (
+                    self.frames_received.get(key, 0) + 1
+                )
+                self.bytes_received_by_type[key] = (
+                    self.bytes_received_by_type.get(key, 0)
+                    + FRAME_HEADER.size
+                    + len(payload)
+                )
+            self._ready.extend(completed)
         return self._ready.pop(0)
 
     def frames(self) -> Iterator[Tuple[int, bytes]]:

@@ -32,6 +32,15 @@ codec named in their header (delta frames resolve against the retained
 BROADCAST cache), and UPDATEs are encoded with ``TrainingConfig.codec``
 -- for ``delta``, against the broadcast the client just trained from,
 which both peers hold by construction.
+
+Telemetry (v5): the agent keeps plain always-on counters (requests
+served, codec encode/decode seconds, busy seconds, reconnects) -- not
+the in-process telemetry registry, which belongs to the coordinator's
+process -- and ships them back as one compact TELEMETRY frame after
+SHUTDOWN, before BYE.  Log lines go through
+:func:`repro.telemetry.log.stream_logger`, so every line carries a
+timestamp and the session token that ties it to one coordinator
+incarnation.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
 from repro.execution.base import EVAL_BATCH
 from repro.nn.model import Sequential
+from repro.telemetry.log import stream_logger
 
 __all__ = ["WorkerAgent"]
 
@@ -125,6 +135,25 @@ class WorkerAgent:
         self.reconnect_grace = float(reconnect_grace)
         self.max_frame_payload = max_frame_payload
         self._log_stream = log if log is not None else sys.stderr
+        self._logger = stream_logger(
+            "repro.distributed.worker", self._log_stream
+        )
+        # Plain Python counters, deliberately not the telemetry registry:
+        # the agent is its own process, so registry state here would be
+        # invisible to the coordinator.  Shipped once as a TELEMETRY
+        # frame (after SHUTDOWN, before BYE) and folded into the
+        # coordinator's per-worker summaries.
+        self._stats: Dict[str, float] = {
+            "train_requests": 0,
+            "clients_trained": 0,
+            "eval_requests": 0,
+            "eval_model_requests": 0,
+            "broadcasts_received": 0,
+            "reconnects": 0,
+            "codec_encode_s": 0.0,
+            "codec_decode_s": 0.0,
+            "busy_s": 0.0,
+        }
 
         self.worker_id: Optional[int] = None
         self._session_token: Optional[str] = None
@@ -143,7 +172,8 @@ class WorkerAgent:
 
     def _log(self, msg: str) -> None:
         wid = "?" if self.worker_id is None else self.worker_id
-        print(f"[worker {wid}] {msg}", file=self._log_stream, flush=True)
+        token = self._session_token[:8] if self._session_token else "-"
+        self._logger.info("[worker %s session=%s] %s", wid, token, msg)
 
     # ------------------------------------------------------------------
     # connection + handshake
@@ -210,6 +240,7 @@ class WorkerAgent:
         self._expected_signature = welcome["model_signature"]
         self._expected_num_params = welcome["num_params"]
         if resume:
+            self._stats["reconnects"] += 1
             self._log("session resumed with coordinator")
         else:
             self._log(
@@ -258,7 +289,10 @@ class WorkerAgent:
         # The retained broadcasts double as the delta-codec baseline
         # cache; a re-broadcast of a seq (post-resume raw resync)
         # overwrites in place without disturbing retention order.
+        t0 = time.perf_counter()
         seq, weights = proto.decode_broadcast(payload, baselines=self._broadcasts)
+        self._stats["codec_decode_s"] += time.perf_counter() - t0
+        self._stats["broadcasts_received"] += 1
         self._broadcasts[seq] = weights
         while len(self._broadcasts) > BROADCAST_RETAIN:
             self._broadcasts.popitem(last=False)
@@ -298,6 +332,7 @@ class WorkerAgent:
         codec = get_codec(self._training.codec)
         baseline = global_flat if codec.requires_baseline else None
         baseline_seq = seq if codec.requires_baseline else 0
+        self._stats["train_requests"] += 1
         for client_id, epochs in jobs:
             try:
                 client = self._clients[client_id]
@@ -311,14 +346,15 @@ class WorkerAgent:
                 )
                 rng = getattr(client, "_train_rng", None)
                 state = rng.bit_generator.state if rng is not None else None
-                conn.send(
-                    proto.MsgType.UPDATE,
-                    proto.encode_update(
-                        seq, client_id, client.num_train_samples, state, w,
-                        codec=codec, baseline=baseline,
-                        baseline_seq=baseline_seq,
-                    ),
+                t0 = time.perf_counter()
+                frame = proto.encode_update(
+                    seq, client_id, client.num_train_samples, state, w,
+                    codec=codec, baseline=baseline,
+                    baseline_seq=baseline_seq,
                 )
+                self._stats["codec_encode_s"] += time.perf_counter() - t0
+                self._stats["clients_trained"] += 1
+                conn.send(proto.MsgType.UPDATE, frame)
             except Exception:
                 # Per-client guard mirrors the process backend: a plain
                 # training failure is reported and the worker lives on;
@@ -339,6 +375,7 @@ class WorkerAgent:
             raise proto.ProtocolError(
                 f"EVAL for clients {unknown} this worker does not own"
             )
+        self._stats["eval_requests"] += 1
         for client_id in client_ids:
             try:
                 acc = self._clients[client_id].evaluate(self._workspace, global_flat)
@@ -364,6 +401,7 @@ class WorkerAgent:
             raise proto.ProtocolError("EVAL_MODEL before BIND_EVAL")
         x, y = self._eval_data
         n = int(x.shape[0])
+        self._stats["eval_model_requests"] += 1
         for a, b in shards:
             if b > n:
                 raise proto.ProtocolError(
@@ -385,6 +423,38 @@ class WorkerAgent:
                         seq, a, b, None, traceback.format_exc()
                     ),
                 )
+
+    # ------------------------------------------------------------------
+    # telemetry summary
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _name_keyed(by_type: Dict[int, int]) -> Dict[str, int]:
+        """Re-key a per-frame-type tally from type bytes to frame names."""
+        out: Dict[str, int] = {}
+        for key, value in by_type.items():
+            try:
+                name = proto.MsgType(key).name
+            except ValueError:
+                name = str(key)
+            out[name] = value
+        return out
+
+    def _telemetry_summary(self, conn: Connection) -> Dict[str, object]:
+        """The compact per-worker summary shipped on the TELEMETRY frame.
+
+        Flat-ish JSON: plain request/time counters plus this
+        connection's per-frame-type wire tallies (keyed by frame name so
+        the report stays readable without a MsgType table at hand).
+        """
+        summary: Dict[str, object] = dict(self._stats)
+        summary["pid"] = os.getpid()
+        summary["frames_sent"] = self._name_keyed(conn.frames_sent)
+        summary["frames_received"] = self._name_keyed(conn.frames_received)
+        summary["bytes_sent"] = self._name_keyed(conn.bytes_sent_by_type)
+        summary["bytes_received"] = self._name_keyed(
+            conn.bytes_received_by_type
+        )
+        return summary
 
     # ------------------------------------------------------------------
     # main loop
@@ -474,9 +544,19 @@ class WorkerAgent:
             if msg_type is None:
                 return None
             if msg_type == proto.MsgType.SHUTDOWN:
+                # v5 contract: TELEMETRY exactly once, after SHUTDOWN and
+                # before BYE, so the coordinator's wait-for-BYE in
+                # close() collects it with no extra round trip.
+                conn.send(
+                    proto.MsgType.TELEMETRY,
+                    proto.encode_telemetry(
+                        self.worker_id or 0, self._telemetry_summary(conn)
+                    ),
+                )
                 conn.send(proto.MsgType.BYE)
                 self._log("shutdown requested; exiting cleanly")
                 return EXIT_OK
+            t0 = time.perf_counter()
             try:
                 if msg_type == proto.MsgType.ASSIGN:
                     self._handle_assign(payload)
@@ -501,3 +581,4 @@ class WorkerAgent:
                 except OSError:
                     pass
                 return EXIT_PROTOCOL_ERROR
+            self._stats["busy_s"] += time.perf_counter() - t0

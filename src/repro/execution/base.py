@@ -80,6 +80,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import TrainingConfig
 from repro.nn.model import Sequential
 from repro.simcluster.client import ClientUpdate, SimClient
@@ -321,8 +322,11 @@ class ClientExecutor:
         :meth:`bind_eval_data` (anything else never leaves the server).
         """
         self._require_bound()
-        self._model.set_flat_weights(flat_weights)
-        return self._model.evaluate(x, y)
+        with telemetry.span(
+            "executor.eval_model", backend=self.name, samples=int(x.shape[0])
+        ):
+            self._model.set_flat_weights(flat_weights)
+            return self._model.evaluate(x, y)
 
     # ------------------------------------------------------------------
     def bind_eval_data(self, x: np.ndarray, y: np.ndarray) -> None:

@@ -64,11 +64,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import threading
+import time
 import traceback
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import TrainingConfig
 from repro.execution.base import (
     EVAL_BATCH,
@@ -346,10 +348,24 @@ class ProcessExecutor(ClientExecutor):
         return w
 
     def _next_result(self, waited_box: List[float], result_q):
-        """One result-queue read with dead-worker and timeout checks."""
+        """One result-queue read with dead-worker and timeout checks.
+
+        With telemetry on, the blocking ``get`` is observed as this
+        backend's queue wait: how long the parent sat idle before a
+        worker produced the next result.
+        """
         poll = min(1.0, self.result_timeout)
+        collect = telemetry.enabled()
+        t0 = time.perf_counter() if collect else 0.0
         try:
-            return result_q.get(timeout=poll)
+            msg = result_q.get(timeout=poll)
+            if collect:
+                telemetry.observe(
+                    "executor.queue_wait_s",
+                    time.perf_counter() - t0,
+                    backend=self.name,
+                )
+            return msg
         except queue_mod.Empty:
             # Short poll interval so a dead worker (OOM-kill, factory
             # error escaping the per-client try) fails the round in
@@ -374,6 +390,23 @@ class ProcessExecutor(ClientExecutor):
         if not requests:
             return []
         self._ensure_started()
+        with telemetry.span(
+            "executor.train_cohort",
+            backend=self.name,
+            round=round_idx,
+            clients=len(requests),
+        ):
+            return self._train_cohort_started(
+                round_idx, requests, global_weights, latencies
+            )
+
+    def _train_cohort_started(
+        self,
+        round_idx: int,
+        requests: Sequence[TrainRequest],
+        global_weights: np.ndarray,
+        latencies: Optional[Mapping[int, float]] = None,
+    ) -> List[ClientUpdate]:
         per_worker: Dict[int, List[_Job]] = {}
         for req in requests:
             per_worker.setdefault(self._owner[req.client_id], []).append(
@@ -443,6 +476,16 @@ class ProcessExecutor(ClientExecutor):
         if not requests:
             return {}
         self._ensure_started()
+        with telemetry.span(
+            "executor.eval_cohort", backend=self.name, clients=len(requests)
+        ):
+            return self._evaluate_cohort_started(requests, flat_weights)
+
+    def _evaluate_cohort_started(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
         per_worker: Dict[int, List[int]] = {}
         for req in requests:
             per_worker.setdefault(self._owner[req.client_id], []).append(
@@ -502,6 +545,20 @@ class ProcessExecutor(ClientExecutor):
         bounds = eval_shard_bounds(n, len(self._procs))
         if bounds is None:
             return super().evaluate_model(flat_weights, x, y)
+        with telemetry.span(
+            "executor.eval_model",
+            backend=self.name,
+            samples=n,
+            shards=len(bounds),
+        ):
+            return self._evaluate_model_sharded(flat_weights, bounds, n)
+
+    def _evaluate_model_sharded(
+        self,
+        flat_weights: np.ndarray,
+        bounds: List[Tuple[int, int]],
+        n: int,
+    ) -> float:
         per_worker: Dict[int, List[Tuple[int, int]]] = {}
         for i, bd in enumerate(bounds):
             per_worker.setdefault(i % len(self._procs), []).append(bd)

@@ -8,10 +8,12 @@ the parallel backends are tested against.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.execution.base import (
     ClientExecutor,
     EvalRequest,
@@ -37,20 +39,36 @@ class SerialExecutor(ClientExecutor):
     ) -> List[ClientUpdate]:
         clients = self._check_requests(requests)
         factory = self._training.optimizer_factory(round_idx)
+        collect = telemetry.enabled()
         updates: List[ClientUpdate] = []
-        for req in requests:
-            client = clients[req.client_id]
-            w = client.train(
-                self._model,
-                global_weights,
-                factory,
-                batch_size=self._training.batch_size,
-                epochs=req.epochs,
-                prox_mu=self._training.prox_mu,
-            )
-            updates.append(
-                self._stamp(req.client_id, w, client.num_train_samples, latencies)
-            )
+        with telemetry.span(
+            "executor.train_cohort",
+            backend=self.name,
+            round=round_idx,
+            clients=len(requests),
+        ):
+            for req in requests:
+                client = clients[req.client_id]
+                t0 = time.perf_counter() if collect else 0.0
+                w = client.train(
+                    self._model,
+                    global_weights,
+                    factory,
+                    batch_size=self._training.batch_size,
+                    epochs=req.epochs,
+                    prox_mu=self._training.prox_mu,
+                )
+                if collect:
+                    telemetry.observe(
+                        "executor.client_train_s",
+                        time.perf_counter() - t0,
+                        backend=self.name,
+                    )
+                updates.append(
+                    self._stamp(
+                        req.client_id, w, client.num_train_samples, latencies
+                    )
+                )
         return updates
 
     def evaluate_cohort(
@@ -60,13 +78,16 @@ class SerialExecutor(ClientExecutor):
     ) -> Dict[int, float]:
         clients = self._check_requests(requests)
         out: Dict[int, float] = {}
-        for req in requests:
-            try:
-                out[req.client_id] = clients[req.client_id].evaluate(
-                    self._model, flat_weights
-                )
-            except Exception as exc:
-                raise ExecutorError(
-                    f"client {req.client_id} evaluation failed: {exc}"
-                ) from exc
+        with telemetry.span(
+            "executor.eval_cohort", backend=self.name, clients=len(requests)
+        ):
+            for req in requests:
+                try:
+                    out[req.client_id] = clients[req.client_id].evaluate(
+                        self._model, flat_weights
+                    )
+                except Exception as exc:
+                    raise ExecutorError(
+                        f"client {req.client_id} evaluation failed: {exc}"
+                    ) from exc
         return out

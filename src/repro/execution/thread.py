@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.execution.base import (
     EVAL_BATCH,
     ClientExecutor,
@@ -72,6 +74,20 @@ class ThreadExecutor(ClientExecutor):
         return self._pool is not None
 
     def _acquire_replica(self) -> Sequential:
+        if not telemetry.enabled():
+            return self._acquire_replica_now()
+        # Replica-checkout wait IS this backend's queue wait: how long a
+        # task sits behind the bounded pool before it can start.
+        t0 = time.perf_counter()
+        replica = self._acquire_replica_now()
+        telemetry.observe(
+            "executor.replica_wait_s",
+            time.perf_counter() - t0,
+            backend=self.name,
+        )
+        return replica
+
+    def _acquire_replica_now(self) -> Sequential:
         try:
             return self._replicas.get_nowait()
         except queue.Empty:
@@ -97,8 +113,10 @@ class ThreadExecutor(ClientExecutor):
     ) -> ClientUpdate:
         client = self._clients[req.client_id]
         replica = self._acquire_replica()
+        collect = telemetry.enabled()
         try:
             factory = self._training.optimizer_factory(round_idx)
+            t0 = time.perf_counter() if collect else 0.0
             w = client.train(
                 replica,
                 global_weights,
@@ -107,6 +125,12 @@ class ThreadExecutor(ClientExecutor):
                 epochs=req.epochs,
                 prox_mu=self._training.prox_mu,
             )
+            if collect:
+                telemetry.observe(
+                    "executor.client_train_s",
+                    time.perf_counter() - t0,
+                    backend=self.name,
+                )
         finally:
             self._release_replica(replica)
         return self._stamp(req.client_id, w, client.num_train_samples, latencies)
@@ -132,24 +156,32 @@ class ThreadExecutor(ClientExecutor):
         if not requests:
             return []
         self._ensure_pool()
-        futures = [
-            self._pool.submit(
-                self._train_one, req, round_idx, global_weights, latencies
-            )
-            for req in requests
-        ]
-        updates: List[ClientUpdate] = []
-        error: Optional[Exception] = None
-        for fut in as_completed(futures):
-            try:
-                updates.append(fut.result())
-            except Exception as exc:  # keep draining so the pool settles;
-                # KeyboardInterrupt/SystemExit propagate as interrupts
-                # instead of masquerading as a training failure
-                error = error or exc
-        if error is not None:
-            raise ExecutorError(f"client training failed: {error}") from error
-        return order_updates(updates, requests)
+        with telemetry.span(
+            "executor.train_cohort",
+            backend=self.name,
+            round=round_idx,
+            clients=len(requests),
+        ):
+            futures = [
+                self._pool.submit(
+                    self._train_one, req, round_idx, global_weights, latencies
+                )
+                for req in requests
+            ]
+            updates: List[ClientUpdate] = []
+            error: Optional[Exception] = None
+            for fut in as_completed(futures):
+                try:
+                    updates.append(fut.result())
+                except Exception as exc:  # keep draining so the pool
+                    # settles; KeyboardInterrupt/SystemExit propagate as
+                    # interrupts instead of masquerading as a failure
+                    error = error or exc
+            if error is not None:
+                raise ExecutorError(
+                    f"client training failed: {error}"
+                ) from error
+            return order_updates(updates, requests)
 
     # ------------------------------------------------------------------
     def _eval_one(self, req: EvalRequest, flat_weights: np.ndarray):
@@ -169,6 +201,16 @@ class ThreadExecutor(ClientExecutor):
         if not requests:
             return {}
         self._ensure_pool()
+        with telemetry.span(
+            "executor.eval_cohort", backend=self.name, clients=len(requests)
+        ):
+            return self._evaluate_cohort_pooled(requests, flat_weights)
+
+    def _evaluate_cohort_pooled(
+        self,
+        requests: Sequence[EvalRequest],
+        flat_weights: np.ndarray,
+    ) -> Dict[int, float]:
         futures = [
             self._pool.submit(self._eval_one, req, flat_weights) for req in requests
         ]
@@ -205,26 +247,45 @@ class ThreadExecutor(ClientExecutor):
         self._ensure_pool()
         y_arr = np.asarray(y)
 
+        collect = telemetry.enabled()
+
         def _count_correct(a: int, b: int) -> int:
             replica = self._acquire_replica()
+            t0 = time.perf_counter() if collect else 0.0
             try:
                 replica.set_flat_weights(flat_weights)
                 preds = replica.predict(x[a:b], batch_size=EVAL_BATCH)
             finally:
                 self._release_replica(replica)
+            if collect:
+                telemetry.observe(
+                    "executor.eval_shard_s",
+                    time.perf_counter() - t0,
+                    backend=self.name,
+                )
             return int(np.count_nonzero(preds == y_arr[a:b]))
 
-        futures = [self._pool.submit(_count_correct, a, b) for a, b in bounds]
-        correct = 0
-        error: Optional[Exception] = None
-        for fut in as_completed(futures):
-            try:
-                correct += fut.result()
-            except Exception as exc:
-                error = error or exc
-        if error is not None:
-            raise ExecutorError(f"global evaluation failed: {error}") from error
-        return float(correct / n)
+        with telemetry.span(
+            "executor.eval_model",
+            backend=self.name,
+            samples=n,
+            shards=len(bounds),
+        ):
+            futures = [
+                self._pool.submit(_count_correct, a, b) for a, b in bounds
+            ]
+            correct = 0
+            error: Optional[Exception] = None
+            for fut in as_completed(futures):
+                try:
+                    correct += fut.result()
+                except Exception as exc:
+                    error = error or exc
+            if error is not None:
+                raise ExecutorError(
+                    f"global evaluation failed: {error}"
+                ) from error
+            return float(correct / n)
 
     def close(self) -> None:
         super().close()

@@ -65,6 +65,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import SelectionPlan
 from repro.simcluster.client import ClientUpdate
@@ -136,10 +137,18 @@ class RoundPipeline:
                     # The next selection reads eval feedback: drain first
                     # (degenerates to staged order, stays bit-identical).
                     pending = self._finish(pending)
-                ctx = s._stage_select(r)
-                s._stage_broadcast(ctx)
-                s._stage_train(ctx)
-                s._stage_aggregate(ctx)
+                with telemetry.span("fl.select", round=r, engine="pipelined"):
+                    ctx = s._stage_select(r)
+                with telemetry.span(
+                    "fl.broadcast", round=r, engine="pipelined"
+                ):
+                    s._stage_broadcast(ctx)
+                with telemetry.span("fl.train", round=r, engine="pipelined"):
+                    s._stage_train(ctx)
+                with telemetry.span(
+                    "fl.aggregate", round=r, engine="pipelined"
+                ):
+                    s._stage_aggregate(ctx)
                 if pending is not None:
                     # Round r-1's eval had all of round r's training to
                     # complete; resolving it here (before submitting round
@@ -160,8 +169,17 @@ class RoundPipeline:
         return s.history
 
     def _finish(self, ctx: RoundContext) -> None:
-        """Resolve a round's in-flight eval and commit its record."""
+        """Resolve a round's in-flight eval and commit its record.
+
+        The eval *work* span (``fl.eval``) is recorded by the submitted
+        closure on the eval thread (see ``FLServer._stage_eval_submit``),
+        so the trace shows it overlapping the next round's train span;
+        ``fl.eval_wait`` measures only the driver's blocking remainder.
+        """
         s = self.server
-        s._stage_eval_resolve(ctx)
-        s._stage_record(ctx)
+        r = ctx.round_idx
+        with telemetry.span("fl.eval_wait", round=r, engine="pipelined"):
+            s._stage_eval_resolve(ctx)
+        with telemetry.span("fl.record", round=r, engine="pipelined"):
+            s._stage_record(ctx)
         return None

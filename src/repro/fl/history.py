@@ -32,9 +32,18 @@ class RoundRecord:
 
 @dataclass
 class TrainingHistory:
-    """Append-only record of a full training run."""
+    """Append-only record of a full training run.
+
+    ``telemetry`` optionally carries the run-end metrics snapshot
+    (:func:`repro.telemetry.snapshot`) -- populated by
+    :meth:`repro.fl.server.FLServer.run` when telemetry collection is
+    on, ``None`` otherwise.  It is observability payload only: no
+    equality/fingerprint path reads it, so a traced run's history stays
+    bit-identical to an untraced one.
+    """
 
     records: List[RoundRecord] = field(default_factory=list)
+    telemetry: Optional[Dict] = None
 
     def append(self, record: RoundRecord) -> None:
         if self.records and record.round_idx <= self.records[-1].round_idx:

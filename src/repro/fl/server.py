@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import PAPER_SYNTHETIC_TRAINING, TrainingConfig
 from repro.data.datasets import Dataset
 from repro.execution import ClientExecutor, TrainRequest, resolve_executor
@@ -364,9 +365,24 @@ class FLServer:
             return
         ctx.eval_fields = [field_name for field_name, _ in thunks]
         fns = [thunk for _, thunk in thunks]
-        ctx.eval_future = self.executor.submit_evaluation(
-            lambda: [fn() for fn in fns]
-        )
+        if telemetry.enabled():
+            # The span wraps the submitted closure, so on async backends
+            # it runs on the eval thread and shows up on the trace
+            # timeline *overlapping* the next round's train spans.
+            round_idx = ctx.round_idx
+
+            def work():
+                with telemetry.span(
+                    "fl.eval", round=round_idx, engine="pipelined"
+                ):
+                    return [fn() for fn in fns]
+
+        else:
+
+            def work():
+                return [fn() for fn in fns]
+
+        ctx.eval_future = self.executor.submit_evaluation(work)
 
     def _stage_eval_resolve(self, ctx: RoundContext) -> None:
         """Eval phase, async half: wait for the submitted results."""
@@ -399,13 +415,26 @@ class FLServer:
         """Subclass hook: attach eval extras to the record (TiFL)."""
 
     def run_round(self, round_idx: int) -> RoundRecord:
-        """Execute one synchronous global round (the staged path)."""
-        ctx = self._stage_select(round_idx)
-        self._stage_broadcast(ctx)
-        self._stage_train(ctx)
-        self._stage_aggregate(ctx)
-        self._stage_eval(ctx)
-        return self._stage_record(ctx)
+        """Execute one synchronous global round (the staged path).
+
+        Each phase runs inside a telemetry span (``fl.select`` ..
+        ``fl.record``, attrs ``round``/``engine``) -- no-ops unless
+        collection is on, and never touching RNG either way.
+        """
+        r = round_idx
+        with telemetry.span("fl.round", round=r, engine="staged"):
+            with telemetry.span("fl.select", round=r, engine="staged"):
+                ctx = self._stage_select(round_idx)
+            with telemetry.span("fl.broadcast", round=r, engine="staged"):
+                self._stage_broadcast(ctx)
+            with telemetry.span("fl.train", round=r, engine="staged"):
+                self._stage_train(ctx)
+            with telemetry.span("fl.aggregate", round=r, engine="staged"):
+                self._stage_aggregate(ctx)
+            with telemetry.span("fl.eval", round=r, engine="staged"):
+                self._stage_eval(ctx)
+            with telemetry.span("fl.record", round=r, engine="staged"):
+                return self._stage_record(ctx)
 
     def _post_round(self, record: RoundRecord) -> None:
         """Legacy subclass hook invoked in the record phase, before the
@@ -420,11 +449,19 @@ class FLServer:
         """
         if num_rounds <= 0:
             raise ValueError(f"num_rounds must be positive, got {num_rounds}")
-        if self.pipeline:
-            return RoundPipeline(self).run(num_rounds, start_round)
-        for r in range(start_round, start_round + num_rounds):
-            self.run_round(r)
-        return self.history
+        engine = "pipelined" if self.pipeline else "staged"
+        with telemetry.span("fl.run", engine=engine, rounds=num_rounds):
+            if self.pipeline:
+                history = RoundPipeline(self).run(num_rounds, start_round)
+            else:
+                for r in range(start_round, start_round + num_rounds):
+                    self.run_round(r)
+                history = self.history
+        if telemetry.enabled():
+            # Observability payload only -- nothing that feeds a
+            # fingerprint or an equality gate reads this field.
+            history.telemetry = telemetry.snapshot()
+        return history
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -95,8 +95,11 @@ def resize_probs(probs: Sequence[float], num_tiers: int) -> np.ndarray:
     dst = np.linspace(0.0, 1.0, num_tiers)
     q = np.interp(dst, src, p)
     total = q.sum()
-    if total <= 0:  # pragma: no cover - defensive; simplex input prevents this
-        raise ValueError("resized probabilities degenerated to zero")
+    if total <= 0:
+        # Every sample point landed on a zero (e.g. [0, 1, 0] -> 2
+        # tiers samples only the endpoints): the source mass is
+        # unrepresentable at this resolution, so fall back to uniform.
+        return np.full(num_tiers, 1.0 / num_tiers)
     return q / total
 
 

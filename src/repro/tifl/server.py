@@ -10,7 +10,6 @@ evaluated on every tier's held-out data after each round to maintain the
 
 from __future__ import annotations
 
-import logging
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -29,12 +28,13 @@ from repro.tifl.adaptive import AdaptiveTierPolicy
 from repro.tifl.credits import allocate_credits
 from repro.tifl.policies import StaticTierPolicy
 from repro.tifl.profiler import ProfilingResult, profile_clients
+from repro.telemetry.log import get_logger
 from repro.tifl.scheduler import TierPolicy, TierScheduler
 from repro.tifl.tiering import TierAssignment, build_tiers
 
 __all__ = ["TiFLServer"]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 PolicySpec = Union[str, TierPolicy]
 

@@ -1,0 +1,14 @@
+"""Telemetry tests share one process-wide registry: reset around each."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,135 @@
+"""Tracing on vs off must be bit-invisible to training.
+
+The telemetry layer's hard contract: it only ever reads monotonic/wall
+clocks, never numpy's RNG, so enabling full tracing (spans + metrics +
+a JSONL trace file) produces the *same bits* -- global weights, selected
+cohorts, accuracies, simulated latencies -- as a run with telemetry off.
+Checked across every executor backend, including real worker
+subprocesses on loopback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.config import TrainingConfig
+from repro.distributed import (
+    DistributedExecutor,
+    spawn_local_workers,
+    terminate_workers,
+)
+from repro.fl.selection import RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_mlp
+from tests.conftest import make_test_client, make_tiny_dataset
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+
+
+def run_training(executor, workers=2, rounds=3, seed=7, pipeline=False):
+    clients = [make_test_client(client_id=i, seed=seed) for i in range(6)]
+    model = build_mlp((4, 4, 1), 3, hidden=(8,), rng=seed)
+    with FLServer(
+        clients=clients,
+        model=model,
+        selector=RandomSelector(3, rng=seed),
+        test_data=make_tiny_dataset(n=30, seed=999),
+        training=TRAIN,
+        rng=seed,
+        executor=executor,
+        workers=workers,
+        pipeline=pipeline,
+    ) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history
+
+
+def fingerprint(history):
+    return [
+        (r.round_idx, r.round_latency, r.sim_time, r.accuracy,
+         r.selected, r.dropped)
+        for r in history.records
+    ]
+
+
+def assert_traced_run_matches(backend, tmp_path, workers=2, pipeline=False):
+    telemetry.reset()
+    ref_weights, ref_history = run_training(
+        backend, workers=workers, pipeline=pipeline
+    )
+    assert not telemetry.enabled()
+
+    trace = str(tmp_path / f"{backend}.jsonl")
+    telemetry.configure(
+        enabled=True, trace_path=trace, meta=telemetry.run_metadata()
+    )
+    try:
+        weights, history = run_training(
+            backend, workers=workers, pipeline=pipeline
+        )
+    finally:
+        telemetry.flush()
+        telemetry.shutdown()
+
+    assert np.array_equal(ref_weights, weights), (
+        f"{backend}: tracing perturbed the weights"
+    )
+    assert fingerprint(ref_history) == fingerprint(history)
+    counts = telemetry.validate_trace_file(trace)
+    assert counts["span"] > 0
+    # the traced run actually recorded the engine phases (the pipelined
+    # engine has no containing fl.round span -- its phases overlap)
+    names = {s.name for s in telemetry.span_records()}
+    expected = (
+        {"fl.run", "fl.select", "fl.train", "fl.eval_wait", "fl.record"}
+        if pipeline
+        else {"fl.run", "fl.round", "fl.train", "fl.aggregate"}
+    )
+    assert expected <= names
+
+
+class TestTracingIsBitInvisible:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_in_process_backends(self, backend, tmp_path):
+        assert_traced_run_matches(backend, tmp_path)
+
+    def test_pipelined_engine(self, tmp_path):
+        assert_traced_run_matches("serial", tmp_path, workers=1,
+                                  pipeline=True)
+
+    def test_distributed_backend(self, tmp_path):
+        telemetry.reset()
+        ref_weights, ref_history = run_training("serial", workers=1)
+
+        trace = str(tmp_path / "distributed.jsonl")
+        telemetry.configure(enabled=True, trace_path=trace)
+        ex = DistributedExecutor(
+            workers=2, accept_timeout=60.0, result_timeout=90.0
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            weights, history = run_training(ex)
+        finally:
+            ex.close()
+            codes = terminate_workers(procs)
+            telemetry.flush()
+            telemetry.shutdown()
+        assert codes == [0, 0]
+        assert np.array_equal(ref_weights, weights), (
+            "distributed traced run diverged from untraced serial"
+        )
+        assert fingerprint(ref_history) == fingerprint(history)
+        telemetry.validate_trace_file(trace)
+        # wire metrics and worker summaries made it into the registry
+        snap = telemetry.snapshot()
+        sent = [
+            k for k in snap["counters"] if k.startswith("wire.frames_sent")
+        ]
+        assert sent, "coordinator emitted no wire metrics at close"
+        busy = [
+            k for k in snap["gauges"]
+            if k.startswith("distributed.worker.busy_s")
+        ]
+        assert len(busy) == 2, "expected one busy gauge per worker"

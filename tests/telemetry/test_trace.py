@@ -1,0 +1,209 @@
+"""JSONL trace writing, schema validation, and run metadata.
+
+Includes a hypothesis property test over the trace-event schema: every
+event the writer can emit must validate, and single-field corruptions
+must be rejected -- the validator is what CI trusts to gate smoke-run
+traces, so it must be tight in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.telemetry.trace import (
+    SCHEMA_VERSION,
+    TraceWriter,
+    config_digest,
+    load_trace,
+    run_metadata,
+    validate_trace_event,
+    validate_trace_file,
+)
+
+
+class TestTraceWriter:
+    def test_meta_line_comes_first_and_validates(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        w = TraceWriter(path, meta={"git_sha": "abc"})
+        w.write_span("fl.round", ts=1.0, dur=0.5, attrs={"round": 1},
+                     pid=1, tid=2)
+        w.write_metric("counter", "frames", {"msg_type": "TRAIN"}, 3.0)
+        w.close()
+        counts = validate_trace_file(path)
+        assert counts == {"meta": 1, "span": 1, "metric": 1}
+        meta, events = load_trace(path)
+        assert meta == {"git_sha": "abc"}
+        assert [e["kind"] for e in events] == ["span", "metric"]
+
+    def test_configured_run_streams_spans_and_flushes_metrics(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        telemetry.configure(
+            enabled=True, trace_path=path, meta=run_metadata(config={"a": 1})
+        )
+        with telemetry.span("fl.round", round=0):
+            telemetry.count("wire.frames_sent", 2, msg_type="TRAIN")
+            telemetry.observe("executor.client_train_s", 0.01)
+        telemetry.flush()
+        telemetry.shutdown()
+        counts = validate_trace_file(path)
+        assert counts["span"] == 1
+        assert counts["metric"] >= 2
+        meta, events = load_trace(path)
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["config_digest"] == config_digest({"a": 1})
+        kinds = {e["name"] for e in events if e["kind"] == "metric"}
+        assert "wire.frames_sent" in kinds
+        span = next(e for e in events if e["kind"] == "span")
+        assert span["name"] == "fl.round"
+        assert span["attrs"] == {"round": 0}
+
+    def test_numpy_attrs_degrade_to_json(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = str(tmp_path / "np.jsonl")
+        w = TraceWriter(path)
+        w.write_span(
+            "s", ts=1.0, dur=0.1, attrs={"n": np.int64(3)}, pid=1, tid=1
+        )
+        w.close()
+        validate_trace_file(path)
+
+    def test_validate_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            validate_trace_file(str(path))
+
+    def test_validate_rejects_non_meta_first_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        event = {
+            "schema": SCHEMA_VERSION, "kind": "span", "name": "s",
+            "ts": 1.0, "dur": 0.1, "pid": 1, "tid": 1, "attrs": {},
+        }
+        path.write_text(json.dumps(event) + "\n")
+        with pytest.raises(ValueError, match="first event must be 'meta'"):
+            validate_trace_file(str(path))
+
+    def test_validate_names_offending_line(self, tmp_path):
+        path = tmp_path / "line.jsonl"
+        meta = {
+            "schema": SCHEMA_VERSION, "kind": "meta", "ts": 1.0, "meta": {},
+        }
+        path.write_text(json.dumps(meta) + "\n" + "not json\n")
+        with pytest.raises(ValueError, match=r":2"):
+            validate_trace_file(str(path))
+
+
+# ----------------------------------------------------------------------
+# property test: the validator accepts everything the writer emits and
+# rejects single-field corruptions
+# ----------------------------------------------------------------------
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz._", min_size=1, max_size=20
+)
+_numbers = st.floats(
+    min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_labels = st.dictionaries(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+    st.one_of(st.integers(-100, 100), _names),
+    max_size=3,
+)
+
+_span_events = st.fixed_dictionaries(
+    {
+        "schema": st.just(SCHEMA_VERSION),
+        "kind": st.just("span"),
+        "name": _names,
+        "ts": _numbers,
+        "dur": _numbers,
+        "pid": st.integers(1, 1 << 20),
+        "tid": st.integers(1, 1 << 40),
+        "attrs": _labels,
+    }
+)
+_counter_events = st.fixed_dictionaries(
+    {
+        "schema": st.just(SCHEMA_VERSION),
+        "kind": st.sampled_from(["metric"]),
+        "metric": st.sampled_from(["counter", "gauge"]),
+        "name": _names,
+        "ts": _numbers,
+        "labels": _labels,
+        "value": _numbers,
+    }
+)
+_meta_events = st.fixed_dictionaries(
+    {
+        "schema": st.just(SCHEMA_VERSION),
+        "kind": st.just("meta"),
+        "ts": _numbers,
+        "meta": _labels,
+    }
+)
+_valid_events = st.one_of(_span_events, _counter_events, _meta_events)
+
+
+class TestSchemaProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(event=_valid_events)
+    def test_valid_events_validate_and_round_trip_json(self, event):
+        validate_trace_event(event)
+        validate_trace_event(json.loads(json.dumps(event)))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        event=_valid_events,
+        corruption=st.sampled_from(
+            ["schema", "kind", "ts", "name", "dur", "value", "drop_required"]
+        ),
+        data=st.data(),
+    )
+    def test_corrupted_events_are_rejected(self, event, corruption, data):
+        event = dict(event)
+        if corruption == "schema":
+            event["schema"] = SCHEMA_VERSION + 1
+        elif corruption == "kind":
+            event["kind"] = "bogus"
+        elif corruption == "ts":
+            event["ts"] = "yesterday"
+        elif corruption == "name":
+            if event["kind"] == "meta":
+                event["meta"] = "not an object"
+            else:
+                event["name"] = ""
+        elif corruption == "dur":
+            if event["kind"] != "span":
+                event["kind"] = "span"  # force the dur check to apply
+            event["dur"] = -1.0
+        elif corruption == "value":
+            if event["kind"] != "metric":
+                event["schema"] = None  # still a corruption for non-metrics
+            else:
+                event["value"] = None
+        elif corruption == "drop_required":
+            keys = [k for k in event if k not in ("schema",)]
+            event.pop(data.draw(st.sampled_from(keys)))
+        with pytest.raises(ValueError):
+            validate_trace_event(event)
+
+
+class TestRunMetadata:
+    def test_digest_is_stable_and_order_insensitive(self):
+        a = config_digest({"x": 1, "y": [1, 2]})
+        b = config_digest({"y": [1, 2], "x": 1})
+        assert a == b
+        assert len(a) == 16
+        assert config_digest({"x": 2, "y": [1, 2]}) != a
+
+    def test_run_metadata_block_shape(self):
+        meta = run_metadata(config={"rounds": 3})
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert isinstance(meta["git_sha"], str) and meta["git_sha"]
+        assert meta["config_digest"] == config_digest({"rounds": 3})
+        assert "T" in meta["timestamp_utc"]  # ISO-8601
+        assert run_metadata()["config_digest"] is None
