@@ -23,11 +23,19 @@ optimised, and this benchmark measures all three on the current hardware:
    savings.  Lossless codecs (raw, delta) must round-trip bit-exactly
    -- a violation exits non-zero like any other bit-identity break.
 
-Before timing anything it verifies the non-negotiable: every backend's
-trained global weights *and* per-client eval accuracies are bit-identical
-to serial.  Divergence exits non-zero (CI's bench-trend job runs this on
-every push; perf numbers are informational on 1-core runners, bit-identity
-is not).
+6. **Cohort-batched training** (``--executor batched``): the stacked
+   tensor-program backend rides the same train/eval table, reported as a
+   train-phase speedup over serial.
+
+Before timing anything it verifies the non-negotiable: every *v1*
+backend's trained global weights and per-client eval accuracies are
+bit-identical to serial (``repro.execution.BIT_IDENTICAL_BACKENDS``).
+Divergence exits non-zero (CI's bench-trend job runs this on every push;
+perf numbers are informational on 1-core runners, bit-identity is not).
+The ``batched`` backend is a separate versioned numerics stream and is
+deliberately excluded from that hard gate; it is instead held to an
+accuracy tolerance vs serial (max relative weight difference, reported
+in the JSON) -- exceeding the tolerance also exits non-zero.
 
 Results are emitted as machine-readable ``BENCH_round_hotpath.json``.
 
@@ -53,7 +61,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import telemetry  # noqa: E402
 from repro.codec import CODEC_NAMES, get_codec  # noqa: E402
 from repro.config import TrainingConfig  # noqa: E402
-from repro.execution import EvalRequest, TrainRequest, create_executor  # noqa: E402
+from repro.execution import (  # noqa: E402
+    BIT_IDENTICAL_BACKENDS,
+    EvalRequest,
+    TrainRequest,
+    create_executor,
+)
 from repro.fl.aggregator import fedavg  # noqa: E402
 from repro.simcluster.latency import CohortLatencySampler, LatencyModel  # noqa: E402
 from repro.simcluster.network import CommModel  # noqa: E402
@@ -61,6 +74,13 @@ from repro.simcluster.resources import ResourceSpec  # noqa: E402
 
 sys.path.insert(0, os.path.dirname(__file__))
 from bench_executor_throughput import build_federation  # noqa: E402
+
+
+#: Relative tolerance for the ``batched`` stream vs serial.  Stacked
+#: matmuls may reassociate float64 sums, so batched weights are only
+#: rounding-equal to serial; anything past this bound means a real bug,
+#: not reassociation.
+BATCHED_RTOL = 1e-6
 
 
 def _span_total(name):
@@ -234,8 +254,9 @@ def main(argv=None) -> int:
                     help="cohort size for the latency-sampling comparison")
     ap.add_argument("--latency-draws", type=int, default=20)
     ap.add_argument(
-        "--backends", nargs="+", default=["serial", "thread", "process"],
-        choices=["serial", "thread", "process"],
+        "--backends", nargs="+",
+        default=["serial", "thread", "process", "batched"],
+        choices=["serial", "thread", "process", "batched"],
     )
     ap.add_argument(
         "--json", metavar="PATH", default="BENCH_round_hotpath.json",
@@ -274,11 +295,16 @@ def main(argv=None) -> int:
 
     # None = not checked (no serial reference requested): the JSON must
     # never report a passing verdict for a comparison that did not run.
+    # Two gates, one per numerics stream: v1 backends must be bit-exact,
+    # batched must stay inside the accuracy tolerance.
     identical = None
+    batched_tolerance = None
     if "serial" in results:
         identical = True
         _, _, ref_w, ref_accs = results["serial"]
         for backend, (_, _, weights, accs) in results.items():
+            if backend not in BIT_IDENTICAL_BACKENDS:
+                continue
             w_same = np.array_equal(ref_w, weights)
             a_same = accs == ref_accs
             identical &= w_same and a_same
@@ -286,6 +312,26 @@ def main(argv=None) -> int:
                 f"  {backend:8s} weights: "
                 f"{'bit-identical' if w_same else 'DIVERGED'}; eval accs: "
                 f"{'bit-identical' if a_same else 'DIVERGED'}"
+            )
+        if "batched" in results:
+            _, _, b_w, b_accs = results["batched"]
+            max_rel = float(
+                np.max(np.abs(b_w - ref_w) / (np.abs(ref_w) + 1e-12))
+            )
+            batched_tolerance = {
+                "max_rel_weight_diff_vs_serial": max_rel,
+                "rtol": BATCHED_RTOL,
+                "within_tolerance": bool(
+                    np.allclose(b_w, ref_w, rtol=BATCHED_RTOL, atol=1e-12)
+                ),
+                "eval_accs_equal": b_accs == ref_accs,
+            }
+            print(
+                f"  {'batched':8s} weights: max rel diff {max_rel:.2e} "
+                f"vs serial "
+                f"({'within' if batched_tolerance['within_tolerance'] else 'EXCEEDS'}"
+                f" rtol={BATCHED_RTOL:g}; separate numerics stream, "
+                "excluded from the bit-identity gate)"
             )
 
     base_t = results.get("serial", next(iter(results.values())))[0]
@@ -358,6 +404,7 @@ def main(argv=None) -> int:
         "meta": telemetry.run_metadata(config=config),
         "config": config,
         "bit_identical": identical,
+        "batched_tolerance": batched_tolerance,
         "backends": {
             backend: {
                 "train_s_per_round": t,
@@ -378,7 +425,11 @@ def main(argv=None) -> int:
         print(f"\n  wrote {args.json}")
 
     if identical is False:
-        print("\n  FAIL: backends diverged from serial", file=sys.stderr)
+        print("\n  FAIL: v1 backends diverged from serial", file=sys.stderr)
+        return 1
+    if batched_tolerance is not None and not batched_tolerance["within_tolerance"]:
+        print("\n  FAIL: batched stream exceeded its accuracy tolerance",
+              file=sys.stderr)
         return 1
     if not pipeline_identical:
         print("\n  FAIL: pipelined histories diverged from staged",

@@ -16,6 +16,14 @@ Examples::
     python -m repro.cli estimate --dataset mnist --rounds 500
     python -m repro.cli privacy --pool 50 --cohort 5 --eps 0.5
 
+Cohort-batched training (``--executor batched``, see
+:mod:`repro.execution.batched`): train each homogeneous cohort group as
+one stacked tensor program -- the fastest single-core backend, but a
+separate versioned numerics stream (accuracy-equivalent to serial, not
+bit-identical; see ``docs/numerics.md``)::
+
+    python -m repro.cli run --executor batched --rounds 60
+
 Multi-node training (see :mod:`repro.distributed`): start the
 coordinator, then one worker agent per node::
 
@@ -132,9 +140,14 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     """
     p.add_argument("--executor", default="serial",
                    choices=list(EXECUTOR_BACKENDS),
-                   help="client-training backend (all are bit-identical; "
-                        "thread/process add concurrency, distributed spans "
-                        "machines)")
+                   help="client-training backend.  serial/thread/process/"
+                        "distributed are bit-identical to each other "
+                        "(thread/process add concurrency, distributed "
+                        "spans machines); batched fuses each homogeneous "
+                        "cohort group into one stacked tensor program -- "
+                        "fastest on one core, but a separate numerics "
+                        "stream (accuracy-equivalent, not bit-identical; "
+                        "see docs/numerics.md)")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker count for the thread/process executor, or "
                         "how many agents must join a distributed run")

@@ -61,9 +61,14 @@ class TrainingConfig:
         (plain FedAvg).
     executor / workers:
         Default client-execution backend (``"serial" | "thread" |
-        "process" | "distributed"``, see :mod:`repro.execution`) and its
-        worker count.  Servers use these unless an explicit executor is
-        passed to them.
+        "process" | "distributed" | "batched"``, see
+        :mod:`repro.execution`) and its worker count.  Servers use these
+        unless an explicit executor is passed to them.  The first four
+        are bit-identical to each other; ``batched`` trains each
+        homogeneous cohort group as one stacked tensor program and is a
+        separate versioned numerics stream (accuracy-equivalent, not
+        bit-identical -- see ``docs/numerics.md``).  ``workers`` is
+        meaningless to ``serial`` and ``batched`` (both single-process).
     endpoint:
         ``host:port`` the ``distributed`` coordinator listens on (worker
         agents connect to it); ignored by the in-process backends.
@@ -102,10 +107,16 @@ class TrainingConfig:
             raise ValueError(
                 f"optimizer must be 'rmsprop' or 'sgd', got {self.optimizer!r}"
             )
-        if self.executor not in ("serial", "thread", "process", "distributed"):
+        if self.executor not in (
+            "serial",
+            "thread",
+            "process",
+            "distributed",
+            "batched",
+        ):
             raise ValueError(
-                "executor must be 'serial', 'thread', 'process' or "
-                f"'distributed', got {self.executor!r}"
+                "executor must be 'serial', 'thread', 'process', "
+                f"'distributed' or 'batched', got {self.executor!r}"
             )
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")

@@ -9,16 +9,22 @@ directly:
 >>> from repro.execution import create_executor
 >>> executor = create_executor("process", workers=4)
 
-All backends satisfy the determinism contract documented in
-:mod:`repro.execution.base`: given the same cohort and global weights
-they produce bit-identical updates in the same deterministic order, so
-switching backends never changes a training trajectory -- only its
-wall-clock time.
+The v1 backends (serial / thread / process / distributed) satisfy the
+determinism contract documented in :mod:`repro.execution.base`: given
+the same cohort and global weights they produce bit-identical updates in
+the same deterministic order, so switching between them never changes a
+training trajectory -- only its wall-clock time.
 
 The ``distributed`` backend (:mod:`repro.distributed`) extends the same
 contract across machines: a coordinator executor drives worker agent
 processes over TCP.  It is registered here by name but imported lazily,
 so in-process users never pay for the networking stack.
+
+The ``batched`` backend (:mod:`repro.execution.batched`) trains each
+homogeneous cohort group as one stacked tensor program -- a separate
+**versioned numerics stream**: results match serial to accuracy
+tolerance (gated by golden-value tests), not to the bit, because
+stacked matmuls reassociate float64 sums.  See ``docs/numerics.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.execution.base import (
     TrainRequest,
     order_updates,
 )
+from repro.execution.batched import BatchedExecutor
 from repro.execution.process import ProcessExecutor
 from repro.execution.serial import SerialExecutor
 from repro.execution.thread import ThreadExecutor
@@ -45,12 +52,20 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "BatchedExecutor",
     "EXECUTOR_BACKENDS",
+    "BIT_IDENTICAL_BACKENDS",
     "create_executor",
     "resolve_executor",
 ]
 
-EXECUTOR_BACKENDS = ("serial", "thread", "process", "distributed")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "distributed", "batched")
+
+#: The v1 numerics stream: backends whose trained weights are
+#: bit-identical to serial by contract (the CI hard gate).  ``batched``
+#: is deliberately absent -- it is a separate versioned numerics stream
+#: gated by accuracy tolerance instead (see docs/numerics.md).
+BIT_IDENTICAL_BACKENDS = ("serial", "thread", "process", "distributed")
 
 
 def create_executor(
@@ -69,6 +84,8 @@ def create_executor(
         return ThreadExecutor(workers=workers)
     if backend == "process":
         return ProcessExecutor(workers=workers)
+    if backend == "batched":
+        return BatchedExecutor(workers=workers)
     if backend == "distributed":
         # Imported lazily: the networking stack is only needed when the
         # distributed backend is actually requested.

@@ -2,7 +2,7 @@
 
 The FL servers in :mod:`repro.fl` delegate the *real* work of a round --
 running every selected client's local gradient-descent pass -- to a
-:class:`ClientExecutor`.  Three backends implement the contract:
+:class:`ClientExecutor`.  Five backends implement the contract:
 
 * :class:`repro.execution.serial.SerialExecutor` -- the seed behaviour:
   clients train one after another inside the server's own model shell.
@@ -13,6 +13,14 @@ running every selected client's local gradient-descent pass -- to a
   processes; every client is *pinned* to one worker so its training RNG
   stream lives (and advances) in exactly one place, and the global flat
   weight vector is broadcast through read-only shared memory.
+* :class:`repro.distributed.coordinator.DistributedExecutor` -- the same
+  contract across machines: worker agents over TCP (versioned protocol,
+  client pinning, reconnect-and-resume).
+* :class:`repro.execution.batched.BatchedExecutor` -- the whole cohort
+  as one stacked tensor program (leading client axis, one batched GEMM
+  per layer per step).  **Not** part of the bit-identity family: it is
+  a separate versioned numerics stream, accuracy-equivalent to serial
+  (see its module docstring and ``docs/numerics.md``).
 
 Determinism contract
 --------------------
@@ -20,8 +28,12 @@ Determinism contract
 **request order** -- never in completion order.  The server builds the
 request list deterministically (from the cohort the selector and the
 latency model produced), so the FedAvg summation order -- and therefore
-the global weights -- are bit-identical across all three backends.  The
-equivalence test in ``tests/execution/test_executors.py`` enforces this.
+the global weights -- are bit-identical across the four v1 backends
+(serial/thread/process/distributed).  The equivalence test in
+``tests/execution/test_executors.py`` enforces this.  The ``batched``
+backend honours the same request-order and RNG-consumption contract but
+is bit-equal only within its own stream; it is gated by the tolerance
+tests in ``tests/execution/test_batched_executor.py`` instead.
 
 Batched evaluation
 ------------------

@@ -8,6 +8,22 @@ populating ``layer.grads`` (keyed like ``layer.params``).
 Parameters live in a plain ``dict[str, np.ndarray]`` so the federated
 aggregator can flatten, average and restore them without knowing anything
 about layer internals.
+
+Stacked (leading client-axis) mode
+----------------------------------
+Every layer additionally implements ``forward_stacked`` /
+``backward_stacked``, the cohort-batched twins used by
+:class:`repro.nn.stacked.StackedSequential`: activations carry a leading
+client axis (``(C, batch, ...)``) and parameters, where the layer has
+any, carry the same leading axis (``(C,) + param.shape``) so ``C``
+independent per-client layers advance in one call.  Parameter-free
+layers fold the client axis into the batch axis (exact); parameterised
+layers map onto numpy's batched ``matmul``, whose reduction order may
+differ from the per-client GEMMs -- that reassociation is why the
+``batched`` executor is its own versioned numerics stream (see
+``docs/numerics.md``).  A stacked layer instance stores its stacked
+parameters in the same ``params``/``grads`` dicts; the two modes are
+never mixed on one instance.
 """
 
 from __future__ import annotations
@@ -59,6 +75,35 @@ class Layer:
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    # -- stacked compute ----------------------------------------------
+    def forward_stacked(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Cohort-batched forward: ``x`` is ``(C, batch, ...)``.
+
+        Layers with parameters read them with a leading client axis
+        (``(C,) + shape``); parameter-free layers treat every client
+        slice exactly as :meth:`forward` would.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked execution"
+        )
+
+    def backward_stacked(self, grad: np.ndarray) -> np.ndarray:
+        """Cohort-batched backward for the most recent stacked forward."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked execution"
+        )
+
+    def backward_stacked_no_input_grad(self, grad: np.ndarray) -> None:
+        """Stacked backward for a layer whose input gradient is discarded.
+
+        Called for the bottom-most parameterised layer of a stacked
+        program: nothing below it trains, so the (often GEMM-sized)
+        input-gradient computation is pure waste.  Default falls back
+        to the full backward; layers with an expensive input-gradient
+        term override it.
+        """
+        self.backward_stacked(grad)
+
     # -- introspection ------------------------------------------------
     @property
     def num_params(self) -> int:
@@ -109,6 +154,21 @@ class Dense(Layer):
         self.grads["b"] = grad.sum(axis=0)
         return grad @ self.params["W"].T
 
+    def forward_stacked(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # x (C, n, in) @ W (C, in, units): one batched GEMM for the cohort.
+        self._x = x if training else None
+        return x @ self.params["W"] + self.params["b"][:, None, :]
+
+    def backward_stacked(self, grad: np.ndarray) -> np.ndarray:
+        self.backward_stacked_no_input_grad(grad)
+        return grad @ self.params["W"].transpose(0, 2, 1)
+
+    def backward_stacked_no_input_grad(self, grad: np.ndarray) -> None:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.grads["W"] = np.matmul(self._x.transpose(0, 2, 1), grad)
+        self.grads["b"] = grad.sum(axis=1)
+
 
 class ReLU(Layer):
     """Elementwise rectifier."""
@@ -126,6 +186,10 @@ class ReLU(Layer):
         if self._mask is None:
             raise RuntimeError("backward called without a training forward pass")
         return grad * self._mask
+
+    # Elementwise: the client axis is just another batch dim.
+    forward_stacked = forward
+    backward_stacked = backward
 
 
 class Conv2D(Layer):
@@ -197,6 +261,38 @@ class Conv2D(Layer):
         dcols = g @ self.params["W"].reshape(-1, f).T
         return T.col2im(dcols, x_shape, self.k, self.k, self.stride, self._pad_amount())
 
+    def forward_stacked(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # x (C, n, h, w, ch); per-client patch matrices against per-client
+        # kernels via one batched GEMM.
+        pad = self._pad_amount()
+        cols, (oh, ow) = T.stacked_im2col(x, self.k, self.k, self.stride, pad)
+        c = x.shape[0]
+        w_mat = self.params["W"].reshape(c, -1, self.filters)
+        out = cols @ w_mat + self.params["b"][:, None, :]
+        self._cache = (cols, x.shape) if training else None
+        return out.reshape(c, x.shape[1], oh, ow, self.filters)
+
+    def backward_stacked(self, grad: np.ndarray) -> np.ndarray:
+        self.backward_stacked_no_input_grad(grad)
+        cols, x_shape = self._cache
+        c, n, oh, ow, f = grad.shape
+        g = grad.reshape(c, n * oh * ow, f)
+        dcols = g @ self.params["W"].reshape(c, -1, f).transpose(0, 2, 1)
+        return T.stacked_col2im(
+            dcols, x_shape, self.k, self.k, self.stride, self._pad_amount()
+        )
+
+    def backward_stacked_no_input_grad(self, grad: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called without a training forward pass")
+        cols, _ = self._cache
+        c, n, oh, ow, f = grad.shape
+        g = grad.reshape(c, n * oh * ow, f)
+        self.grads["W"] = np.matmul(cols.transpose(0, 2, 1), g).reshape(
+            self.params["W"].shape
+        )
+        self.grads["b"] = g.sum(axis=1)
+
 
 class MaxPool2D(Layer):
     """Max pooling over NHWC tensors."""
@@ -229,6 +325,19 @@ class MaxPool2D(Layer):
         arg, x_shape = self._cache
         return T.pool2d_backward(grad, arg, x_shape, self.k, self.k, self.stride)
 
+    def forward_stacked(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out, arg = T.stacked_pool2d_forward(x, self.k, self.k, self.stride)
+        self._cache = (arg, x.shape) if training else None
+        return out
+
+    def backward_stacked(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a training forward pass")
+        arg, x_shape = self._cache
+        return T.stacked_pool2d_backward(
+            grad, arg, x_shape, self.k, self.k, self.stride
+        )
+
 
 class Flatten(Layer):
     """Collapse all non-batch dims."""
@@ -248,6 +357,15 @@ class Flatten(Layer):
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called without a forward pass")
+        return grad.reshape(self._shape)
+
+    def forward_stacked(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward_stacked(self, grad: np.ndarray) -> np.ndarray:
         if self._shape is None:
             raise RuntimeError("backward called without a forward pass")
         return grad.reshape(self._shape)
@@ -289,3 +407,11 @@ class Dropout(Layer):
         if self._mask is None:
             return grad
         return grad * self._mask
+
+    # Elementwise with the layer's own mask stream; in stacked mode one
+    # draw covers the whole (C, batch, ...) tensor.  Mask streams are
+    # therefore stacked-stream-specific (see docs/numerics.md) -- like
+    # the per-replica streams of the thread backend, they are not
+    # bit-aligned with the serial workspace's draws.
+    forward_stacked = forward
+    backward_stacked = backward

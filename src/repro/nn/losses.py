@@ -11,9 +11,14 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.nn.tensor_ops import log_softmax, one_hot, softmax
+from repro.nn.tensor_ops import log_softmax, one_hot, softmax, stacked_one_hot
 
-__all__ = ["softmax_cross_entropy", "l2_penalty", "proximal_penalty"]
+__all__ = [
+    "softmax_cross_entropy",
+    "stacked_softmax_cross_entropy",
+    "l2_penalty",
+    "proximal_penalty",
+]
 
 
 def softmax_cross_entropy(
@@ -44,6 +49,47 @@ def softmax_cross_entropy(
     loss = float(-np.sum(y * lsm) / n)
     grad = (softmax(logits) - y) / n
     return loss, grad
+
+
+def stacked_softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-client softmax cross-entropy over a stacked cohort.
+
+    The leading-axis twin of :func:`softmax_cross_entropy`: every client
+    in the stack gets its *own* mean loss and its own ``(p - y) / n``
+    gradient -- losses never mix across the client axis, which is what
+    keeps stacked local objectives independent.
+
+    Parameters
+    ----------
+    logits:
+        ``(C, n, num_classes)`` raw scores, one slice per client.
+    labels:
+        ``(C, n)`` integer class labels.
+
+    Returns
+    -------
+    (losses, grad):
+        ``(C,)`` per-client mean losses and the ``(C, n, num_classes)``
+        gradient w.r.t. ``logits``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 3:
+        raise ValueError(f"stacked logits must be 3-D, got shape {logits.shape}")
+    c, n, k = logits.shape
+    if n == 0:
+        raise ValueError("cannot compute a loss over an empty batch")
+    labels = np.asarray(labels)
+    if labels.shape != (c, n):
+        raise ValueError(
+            f"stacked labels must have shape {(c, n)}, got {labels.shape}"
+        )
+    y = stacked_one_hot(labels, k)
+    lsm = log_softmax(logits)
+    losses = -np.sum(y * lsm, axis=(1, 2)) / n
+    grad = (softmax(logits) - y) / n
+    return losses, grad
 
 
 def l2_penalty(

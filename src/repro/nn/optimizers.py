@@ -5,6 +5,22 @@ multiplicative decay 0.995 per round) and FEMNIST with **SGD** (lr 0.004);
 both are implemented here.  Optimizer state is keyed by ``(layer_idx,
 param_name)`` so it survives weight swaps performed by the federated server
 between rounds.
+
+Stacked cohorts (leading client axis)
+-------------------------------------
+The same optimizer classes drive :class:`repro.nn.stacked.
+StackedSequential`, where parameters (and therefore gradients and state
+arrays) carry a leading client axis ``(C,) + shape``.  This works
+without a stacked variant because every update rule here is strictly
+**elementwise**: SGD velocity, RMSprop's squared-gradient average and
+the parameter updates themselves never reduce across any axis, so slice
+``c`` of a stacked state array evolves bit-identically to the state a
+private per-client optimizer would hold -- ``C`` independent optimizers
+in one instance.  Keep it that way: an update rule that mixed elements
+(e.g. a global-norm clip) would silently couple clients in stacked mode
+and must grow an explicit per-client-axis reduction first.  The
+independence property is hypothesis-tested in
+``tests/nn/test_stacked.py``.
 """
 
 from __future__ import annotations
@@ -56,20 +72,34 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity: Dict[ParamKey, np.ndarray] = {}
+        self._scratch: Dict[ParamKey, np.ndarray] = {}
 
     def update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        # In-place ufuncs with a per-key scratch buffer: the stacked
+        # cohort path updates (C,)+shape arrays many times per epoch, and
+        # allocating fresh multi-MB temporaries each call costs more than
+        # the arithmetic.  Operand order matches the textbook
+        # ``v = momentum * v - lr * grad; param += v`` exactly (only
+        # commutative swaps), so results stay bit-identical to it.
+        tmp = self._scratch.get(key)
+        if tmp is None or tmp.shape != param.shape:
+            tmp = np.empty_like(param)
+            self._scratch[key] = tmp
+        np.multiply(grad, self.lr, out=tmp)
         if self.momentum == 0.0:
-            param -= self.lr * grad
+            param -= tmp
             return
         v = self._velocity.get(key)
         if v is None:
             v = np.zeros_like(param)
-        v = self.momentum * v - self.lr * grad
-        self._velocity[key] = v
+            self._velocity[key] = v
+        v *= self.momentum
+        v -= tmp
         param += v
 
     def reset_state(self) -> None:
         self._velocity.clear()
+        self._scratch.clear()
 
 
 class RMSprop(Optimizer):
@@ -94,14 +124,63 @@ class RMSprop(Optimizer):
         self.rho = rho
         self.eps = eps
         self._sq_avg: Dict[ParamKey, np.ndarray] = {}
+        self._scratch: Dict[ParamKey, Tuple[np.ndarray, np.ndarray]] = {}
+
+    #: Elements per update block.  The nine ufunc passes below run
+    #: block by block so the two scratch slices stay L2-resident on the
+    #: multi-MB stacked-cohort arrays instead of streaming the whole
+    #: array through the cache hierarchy nine times.  Per element the
+    #: op sequence is unchanged, so blocking never changes a result;
+    #: ordinary per-client parameters fit in one block.
+    BLOCK = 131_072
 
     def update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        # In-place ufuncs with per-key scratch, for the same reason as
+        # :meth:`SGD.update`.  Per element this computes exactly
+        # ``s = rho * s + (1 - rho) * grad * grad`` then
+        # ``param -= lr * grad / (sqrt(s) + eps)`` (only commutative
+        # operand swaps), so results stay bit-identical to the
+        # allocating form while touching no fresh memory after the
+        # first call for a key.
         s = self._sq_avg.get(key)
         if s is None:
             s = np.zeros_like(param)
-        s = self.rho * s + (1.0 - self.rho) * grad * grad
-        self._sq_avg[key] = s
-        param -= self.lr * grad / (np.sqrt(s) + self.eps)
+            self._sq_avg[key] = s
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            size = min(param.size, self.BLOCK)
+            scratch = (
+                np.empty(size, dtype=param.dtype),
+                np.empty(size, dtype=param.dtype),
+            )
+            self._scratch[key] = scratch
+        tmp, den = scratch
+        if not (param.flags.c_contiguous and grad.flags.c_contiguous):
+            # Rare fallback: flattening a non-contiguous array would
+            # silently copy and drop the in-place write-back.
+            s *= self.rho
+            s += (1.0 - self.rho) * grad * grad
+            param -= self.lr * grad / (np.sqrt(s) + self.eps)
+            return
+        p_flat = param.reshape(-1)
+        g_flat = grad.reshape(-1)
+        s_flat = s.reshape(-1)
+        for start in range(0, p_flat.size, self.BLOCK):
+            pb = p_flat[start : start + self.BLOCK]
+            gb = g_flat[start : start + self.BLOCK]
+            sb = s_flat[start : start + self.BLOCK]
+            tb = tmp[: pb.size]
+            db = den[: pb.size]
+            np.multiply(gb, 1.0 - self.rho, out=tb)
+            tb *= gb
+            sb *= self.rho
+            sb += tb
+            np.sqrt(sb, out=db)
+            db += self.eps
+            np.multiply(gb, self.lr, out=tb)
+            tb /= db
+            pb -= tb
 
     def reset_state(self) -> None:
         self._sq_avg.clear()
+        self._scratch.clear()

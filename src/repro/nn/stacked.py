@@ -1,0 +1,275 @@
+"""Cohort-stacked tensor program: ``C`` clients as one leading axis.
+
+:class:`StackedSequential` mirrors a template :class:`~repro.nn.model.
+Sequential` but carries every activation as ``(C, batch, ...)`` and every
+parameter as ``(C,) + shape`` -- ``C`` independent per-client models that
+advance together, so each SGD step of a cohort is one batched GEMM per
+layer instead of ``C`` small ones.  This is the kernel behind the
+``batched`` executor (:mod:`repro.execution.batched`), the "train the
+whole cohort as one tensor program" lever the round hot-path benchmark
+exposes: same-tier TiFL cohorts are homogeneous by construction, which is
+exactly what lets their per-client matmuls fuse.
+
+Numerics
+--------
+The stacked program performs the *same* floating-point operations as
+``C`` serial passes, but batched ``matmul`` may reduce in a different
+order than ``C`` separate GEMMs; float64 addition is not associative, so
+stacked results are equal to serial only to rounding, not to the bit.
+The ``batched`` executor is therefore a separate versioned numerics
+stream -- excluded from the bit-identity harness, gated by golden-value
+and accuracy-tolerance tests instead (see ``docs/numerics.md``).
+
+Per-client independence
+-----------------------
+Nothing in the stack mixes clients: losses are per-slice
+(:func:`~repro.nn.losses.stacked_softmax_cross_entropy` divides by each
+client's own batch), parameterised layers contract only within a slice
+(batched GEMM), and optimizer updates are elementwise, so optimizer
+state along the leading axis is exactly ``C`` independent optimizers --
+property-tested in ``tests/nn/test_stacked.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Layer
+from repro.nn.losses import stacked_softmax_cross_entropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer
+from repro.rng import RngLike, make_rng
+
+__all__ = ["StackedSequential"]
+
+
+class StackedSequential:
+    """``C`` independent replicas of a template model, stacked on axis 0.
+
+    Parameters
+    ----------
+    template:
+        The built model whose architecture (and parameter slot order) the
+        stack mirrors.  The template itself is never touched.
+    num_clients:
+        ``C``, the leading-axis extent.  Weights start as ``C`` copies of
+        the template's weights; load cohort weights with
+        :meth:`set_flat_weights`.
+    rng:
+        Seed spec for stochastic layers (Dropout mask streams).  Stacked
+        mask streams are stacked-stream-specific: one draw covers the
+        whole ``(C, batch, ...)`` tensor.
+    """
+
+    def __init__(
+        self, template: Sequential, num_clients: int, rng: RngLike = None
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError(f"num_clients must be positive, got {num_clients}")
+        unsupported = [
+            type(layer).__name__
+            for layer in template.layers
+            if type(layer).forward_stacked is Layer.forward_stacked
+        ]
+        if unsupported:
+            raise ValueError(
+                f"layers without stacked kernels: {unsupported}; the batched "
+                "executor supports Dense/ReLU/Conv2D/MaxPool2D/Flatten/Dropout"
+            )
+        self.num_clients = int(num_clients)
+        self.input_shape = template.input_shape
+        base = make_rng(rng)
+        self.layers: List[Layer] = []
+        for layer in template.layers:
+            stacked = copy.copy(layer)
+            stacked.params = {
+                name: np.broadcast_to(
+                    p, (self.num_clients,) + p.shape
+                ).copy()
+                for name, p in layer.params.items()
+            }
+            stacked.grads = {}
+            if isinstance(stacked, Dropout):
+                # Private mask stream per stacked program (never shared
+                # with the template's workspace draws).
+                stacked._rng = np.random.default_rng(
+                    base.integers(0, 2**63 - 1)
+                )
+            self.layers.append(stacked)
+        self._slots: List[Tuple[Layer, str, Tuple[int, ...]]] = [
+            (layer, name, template_layer.params[name].shape)
+            for layer, template_layer in zip(self.layers, template.layers)
+            for name in sorted(template_layer.params)
+        ]
+        self._num_params = template.num_params()
+        # Bottom-most parameterised layer: training never needs its
+        # input gradient (nothing below it learns), so train_step stops
+        # backprop there via backward_stacked_no_input_grad.
+        self._first_param_idx = next(
+            (i for i, layer in enumerate(self.layers) if layer.params), -1
+        )
+
+    # ------------------------------------------------------------------
+    # weight interface
+    # ------------------------------------------------------------------
+    def num_params(self) -> int:
+        """Per-client flat parameter count (matches the template)."""
+        return self._num_params
+
+    def set_flat_weights(self, flat: np.ndarray) -> None:
+        """Load per-client flat vectors ``(C, P)`` -- or one ``(P,)``
+        vector broadcast to every client (a round's global broadcast)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim == 1:
+            flat = np.broadcast_to(flat, (self.num_clients, flat.size))
+        if flat.shape != (self.num_clients, self._num_params):
+            raise ValueError(
+                f"expected flat weights of shape "
+                f"{(self.num_clients, self._num_params)}, got {flat.shape}"
+            )
+        offset = 0
+        for layer, name, shape in self._slots:
+            size = int(np.prod(shape))
+            layer.params[name] = (
+                flat[:, offset : offset + size]
+                .reshape((self.num_clients,) + shape)
+                .copy()
+            )
+            offset += size
+
+    def get_flat_weights(self) -> np.ndarray:
+        """Per-client flat weight vectors, shape ``(C, P)``."""
+        out = np.empty((self.num_clients, self._num_params), dtype=np.float64)
+        offset = 0
+        for layer, name, shape in self._slots:
+            size = int(np.prod(shape))
+            out[:, offset : offset + size] = layer.params[name].reshape(
+                self.num_clients, size
+            )
+            offset += size
+        return out
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the stacked stack; returns logits ``(C, n, num_classes)``."""
+        out = np.asarray(x, dtype=np.float64)
+        if (
+            out.ndim < 2
+            or out.shape[0] != self.num_clients
+            or out.shape[2:] != self.input_shape
+        ):
+            raise ValueError(
+                f"stacked input shape {out.shape} does not match "
+                f"({self.num_clients}, batch, *{self.input_shape})"
+            )
+        for layer in self.layers:
+            out = layer.forward_stacked(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate stacked logits-gradients back through the stack."""
+        for layer in reversed(self.layers):
+            grad = layer.backward_stacked(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: Optimizer,
+        prox_anchor: Optional[Sequence[np.ndarray]] = None,
+        prox_mu: float = 0.0,
+    ) -> np.ndarray:
+        """One cohort-wide mini-batch step; returns per-client losses ``(C,)``.
+
+        ``optimizer`` is one optimizer instance whose state arrays carry
+        the leading client axis: every update rule in
+        :mod:`repro.nn.optimizers` is elementwise, so the slices stay
+        independent (no cross-client mixing).  ``prox_anchor`` takes the
+        template-shaped global weights (same anchor for every client,
+        exactly the FedProx broadcast semantics).
+        """
+        logits = self.forward(x, training=True)
+        losses, grad = stacked_softmax_cross_entropy(logits, y)
+        first = self._first_param_idx
+        if first < 0:
+            self.backward(grad)
+        else:
+            # Truncated backprop: stop at the bottom-most parameterised
+            # layer and skip its input-gradient GEMM (its dx -- and the
+            # parameterless layers below -- feed nothing that trains).
+            for i in range(len(self.layers) - 1, first, -1):
+                grad = self.layers[i].backward_stacked(grad)
+            self.layers[first].backward_stacked_no_input_grad(grad)
+        if prox_mu > 0.0:
+            if prox_anchor is None:
+                raise ValueError("prox_mu > 0 requires prox_anchor weights")
+            anchors = list(prox_anchor)
+            if len(anchors) != len(self._slots):
+                raise ValueError(
+                    f"expected {len(self._slots)} anchor tensors, "
+                    f"got {len(anchors)}"
+                )
+            for (layer, name, _), a in zip(self._slots, anchors):
+                diff = layer.params[name] - a  # (C,)+shape minus shape
+                losses = losses + 0.5 * prox_mu * np.sum(
+                    diff.reshape(self.num_clients, -1) ** 2, axis=1
+                )
+                layer.grads[name] = layer.grads[name] + prox_mu * diff
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                optimizer.update((li, name), param, layer.grads[name])
+        return losses
+
+    def fit_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: Optimizer,
+        batch_size: int,
+        orders: np.ndarray,
+        prox_anchor: Optional[Sequence[np.ndarray]] = None,
+        prox_mu: float = 0.0,
+    ) -> np.ndarray:
+        """One stacked local epoch; returns per-client mean losses ``(C,)``.
+
+        ``orders`` is the ``(C, n)`` matrix of per-client shuffle
+        permutations -- drawn by the caller from each client's own train
+        RNG (one :func:`~numpy.random.Generator.permutation` per client
+        per epoch, the same consumption as the serial path), so a
+        batched round leaves every client's RNG in the state a serial
+        round would.  All clients must share ``n`` and the batch
+        schedule: that cohort homogeneity is what makes stacking exact.
+        """
+        c, n = x.shape[0], x.shape[1]
+        if n == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if orders.shape != (c, n):
+            raise ValueError(
+                f"orders must have shape {(c, n)}, got {orders.shape}"
+            )
+        ci = np.arange(c)[:, None]
+        x_ord = x[ci, orders]
+        y_ord = y[ci, orders]
+        losses = []
+        for start in range(0, n, batch_size):
+            losses.append(
+                self.train_step(
+                    x_ord[:, start : start + batch_size],
+                    y_ord[:, start : start + batch_size],
+                    optimizer,
+                    prox_anchor=prox_anchor,
+                    prox_mu=prox_mu,
+                )
+            )
+        return np.mean(np.stack(losses), axis=0)

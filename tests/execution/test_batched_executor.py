@@ -1,0 +1,401 @@
+"""Tests for the cohort-batched executor -- the ``batched`` numerics stream.
+
+``batched`` is the one backend outside the bit-identity family: stacked
+matmuls may reassociate float64 reductions, so its gate is tolerance
+(``np.allclose`` against the serial reference) plus golden-value pins,
+not bit-equality.  Everything else about the
+:class:`~repro.execution.base.ClientExecutor` contract -- request order,
+precondition errors, RNG consumption, eval bit-identity given equal
+weights -- is tested at full strictness here.
+
+Models are dropout-free (the conftest MLP): stacked Dropout mask streams
+are stacked-stream-specific, so only deterministic models admit a serial
+reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.execution import (
+    BIT_IDENTICAL_BACKENDS,
+    EXECUTOR_BACKENDS,
+    EvalRequest,
+    ExecutorError,
+    TrainRequest,
+    create_executor,
+)
+from repro.execution.batched import BatchedExecutor
+from repro.fl.selection import RandomSelector
+from repro.fl.server import FLServer
+from repro.nn import build_mlp
+from repro.tifl.server import TiFLServer
+from tests.conftest import make_test_client, make_tiny_dataset
+
+TRAIN = TrainingConfig(optimizer="rmsprop", lr=0.05, lr_decay=0.99)
+
+#: Stacked-vs-serial tolerance for trained weights.  Per-step divergence
+#: is reassociation-level (~1e-15 relative); multi-round training can
+#: amplify it, so the executor-level gate is looser than machine eps but
+#: still far below anything that could change learning behaviour.
+BATCHED_RTOL = 1e-6
+BATCHED_ATOL = 1e-12
+
+
+def make_pool(num_clients=6, seed=7, sizes=None):
+    clients = [
+        make_test_client(
+            client_id=i,
+            seed=seed,
+            n=30 if sizes is None else sizes[i % len(sizes)],
+        )
+        for i in range(num_clients)
+    ]
+    return {c.client_id: c for c in clients}
+
+
+def make_model(seed=7):
+    return build_mlp((4, 4, 1), 3, hidden=(8,), rng=seed)
+
+
+def train_once(backend, pool=None, requests=None, seed=7, **bind_kwargs):
+    """One direct ``train_cohort`` call; returns the list of updates."""
+    pool = pool if pool is not None else make_pool(seed=seed)
+    model = make_model(seed=seed)
+    requests = requests or [TrainRequest(cid) for cid in sorted(pool)]
+    with create_executor(backend, workers=1) as ex:
+        ex.bind(pool, model, bind_kwargs.pop("training", TRAIN))
+        return ex.train_cohort(0, requests, model.get_flat_weights())
+
+
+def run_server(backend, rounds=4, seed=7, per_round=3):
+    clients = list(make_pool(seed=seed).values())
+    model = make_model(seed=seed)
+    with FLServer(
+        clients=clients,
+        model=model,
+        selector=RandomSelector(per_round, rng=seed),
+        test_data=make_tiny_dataset(n=30, seed=999),
+        training=TRAIN,
+        rng=seed,
+        executor=backend,
+        workers=1,
+    ) as server:
+        history = server.run(rounds)
+        return server.global_weights.copy(), history
+
+
+# ----------------------------------------------------------------------
+# registry / construction
+# ----------------------------------------------------------------------
+class TestFactory:
+    def test_registered_but_outside_bit_identity_family(self):
+        assert "batched" in EXECUTOR_BACKENDS
+        assert "batched" not in BIT_IDENTICAL_BACKENDS
+
+    def test_create_executor(self):
+        with create_executor("batched", workers=4) as ex:
+            assert isinstance(ex, BatchedExecutor)
+            assert ex.name == "batched"
+            assert ex.supports_async_eval
+
+    def test_config_accepts_batched(self):
+        assert TrainingConfig(executor="batched").executor == "batched"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            BatchedExecutor(workers=0)
+
+
+# ----------------------------------------------------------------------
+# stacked-vs-serial tolerance (the stream's defining gate)
+# ----------------------------------------------------------------------
+class TestSerialTolerance:
+    def test_single_cohort_matches_serial(self):
+        serial = train_once("serial", seed=11)
+        batched = train_once("batched", seed=11)
+        for s, b in zip(serial, batched):
+            assert s.client_id == b.client_id
+            assert s.num_samples == b.num_samples
+            np.testing.assert_allclose(
+                b.flat_weights, s.flat_weights, rtol=1e-9, atol=1e-12
+            )
+
+    def test_multi_epoch_requests_match_serial(self):
+        requests = [TrainRequest(0, epochs=2), TrainRequest(1), TrainRequest(2, epochs=3)]
+        serial = train_once("serial", requests=list(requests), seed=13)
+        batched = train_once("batched", requests=list(requests), seed=13)
+        for s, b in zip(serial, batched):
+            np.testing.assert_allclose(
+                b.flat_weights, s.flat_weights, rtol=1e-9, atol=1e-12
+            )
+
+    def test_fedprox_matches_serial(self):
+        prox = TrainingConfig(
+            optimizer="rmsprop", lr=0.05, lr_decay=0.99, prox_mu=0.1
+        )
+        serial = train_once("serial", seed=17, training=prox)
+        batched = train_once("batched", seed=17, training=prox)
+        for s, b in zip(serial, batched):
+            np.testing.assert_allclose(
+                b.flat_weights, s.flat_weights, rtol=1e-9, atol=1e-12
+            )
+
+    def test_vanilla_server_stays_within_tolerance(self):
+        ref_weights, ref_history = run_server("serial")
+        weights, history = run_server("batched")
+        np.testing.assert_allclose(
+            weights, ref_weights, rtol=BATCHED_RTOL, atol=BATCHED_ATOL
+        )
+        # Scheduling is numerics-independent: same cohorts, same
+        # latencies, same simulated clock as the serial stream.
+        for ra, rb in zip(ref_history.records, history.records):
+            assert ra.selected == rb.selected
+            assert ra.dropped == rb.dropped
+            assert ra.round_latency == rb.round_latency
+            assert ra.sim_time == rb.sim_time
+            assert abs(ra.accuracy - rb.accuracy) <= 0.1
+
+    def test_tifl_server_stays_within_tolerance(self):
+        results = {}
+        for backend in ("serial", "batched"):
+            clients = list(make_pool(seed=5).values())
+            with TiFLServer(
+                clients=clients,
+                model=make_model(seed=5),
+                test_data=make_tiny_dataset(n=20, seed=997),
+                clients_per_round=3,
+                policy="uniform",
+                num_tiers=2,
+                sync_rounds=2,
+                training=TRAIN,
+                rng=5,
+                executor=backend,
+                workers=1,
+            ) as server:
+                history = server.run(3)
+                results[backend] = (server.global_weights.copy(), history)
+        np.testing.assert_allclose(
+            results["batched"][0],
+            results["serial"][0],
+            rtol=BATCHED_RTOL,
+            atol=BATCHED_ATOL,
+        )
+        for ra, rb in zip(
+            results["serial"][1].records, results["batched"][1].records
+        ):
+            assert ra.selected == rb.selected
+
+
+# ----------------------------------------------------------------------
+# executor contract
+# ----------------------------------------------------------------------
+class TestContract:
+    def test_updates_follow_request_order_across_groups(self):
+        # Heterogeneous sample counts force multiple stacked groups;
+        # the returned updates must still follow request order, not
+        # group order.
+        pool = make_pool(num_clients=6, sizes=(30, 20, 30, 20, 30, 20))
+        order = [3, 0, 5, 2, 1, 4]
+        requests = [TrainRequest(cid) for cid in order]
+        updates = train_once("batched", pool=pool, requests=requests)
+        assert [u.client_id for u in updates] == order
+
+    def test_heterogeneous_groups_match_serial(self):
+        pool = make_pool(num_clients=6, sizes=(30, 20, 30, 20, 30, 20))
+        requests = [TrainRequest(cid) for cid in sorted(pool)]
+        serial = train_once(
+            "serial", pool=make_pool(num_clients=6, sizes=(30, 20, 30, 20, 30, 20)),
+            requests=list(requests),
+        )
+        batched = train_once("batched", pool=pool, requests=list(requests))
+        for s, b in zip(serial, batched):
+            assert s.num_samples == b.num_samples
+            np.testing.assert_allclose(
+                b.flat_weights, s.flat_weights, rtol=1e-9, atol=1e-12
+            )
+
+    def test_chunking_is_bit_invariant(self, monkeypatch):
+        # MAX_STACK_CLIENTS is a pure performance knob: per-client
+        # independence means any chunking of a group produces
+        # bit-identical weights.
+        import repro.execution.batched as batched_mod
+
+        results = {}
+        for chunk in (1, 2, 64):
+            monkeypatch.setattr(batched_mod, "MAX_STACK_CLIENTS", chunk)
+            results[chunk] = train_once("batched", seed=3)
+        for chunk in (2, 64):
+            for a, b in zip(results[1], results[chunk]):
+                np.testing.assert_array_equal(a.flat_weights, b.flat_weights)
+
+    def test_empty_cohort(self):
+        pool = make_pool()
+        with create_executor("batched") as ex:
+            ex.bind(pool, make_model(), TRAIN)
+            assert ex.train_cohort(0, [], make_model().get_flat_weights()) == []
+
+    def test_unknown_client_rejected(self):
+        pool = make_pool()
+        with create_executor("batched") as ex:
+            ex.bind(pool, make_model(), TRAIN)
+            with pytest.raises(ExecutorError, match="unknown"):
+                ex.train_cohort(
+                    0, [TrainRequest(99)], make_model().get_flat_weights()
+                )
+
+    def test_duplicate_clients_rejected(self):
+        pool = make_pool()
+        with create_executor("batched") as ex:
+            ex.bind(pool, make_model(), TRAIN)
+            with pytest.raises(ExecutorError, match="duplicate"):
+                ex.train_cohort(
+                    0,
+                    [TrainRequest(0), TrainRequest(0)],
+                    make_model().get_flat_weights(),
+                )
+
+    def test_use_before_bind_and_after_close(self):
+        ex = create_executor("batched")
+        with pytest.raises(ExecutorError, match="before bind"):
+            ex.train_cohort(0, [TrainRequest(0)], np.zeros(4))
+        ex.bind(make_pool(), make_model(), TRAIN)
+        ex.close()
+        with pytest.raises(ExecutorError, match="after close"):
+            ex.train_cohort(0, [TrainRequest(0)], np.zeros(4))
+
+    def test_training_failure_wrapped_in_executor_error(self, monkeypatch):
+        from repro.nn.stacked import StackedSequential
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("synthetic kernel failure")
+
+        monkeypatch.setattr(StackedSequential, "fit_epoch", boom)
+        pool = make_pool()
+        with create_executor("batched") as ex:
+            ex.bind(pool, make_model(), TRAIN)
+            with pytest.raises(ExecutorError, match="stacked training failed"):
+                ex.train_cohort(
+                    0,
+                    [TrainRequest(cid) for cid in sorted(pool)],
+                    make_model().get_flat_weights(),
+                )
+
+    def test_latencies_stamped_onto_updates(self):
+        pool = make_pool()
+        model = make_model()
+        latencies = {cid: 0.5 + cid for cid in pool}
+        with create_executor("batched") as ex:
+            ex.bind(pool, model, TRAIN)
+            updates = ex.train_cohort(
+                0,
+                [TrainRequest(cid) for cid in sorted(pool)],
+                model.get_flat_weights(),
+                latencies=latencies,
+            )
+        assert [u.latency for u in updates] == [latencies[cid] for cid in sorted(pool)]
+
+
+# ----------------------------------------------------------------------
+# RNG-consumption alignment (executor switching never desyncs clients)
+# ----------------------------------------------------------------------
+class TestRngAlignment:
+    def test_shuffle_streams_advance_identically_to_serial(self):
+        pools = {b: make_pool(seed=31) for b in ("serial", "batched")}
+        for backend, pool in pools.items():
+            model = make_model(seed=31)
+            with create_executor(backend) as ex:
+                ex.bind(pool, model, TRAIN)
+                ex.train_cohort(
+                    0,
+                    [TrainRequest(cid, epochs=2) for cid in sorted(pool)],
+                    model.get_flat_weights(),
+                )
+        # After a round, every client's next draw must be identical:
+        # the batched path consumed exactly one permutation per epoch,
+        # same as serial.
+        for cid in sorted(pools["serial"]):
+            np.testing.assert_array_equal(
+                pools["serial"][cid].epoch_shuffle(),
+                pools["batched"][cid].epoch_shuffle(),
+            )
+
+
+# ----------------------------------------------------------------------
+# evaluation: bit-identical to serial, async-capable
+# ----------------------------------------------------------------------
+class TestEval:
+    def test_eval_bit_identical_to_serial(self):
+        results = {}
+        for backend in ("serial", "batched"):
+            pool = make_pool()
+            model = make_model()
+            with create_executor(backend) as ex:
+                ex.bind(pool, model, TRAIN)
+                results[backend] = ex.evaluate_cohort(
+                    [EvalRequest(cid) for cid in sorted(pool)],
+                    model.get_flat_weights(),
+                )
+        assert results["batched"] == results["serial"]
+
+    def test_async_eval_future(self):
+        pool = make_pool()
+        model = make_model()
+        with create_executor("batched") as ex:
+            ex.bind(pool, model, TRAIN)
+            requests = [EvalRequest(cid) for cid in sorted(pool)]
+            weights = model.get_flat_weights()
+            sync = ex.evaluate_cohort(requests, weights)
+            fut = ex.submit_cohort_evaluation(requests, weights)
+            assert fut.result(timeout=30) == sync
+
+    def test_eval_error_wrapped(self):
+        from tests.execution.test_eval_executors import make_holdoutless_client
+
+        client = make_holdoutless_client(0)
+        with create_executor("batched") as ex:
+            ex.bind({0: client}, make_model(), TRAIN)
+            with pytest.raises(ExecutorError, match="evaluation failed"):
+                ex.evaluate_cohort([EvalRequest(0)], make_model().get_flat_weights())
+
+
+# ----------------------------------------------------------------------
+# golden values: pin the batched stream against drift
+# ----------------------------------------------------------------------
+class TestGoldenValues:
+    """Literal pins of the batched stream on a fixed config.
+
+    These freeze the stream's numerics: a kernel change that moves a
+    trained weight by more than rounding shows up here first.  Pinned at
+    rtol 1e-9 -- loose enough to survive BLAS build differences in
+    reduction order, tight enough to catch any real numerics change.
+    If a deliberate, documented numerics change lands (a new stream
+    version), re-pin and say so in docs/numerics.md.
+    """
+
+    def run_pinned(self):
+        return run_server("batched", rounds=3, seed=42, per_round=3)
+
+    def test_final_weight_statistics(self):
+        weights, _ = self.run_pinned()
+        stats = {
+            "mean": float(weights.mean()),
+            "l2": float(np.linalg.norm(weights)),
+            "absmax": float(np.abs(weights).max()),
+        }
+        golden = GOLDEN_WEIGHT_STATS
+        for key, value in golden.items():
+            np.testing.assert_allclose(stats[key], value, rtol=1e-9)
+
+    def test_round_accuracies(self):
+        _, history = self.run_pinned()
+        accs = [r.accuracy for r in history.records]
+        np.testing.assert_allclose(accs, GOLDEN_ACCURACIES, rtol=1e-9)
+
+
+GOLDEN_WEIGHT_STATS = {
+    "mean": 0.08447098830464694,
+    "l2": 7.254616961892859,
+    "absmax": 1.6223523480060702,
+}
+GOLDEN_ACCURACIES = [0.5666666666666667, 0.9666666666666667, 0.9666666666666667]
