@@ -131,6 +131,70 @@ def bench_backend(
     return elapsed / rounds, global_weights, wire
 
 
+def bench_delta_levels(
+    num_clients, samples_per_client, seed, rounds, warmup_rounds, training
+):
+    """Encode-time vs bytes/round for every zlib level of the delta codec.
+
+    Runs one serial federation, snapshots the global weights after every
+    round, then encodes each consecutive (baseline, weights) pair at
+    levels 0-9 -- the same payloads the distributed BROADCAST hot path
+    would ship.  Decode is level-agnostic, so every level is also
+    round-trip-checked against the raw vector.
+    """
+    from repro.codec import DeltaCodec
+
+    clients, model = build_federation(num_clients, samples_per_client, seed)
+    pool = {c.client_id: c for c in clients}
+    executor = create_executor("serial")
+    executor.bind(pool, model, training)
+    weights = model.get_flat_weights()
+    snapshots = [weights]
+    requests = [TrainRequest(cid, epochs=training.epochs) for cid in sorted(pool)]
+    try:
+        for r in range(warmup_rounds + rounds):
+            updates = executor.train_cohort(r, requests, weights)
+            weights = fedavg(
+                [u.flat_weights for u in updates],
+                [float(u.num_samples) for u in updates],
+            )
+            snapshots.append(weights)
+    finally:
+        executor.close()
+    # Steady-state pairs only: skip the warmup transitions, like the
+    # distributed bytes/round measurement does.
+    pairs = list(zip(snapshots[warmup_rounds:-1], snapshots[warmup_rounds + 1:]))
+    sweep = {}
+    for level in range(10):
+        codec = DeltaCodec(level=level)
+        total_bytes = 0
+        start = time.perf_counter()
+        payloads = [codec.encode(w, baseline=base) for base, w in pairs]
+        encode_s = time.perf_counter() - start
+        total_bytes = sum(len(p) for p in payloads)
+        roundtrip = all(
+            np.array_equal(codec.decode(p, w.size, baseline=base), w)
+            for (base, w), p in zip(pairs, payloads)
+        )
+        sweep[level] = {
+            "bytes_per_round": total_bytes / len(pairs),
+            "encode_s_per_round": encode_s / len(pairs),
+            "lossless_roundtrip": roundtrip,
+        }
+    raw_bytes = pairs[0][1].nbytes
+    print(f"\ndelta codec zlib-level sweep ({len(pairs)} steady-state "
+          f"round(s), raw weights {raw_bytes / 1e6:.2f} MB):")
+    print(f"{'level':>5} {'bytes/round':>12} {'vs raw':>8} {'encode ms':>10}")
+    for level, row in sweep.items():
+        marker = " (default)" if level == DeltaCodec.COMPRESSION_LEVEL else ""
+        print(
+            f"{level:>5} {row['bytes_per_round'] / 1e6:>9.3f} MB "
+            f"{100 * (1 - row['bytes_per_round'] / raw_bytes):>+7.1f}% "
+            f"{1e3 * row['encode_s_per_round']:>10.2f}{marker}"
+        )
+    return sweep
+
+
 def _fl_executor_factory(backend, workers):
     """``make_executor`` for the shared pipeline harness: distributed
     gets real worker subprocesses on loopback, torn down after the run."""
@@ -267,6 +331,14 @@ def main(argv=None) -> int:
         print(f"{label} max |w - serial| = {diff:.3e} (lossy codec, by design)")
     print(f"bit-identical across lossless runs: {identical}")
 
+    delta_sweep = None
+    if "delta" in args.codecs:
+        delta_sweep = bench_delta_levels(
+            args.clients, args.samples_per_client, args.seed,
+            args.rounds, args.warmup_rounds, training,
+        )
+        identical &= all(row["lossless_roundtrip"] for row in delta_sweep.values())
+
     pipeline_results = {}
     if args.pipeline:
         from pipeline_harness import run_fl_rounds
@@ -332,6 +404,7 @@ def main(argv=None) -> int:
                 for label, (secs, _, wire, codec) in results.items()
             },
             "pipeline": pipeline_results or None,
+            "delta_level_sweep": delta_sweep,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -1,0 +1,219 @@
+"""Population-scale benchmark: O(cohort) rounds over 10^3..10^6 clients.
+
+Builds the columnar population scenario
+(:func:`repro.experiments.scenarios.build_population_scenario`) at each
+population size, measures store build time, per-round wall time and peak
+RSS, and hard-gates the tentpole claim: with a fixed 20-client cohort,
+per-round cost must stay **flat** (< 2x) from the smallest to the
+largest population -- the round loop touches the cohort plus vectorised
+columns, never one object per client.
+
+Each population size runs in its own subprocess so peak-RSS readings
+(``VmHWM``) never inherit a previous size's high-water mark.
+
+A second hard gate re-checks bit-identity at small N: the store-backed
+federation must produce *exactly* the history the eager list builder
+produces, across the serial, thread and process executors.
+
+Usage::
+
+    python benchmarks/bench_population_scale.py                  # 10^3..10^6
+    python benchmarks/bench_population_scale.py --max-clients 100000 \\
+        --rounds 3                                               # CI smoke
+
+Exit status is non-zero when either gate fails.  Results land in
+``BENCH_population_scale.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import telemetry  # noqa: E402
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+FLATNESS_GATE = 2.0  # max allowed per-round slowdown, smallest -> largest N
+
+
+def _rss_kb(field: str) -> float:
+    """Read ``VmRSS`` / ``VmHWM`` (kB) from /proc; -1 when unavailable."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    return -1.0
+
+
+def run_single(num_clients: int, rounds: int, cohort: int, seed: int) -> dict:
+    """One population size, in-process: build, train, report timings."""
+    from repro.experiments.scenarios import build_population_scenario
+    from repro.fl.selection import RandomSelector
+    from repro.fl.server import FLServer
+    from repro.rng import derive
+    from repro.simcluster.population import DiurnalSchedule
+
+    start = time.perf_counter()
+    scn = build_population_scenario(
+        num_clients=num_clients, clients_per_round=cohort, seed=seed
+    )
+    build_s = time.perf_counter() - start
+    store = scn.population
+    rss_after_build_kb = _rss_kb("VmRSS")
+
+    with FLServer(
+        clients=store,
+        model=scn.model,
+        selector=RandomSelector(cohort, rng=derive(seed, 101)),
+        test_data=scn.test_data,
+        training=scn.training,
+        rng=derive(seed, 202),
+    ) as server:
+        # Diurnal churn on: rounds must stay O(cohort) even while the
+        # event clock is flipping availability buckets.
+        store.attach_diurnal(
+            server.clock, DiurnalSchedule(period=3600.0, duty_cycle=0.75)
+        )
+        server.run(1)  # warmup round outside the timer
+        start = time.perf_counter()
+        server.run(rounds, start_round=1)
+        per_round_s = (time.perf_counter() - start) / rounds
+
+    return {
+        "num_clients": num_clients,
+        "build_s": build_s,
+        "per_round_s": per_round_s,
+        "rss_after_build_kb": rss_after_build_kb,
+        "peak_rss_kb": _rss_kb("VmHWM"),
+        "materializations": store.materialize_count,
+        "resident": store.resident,
+    }
+
+
+def check_bit_identity(seed: int) -> dict:
+    """Store-backed vs eager histories at small N, per executor backend."""
+    from repro.experiments.runner import run_policy
+    from repro.experiments.scenarios import ScenarioConfig
+
+    cfg = ScenarioConfig(
+        dataset="mnist", num_clients=20, clients_per_round=5,
+        train_size=400, test_size=60,
+    )
+    out = {}
+    for backend in ("serial", "thread", "process"):
+        workers = 1 if backend == "serial" else 2
+        eager = run_policy(
+            cfg, "vanilla", rounds=2, seed=seed,
+            executor=backend, workers=workers,
+        )
+        store = run_policy(
+            cfg, "vanilla", rounds=2, seed=seed,
+            executor=backend, workers=workers, population=True,
+        )
+        out[backend] = eager.history.records == store.history.records
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sizes", nargs="+", type=int, default=list(DEFAULT_SIZES))
+    ap.add_argument("--max-clients", type=int, default=None,
+                    help="drop population sizes above this (CI caps at 1e5)")
+    ap.add_argument("--rounds", type=int, default=5,
+                    help="measured rounds per population size")
+    ap.add_argument("--cohort", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--single", type=int, default=None, metavar="N",
+                    help="internal: run one population size and print JSON")
+    ap.add_argument("--json", metavar="PATH",
+                    default="BENCH_population_scale.json",
+                    help="machine-readable output ('' disables)")
+    args = ap.parse_args(argv)
+
+    if args.single is not None:
+        row = run_single(args.single, args.rounds, args.cohort, args.seed)
+        print(json.dumps(row))
+        return 0
+
+    sizes = sorted(
+        n for n in args.sizes
+        if args.max_clients is None or n <= args.max_clients
+    )
+    if not sizes:
+        print("error: no population sizes left after --max-clients filter",
+              file=sys.stderr)
+        return 2
+
+    print(
+        f"population scale: N in {sizes}, cohort {args.cohort}, "
+        f"{args.rounds} measured round(s) each (subprocess per size)"
+    )
+    rows = []
+    for n in sizes:
+        cmd = [
+            sys.executable, os.path.abspath(__file__),
+            "--single", str(n), "--rounds", str(args.rounds),
+            "--cohort", str(args.cohort), "--seed", str(args.seed),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"error: N={n} run failed:\n{proc.stderr}", file=sys.stderr)
+            return 1
+        rows.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+
+    print(f"{'N':>9} {'build s':>9} {'s/round':>9} {'peak RSS':>10} "
+          f"{'materialised':>13}")
+    for row in rows:
+        print(
+            f"{row['num_clients']:>9} {row['build_s']:>9.3f} "
+            f"{row['per_round_s']:>9.4f} "
+            f"{row['peak_rss_kb'] / 1024:>8.1f}MB "
+            f"{row['materializations']:>13}"
+        )
+
+    ratio = rows[-1]["per_round_s"] / rows[0]["per_round_s"]
+    flat = ratio < FLATNESS_GATE
+    print(
+        f"per-round cost {rows[0]['num_clients']} -> "
+        f"{rows[-1]['num_clients']} clients: {ratio:.2f}x "
+        f"(gate: < {FLATNESS_GATE}x) -> {'PASS' if flat else 'FAIL'}"
+    )
+
+    identity = check_bit_identity(args.seed)
+    identical = all(identity.values())
+    for backend, same in identity.items():
+        print(f"store-vs-eager bit-identity [{backend}]: "
+              f"{'PASS' if same else 'FAIL'}")
+
+    if args.json:
+        payload = {
+            "benchmark": "population_scale",
+            "meta": telemetry.run_metadata(config={
+                "sizes": sizes, "rounds": args.rounds,
+                "cohort": args.cohort, "seed": args.seed,
+            }),
+            "flatness_gate": FLATNESS_GATE,
+            "per_round_ratio": ratio,
+            "flat": flat,
+            "bit_identity": identity,
+            "runs": {str(row["num_clients"]): row for row in rows},
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    return 0 if (flat and identical) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Commands
 ``privacy``  print the Sec. 4.6 amplification table for a pool/cohort
 ``worker``   join a distributed coordinator as a training agent
 ``report``   summarize a ``--trace-out`` JSONL trace file
+``scale``    population-scale run: columnar store + diurnal availability
 
 Examples::
 
@@ -65,6 +66,16 @@ frame type, worker utilization)::
 
     python -m repro.cli run --rounds 20 --trace-out trace.jsonl
     python -m repro.cli report trace.jsonl
+
+Population-scale federations (see
+:mod:`repro.simcluster.population`): ``--population`` builds the
+scenario as a columnar :class:`PopulationStore` with lazy client
+materialisation -- bit-identical histories, O(cohort) steady-state
+memory -- and ``scale`` runs a synthetic heavy-tailed federation with
+diurnal availability churn at sizes the eager builder cannot reach::
+
+    python -m repro.cli run --population --rounds 20
+    python -m repro.cli scale --num-clients 100000 --rounds 5
 """
 
 from __future__ import annotations
@@ -119,6 +130,11 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--test-size", type=int, default=400)
     p.add_argument("--model", default="linear")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--population", action="store_true",
+                   help="build the federation as a columnar population "
+                        "store with lazy client materialisation (bit-"
+                        "identical results, O(cohort) steady-state memory; "
+                        "see repro.simcluster.population)")
 
 
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
@@ -160,6 +176,12 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
                         "serial; delta cuts steady-state bytes/round ~30%% "
                         "on a converging run; quantized is float16 -- "
                         "lossy, opt-in).  In-process executors ignore it")
+    p.add_argument("--codec-level", type=int, default=None, metavar="0-9",
+                   help="compression level for codecs that have one "
+                        "(delta's zlib level; default keeps the codec's "
+                        "registered default, 6).  Encoder-local: the "
+                        "decoded bits never change, so peers need not "
+                        "agree on it")
     p.add_argument("--reconnect-grace", type=float, default=0.0,
                    metavar="SECONDS",
                    help="let a worker whose TCP connection drops resume "
@@ -204,11 +226,17 @@ def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
         test_size=args.test_size,
         model=args.model,
     )
-    # --codec threads through TrainingConfig (what the executors read);
-    # commands without executor flags (estimate/privacy) have no codec.
+    # --codec/--codec-level thread through TrainingConfig (what the
+    # executors read); commands without executor flags (estimate/privacy)
+    # have no codec.
     codec = getattr(args, "codec", "raw")
-    if codec != "raw":
-        cfg = cfg.with_(training=cfg.resolved_training().with_(codec=codec))
+    level = getattr(args, "codec_level", None)
+    if codec != "raw" or level is not None:
+        cfg = cfg.with_(
+            training=cfg.resolved_training().with_(
+                codec=codec, codec_level=level
+            )
+        )
     return cfg
 
 
@@ -238,6 +266,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             cfg, args.policy, rounds=args.rounds, seed=args.seed,
             executor=_make_executor(args), workers=args.workers,
             pipeline=True if args.pipeline else None,
+            population=args.population,
         )
     finally:
         if tracing:
@@ -270,6 +299,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             repeats=args.repeats, executor=args.executor,
             workers=args.workers,
             pipeline=True if args.pipeline else None,
+            population=args.population,
         )
     finally:
         if tracing:
@@ -293,7 +323,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_estimate(args: argparse.Namespace) -> int:
     cfg = _scenario_config(args)
-    scenario = build_scenario(cfg, seed=args.seed)
+    scenario = build_scenario(cfg, seed=args.seed, population=args.population)
     profiling = profile_clients(
         scenario.clients, scenario.model.num_params(), sync_rounds=args.sync_rounds
     )
@@ -330,6 +360,71 @@ def cmd_privacy(args: argparse.Namespace) -> int:
     print(format_table(
         ["policy", "q_max", "eps/round", "delta/round"], rows, float_fmt="{:.4f}"
     ))
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Population-scale run: columnar store + diurnal availability churn."""
+    from repro.experiments.scenarios import build_population_scenario
+    from repro.fl.selection import RandomSelector
+    from repro.fl.server import FLServer
+    from repro.rng import derive
+    from repro.simcluster.population import DiurnalSchedule
+
+    scn = build_population_scenario(
+        num_clients=args.num_clients,
+        clients_per_round=args.clients_per_round,
+        pool_size=args.pool_size,
+        model=args.model,
+        heavy_tailed=not args.homogeneous,
+        seed=args.seed,
+    )
+    store = scn.population
+    assert store is not None
+    print(
+        f"[scale] {store.num_clients} clients as columns; "
+        f"cache capacity {store.cache_size} materialised clients",
+        file=sys.stderr,
+    )
+    selector = RandomSelector(scn.clients_per_round, rng=derive(args.seed, 101))
+    tracing = _start_tracing(args, scn.config)
+    try:
+        with FLServer(
+            clients=store,
+            model=scn.model,
+            selector=selector,
+            test_data=scn.test_data,
+            training=scn.training,
+            eval_every=args.eval_every,
+            rng=derive(args.seed, 202),
+        ) as server:
+            if args.diurnal_period > 0:
+                store.attach_diurnal(
+                    server.clock,
+                    DiurnalSchedule(
+                        period=args.diurnal_period,
+                        duty_cycle=args.duty_cycle,
+                        num_phases=args.diurnal_phases,
+                    ),
+                )
+                print(
+                    f"[scale] diurnal churn: period {args.diurnal_period:g}s, "
+                    f"duty cycle {args.duty_cycle:g}, "
+                    f"{args.diurnal_phases} phase groups; "
+                    f"{store.availability_fraction():.1%} available at t=0",
+                    file=sys.stderr,
+                )
+            history = server.run(args.rounds)
+    finally:
+        if tracing:
+            _finish_tracing(args)
+    print(history.summary())
+    print(
+        f"population: {store.num_clients} clients, "
+        f"{store.materialize_count} materialisations, "
+        f"{store.resident} resident (cache {store.cache_size}), "
+        f"{store.availability_fraction():.1%} available at end"
+    )
     return 0
 
 
@@ -415,6 +510,33 @@ def build_parser() -> argparse.ArgumentParser:
                                 "critical"],
                        help="threshold for the shared repro logger")
     p_wrk.set_defaults(func=cmd_worker)
+
+    p_scl = sub.add_parser(
+        "scale",
+        help="population-scale run: columnar client store, heavy-tailed "
+             "capacities, diurnal availability churn",
+    )
+    p_scl.add_argument("--num-clients", type=_positive_int, default=100_000)
+    p_scl.add_argument("--clients-per-round", type=_positive_int, default=20)
+    p_scl.add_argument("--rounds", type=_positive_int, default=5)
+    p_scl.add_argument("--pool-size", type=_positive_int, default=2048,
+                       help="shared synthetic sample pool clients subset")
+    p_scl.add_argument("--model", default="linear")
+    p_scl.add_argument("--eval-every", type=int, default=1)
+    p_scl.add_argument("--seed", type=int, default=0)
+    p_scl.add_argument("--homogeneous", action="store_true",
+                       help="identical capacities instead of the default "
+                            "heavy-tailed (log-normal) CPU/bandwidth draws")
+    p_scl.add_argument("--diurnal-period", type=float, default=86400.0,
+                       metavar="SECONDS",
+                       help="diurnal availability period (0 disables churn: "
+                            "everyone stays available)")
+    p_scl.add_argument("--duty-cycle", type=float, default=0.5,
+                       help="fraction of each period a phase group is online")
+    p_scl.add_argument("--diurnal-phases", type=_positive_int, default=24,
+                       help="staggered phase groups per period")
+    _add_observability_args(p_scl)
+    p_scl.set_defaults(func=cmd_scale)
 
     p_rep = sub.add_parser(
         "report", help="summarize a --trace-out JSONL telemetry trace"

@@ -167,6 +167,20 @@ class WeightCodec:
             )
         return base
 
+    def with_level(self, level: Optional[int]) -> "WeightCodec":
+        """A codec configured for compression ``level`` (``None`` = self).
+
+        Codecs without a compression knob accept only ``None``; the
+        delta codec returns a level-configured twin (same name and wire
+        id -- the level is an encoder-local choice, decode is
+        level-agnostic, so peers never need to agree on it).
+        """
+        if level is None:
+            return self
+        raise ValueError(
+            f"codec {self.name!r} has no compression level to configure"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r} id={self.codec_id}>"
 
@@ -236,7 +250,25 @@ class DeltaCodec(WeightCodec):
 
     #: zlib level 6 sits within ~1% of the byte planes' empirical entropy
     #: on converged training deltas; higher levels buy nothing measurable.
+    #: The default is deliberately unchanged -- ``level`` (or
+    #: ``TrainingConfig.codec_level``) trades encode CPU against wire
+    #: bytes per deployment; the encode-time-vs-bytes sweep lives in
+    #: ``benchmarks/bench_distributed_loopback``.
     COMPRESSION_LEVEL = 6
+
+    def __init__(self, level: Optional[int] = None) -> None:
+        if level is None:
+            level = self.COMPRESSION_LEVEL
+        if not 0 <= int(level) <= 9:
+            raise ValueError(
+                f"delta compression level must be in [0, 9], got {level}"
+            )
+        self.level = int(level)
+
+    def with_level(self, level: Optional[int]) -> "WeightCodec":
+        if level is None or int(level) == self.level:
+            return self
+        return DeltaCodec(level=level)
 
     def encode(
         self, flat: np.ndarray, baseline: Optional[np.ndarray] = None
@@ -253,7 +285,7 @@ class DeltaCodec(WeightCodec):
         shuffled = np.ascontiguousarray(
             zigzag.view(np.uint8).reshape(-1, 8).T
         ).tobytes()
-        return zlib.compress(shuffled, self.COMPRESSION_LEVEL)
+        return zlib.compress(shuffled, self.level)
 
     def decode(
         self,
@@ -366,8 +398,13 @@ def register_codec(codec: WeightCodec) -> WeightCodec:
     return codec
 
 
-def get_codec(name: str) -> WeightCodec:
-    """Look a codec up by name; raises ``ValueError`` for unknown names."""
+def get_codec(name: str, level: Optional[int] = None) -> WeightCodec:
+    """Look a codec up by name; raises ``ValueError`` for unknown names.
+
+    ``level`` configures the codec's compression level when it has one
+    (today: ``delta``'s zlib level); ``None`` keeps the registered
+    default, and passing a level to a codec without the knob raises.
+    """
     try:
         codec = _BY_NAME[name]
     except KeyError:
@@ -376,7 +413,7 @@ def get_codec(name: str) -> WeightCodec:
         ) from None
     if telemetry.enabled():
         telemetry.count("codec.registry_lookups", 1, codec=codec.name)
-    return codec
+    return codec.with_level(level)
 
 
 def codec_for_id(codec_id: int) -> WeightCodec:

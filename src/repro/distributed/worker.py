@@ -329,7 +329,9 @@ class WorkerAgent:
         # Updates travel through the configured codec; for delta the
         # baseline is the broadcast this cohort trains from -- both
         # peers hold it by construction, first round included.
-        codec = get_codec(self._training.codec)
+        codec = get_codec(
+            self._training.codec, level=self._training.codec_level
+        )
         baseline = global_flat if codec.requires_baseline else None
         baseline_seq = seq if codec.requires_baseline else 0
         self._stats["train_requests"] += 1

@@ -212,7 +212,7 @@ class ClientExecutor:
     supports_async_eval: bool = False
 
     def __init__(self) -> None:
-        self._clients: Optional[Dict[int, SimClient]] = None
+        self._clients: Optional[Mapping[int, SimClient]] = None
         self._model: Optional[Sequential] = None
         self._training: Optional[TrainingConfig] = None
         self._eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -231,9 +231,25 @@ class ClientExecutor:
         error whether or not workers have started -- one executor instance
         serves one federation (sharing it across servers would train the
         wrong clients' data).
+
+        A mapping that declares itself ``lazy`` (the population store's
+        client view) is held **by reference** instead of being copied
+        into a dict: copying would materialise the whole population,
+        which is exactly what the store exists to avoid.  Lazy rebinds
+        compare by identity for the same reason.  Backends that look
+        clients up per cohort (serial, thread, batched) therefore stay
+        O(cohort); backends that ship the pool to workers up front
+        (process, distributed) still materialise every client when they
+        start -- documented, and fine at the small N their equivalence
+        tests run at.
         """
+        lazy = bool(getattr(clients, "lazy", False))
         if self._clients is not None:
-            if dict(clients) != self._clients or model is not self._model:
+            if lazy or getattr(self._clients, "lazy", False):
+                same_pool = clients is self._clients
+            else:
+                same_pool = dict(clients) == self._clients
+            if not same_pool or model is not self._model:
                 raise ExecutorError(
                     f"{self.name} executor is already bound to a different "
                     "client pool; create a fresh executor instead"
@@ -248,11 +264,11 @@ class ClientExecutor:
                 )
             self._training = training
             return
-        self._clients = dict(clients)
+        self._clients = clients if lazy else dict(clients)
         self._model = model
         self._training = training
 
-    def _require_bound(self) -> Dict[int, SimClient]:
+    def _require_bound(self) -> Mapping[int, SimClient]:
         if self._closed:
             raise ExecutorError(f"{self.name} executor used after close()")
         if self._clients is None or self._model is None or self._training is None:
@@ -261,7 +277,7 @@ class ClientExecutor:
 
     def _check_requests(
         self, requests: Sequence[Union[TrainRequest, EvalRequest]]
-    ) -> Dict[int, SimClient]:
+    ) -> Mapping[int, SimClient]:
         """Bound / known / no-duplicates precondition shared by every backend."""
         clients = self._require_bound()
         unknown = [r.client_id for r in requests if r.client_id not in clients]
@@ -288,8 +304,9 @@ class ClientExecutor:
         """
         from repro.codec import get_codec
 
-        name = "raw" if self._training is None else self._training.codec
-        return get_codec(name)
+        if self._training is None:
+            return get_codec("raw")
+        return get_codec(self._training.codec, level=self._training.codec_level)
 
     # ------------------------------------------------------------------
     def train_cohort(

@@ -72,6 +72,7 @@ def run_policy(
     executor: Union[str, "ClientExecutor", None] = None,
     workers: Optional[int] = None,
     pipeline: Optional[bool] = None,
+    population: bool = False,
 ) -> ExperimentResult:
     """Train ``rounds`` rounds under ``policy`` on the scenario ``cfg``.
 
@@ -90,11 +91,14 @@ def run_policy(
     (e.g. a listening distributed coordinator), in which case ``workers``
     is ignored.  ``pipeline`` opts the server into the round-pipelined
     driver (:mod:`repro.fl.engine`) -- bit-identical history, overlapped
-    wall-clock.
+    wall-clock.  ``population`` builds the federation as a columnar
+    :class:`~repro.simcluster.population.PopulationStore` with lazy
+    client materialisation instead of an eager list -- bit-identical
+    histories, O(cohort) steady-state memory.
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
-    scn = scenario or build_scenario(cfg, seed=seed)
+    scn = scenario or build_scenario(cfg, seed=seed, population=population)
     family = policy_family or (
         "mnist" if cfg.dataset in ("mnist", "fmnist") else "cifar"
     )

@@ -15,7 +15,7 @@ paper-scale values.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,8 +50,19 @@ from repro.simcluster import (
     SimClient,
     assign_resource_groups,
 )
+from repro.simcluster.population import (
+    DEFAULT_CACHE_SIZE,
+    PopulationStore,
+    SeedAddress,
+)
 
-__all__ = ["ScenarioConfig", "Scenario", "build_scenario", "build_leaf_scenario"]
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "build_leaf_scenario",
+    "build_population_scenario",
+]
 
 _DATASETS = {
     "mnist": mnist_like,
@@ -173,25 +184,44 @@ class ScenarioConfig:
 
 @dataclass
 class Scenario:
-    """A fully materialised evaluation setting."""
+    """One evaluation setting, ready to hand to a server.
+
+    ``clients`` is either the eager list of :class:`SimClient` objects
+    (the small-N default) or a lazy
+    :class:`~repro.simcluster.population.PopulationStore` when built
+    with ``population=True`` -- servers accept both.  ``fed`` is
+    ``None`` for pool-backed population scenarios, which carry their
+    shared test set in ``test`` instead.
+    """
 
     config: ScenarioConfig
-    clients: List[SimClient]
+    clients: Union[List[SimClient], PopulationStore]
     model: Sequential
-    fed: FederatedData
+    fed: Optional[FederatedData]
     training: TrainingConfig
     latency_model: LatencyModel
     comm_model: CommModel
+    test: Optional[Dataset] = None
 
     @property
     def test_data(self) -> Dataset:
+        if self.test is not None:
+            return self.test
         return self.fed.test
 
     @property
     def clients_per_round(self) -> int:
         return self.config.clients_per_round
 
+    @property
+    def population(self) -> Optional[PopulationStore]:
+        """The columnar store when this scenario is store-backed."""
+        return self.clients if isinstance(self.clients, PopulationStore) else None
+
     def group_of(self, client_id: int) -> int:
+        pop = self.population
+        if pop is not None:
+            return int(pop.group[client_id])
         return self.clients[client_id].spec.group
 
 
@@ -231,8 +261,19 @@ def _partition(
     return out
 
 
-def build_scenario(cfg: ScenarioConfig, seed: RngLike = None) -> Scenario:
-    """Materialise a scenario: dataset -> partition -> clients -> model."""
+def build_scenario(
+    cfg: ScenarioConfig, seed: RngLike = None, population: bool = False
+) -> Scenario:
+    """Materialise a scenario: dataset -> partition -> clients -> model.
+
+    With ``population=True`` the per-client objects are not built:
+    client metadata goes into a columnar
+    :class:`~repro.simcluster.population.PopulationStore` whose
+    ``materialize(cid)`` is bit-identical to the eager list built here
+    (same SeedSequence spawn-key addressing, same holdout draws) --
+    gated by the equivalence tests in
+    ``tests/simcluster/test_population.py``.
+    """
     base = make_rng(seed)
     data_rng, part_rng, model_rng, client_seed_rng = spawn(base, 4)
 
@@ -277,19 +318,36 @@ def build_scenario(cfg: ScenarioConfig, seed: RngLike = None) -> Scenario:
     )
     comm_model = CommModel()
 
-    client_rngs = spawn(client_seed_rng, cfg.num_clients)
-    clients = [
-        SimClient(
-            client_id=cid,
-            data=fed.client_dataset(cid),
-            spec=specs[cid],
+    clients: Union[List[SimClient], PopulationStore]
+    if population:
+        # Capture the spawn coordinates instead of spawning N children:
+        # store.materialize(cid) seeds from the identical child sequence
+        # the eager branch below hands to client cid.
+        clients = PopulationStore(
+            num_samples=fed.client_sizes(),
+            cpu_fraction=[s.cpu_fraction for s in specs],
+            bandwidth_mbps=[s.bandwidth_mbps for s in specs],
+            group=[s.group for s in specs],
+            dataset_for=fed.client_dataset,
             latency_model=latency_model,
             comm_model=comm_model,
             holdout_fraction=cfg.holdout_fraction,
-            rng=client_rngs[cid],
+            seed_rng=client_seed_rng,
         )
-        for cid in range(cfg.num_clients)
-    ]
+    else:
+        client_rngs = spawn(client_seed_rng, cfg.num_clients)
+        clients = [
+            SimClient(
+                client_id=cid,
+                data=fed.client_dataset(cid),
+                spec=specs[cid],
+                latency_model=latency_model,
+                comm_model=comm_model,
+                holdout_fraction=cfg.holdout_fraction,
+                rng=client_rngs[cid],
+            )
+            for cid in range(cfg.num_clients)
+        ]
     return Scenario(
         config=cfg,
         clients=clients,
@@ -392,4 +450,140 @@ def build_leaf_scenario(
         training=training or PAPER_FEMNIST_TRAINING,
         latency_model=latency_model,
         comm_model=comm_model,
+    )
+
+
+def build_population_scenario(
+    num_clients: int = 100_000,
+    clients_per_round: int = 20,
+    pool_size: int = 2048,
+    samples_range: Tuple[int, int] = (16, 64),
+    shape: Tuple[int, ...] = (8, 8, 1),
+    test_size: int = 256,
+    model: str = "linear",
+    heavy_tailed: bool = True,
+    num_groups: int = 5,
+    holdout_fraction: float = 0.2,
+    cost_per_sample: float = 0.005,
+    base_overhead: float = 0.2,
+    noise_sigma: float = 0.05,
+    training: Optional[TrainingConfig] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    seed: RngLike = None,
+) -> Scenario:
+    """A population-scale scenario the paper never could run.
+
+    Build cost is O(num_clients) *columns*, never objects: every
+    per-client quantity (sample count, heavy-tailed CPU capacity and
+    bandwidth) is one vectorised draw, and each client's local dataset
+    is a lazily-drawn subset of a shared ``pool_size``-sample synthetic
+    pool, addressed by its own SeedSequence spawn key -- so a
+    10^6-client scenario costs a few int64/float64 arrays plus one small
+    pool, and materialising any client is deterministic regardless of
+    order.
+
+    ``heavy_tailed=True`` draws CPU fractions and bandwidths from
+    log-normal distributions (right-skewed, like real device fleets)
+    and buckets them into ``num_groups`` capacity quantiles (group 0 =
+    fastest, mirroring the paper's ordering).  Pair with
+    :class:`~repro.simcluster.population.DiurnalSchedule` via
+    ``scenario.population.attach_diurnal(clock, schedule)`` for
+    availability churn.
+    """
+    lo, hi = int(samples_range[0]), int(samples_range[1])
+    if not 1 <= lo <= hi <= pool_size:
+        raise ValueError(
+            f"samples_range must satisfy 1 <= lo <= hi <= pool_size, "
+            f"got {samples_range} with pool_size={pool_size}"
+        )
+    base = make_rng(seed)
+    data_rng, model_rng, client_seed_rng = spawn(base, 3)
+
+    pool, test = mnist_like(
+        train_size=pool_size, test_size=test_size, shape=shape, rng=data_rng
+    )
+    num_classes = pool.num_classes
+    if model == "linear":
+        net = build_linear(shape, num_classes, rng=model_rng)
+    elif model == "mlp":
+        net = build_mlp(shape, num_classes, rng=model_rng)
+    else:
+        net = build_model(
+            model, input_shape=shape, num_classes=num_classes, rng=model_rng
+        )
+
+    # Columns: one vectorised draw each (value draws leave the spawn
+    # counter alone, so the capture below stays addressable).
+    num_samples = client_seed_rng.integers(
+        lo, hi, size=num_clients, endpoint=True
+    )
+    if heavy_tailed:
+        cpu = np.clip(
+            client_seed_rng.lognormal(0.0, 1.0, size=num_clients), 0.05, 16.0
+        )
+        bandwidth = np.clip(
+            client_seed_rng.lognormal(np.log(100.0), 0.75, size=num_clients),
+            1.0,
+            1000.0,
+        )
+        edges = np.quantile(cpu, np.linspace(0.0, 1.0, num_groups + 1)[1:-1])
+        # group 0 = fastest quantile, like assign_resource_groups.
+        group = (num_groups - 1) - np.searchsorted(edges, cpu, side="right")
+    else:
+        cpu = np.full(num_clients, 2.0)
+        bandwidth = np.full(num_clients, 100.0)
+        group = np.zeros(num_clients, dtype=np.int64)
+
+    # Per-client dataset streams get their own spawn-key domain (child 0
+    # of client_seed_rng), then client seeds are captured on top -- both
+    # lazily addressable, neither allocates N generators.
+    (data_seed_parent,) = spawn(client_seed_rng, 1)
+    data_address = SeedAddress.capture(data_seed_parent)
+
+    def dataset_for(cid: int) -> Dataset:
+        r = make_rng(data_address.child(cid))
+        idx = np.sort(r.choice(pool_size, size=int(num_samples[cid]), replace=False))
+        return pool.subset(idx, name=f"{pool.name}/client{cid}")
+
+    latency_model = LatencyModel(
+        cost_per_sample=cost_per_sample,
+        base_overhead=base_overhead,
+        noise_sigma=noise_sigma,
+    )
+    comm_model = CommModel()
+    store = PopulationStore(
+        num_samples=num_samples,
+        cpu_fraction=cpu,
+        bandwidth_mbps=bandwidth,
+        group=group,
+        dataset_for=dataset_for,
+        latency_model=latency_model,
+        comm_model=comm_model,
+        holdout_fraction=holdout_fraction,
+        seed_rng=client_seed_rng,
+        cache_size=cache_size,
+    )
+    cfg = ScenarioConfig(
+        dataset="mnist",
+        num_clients=num_clients,
+        clients_per_round=clients_per_round,
+        resource_profile="heterogeneous",
+        shape=shape,
+        train_size=pool_size,
+        test_size=test_size,
+        model=model,
+        cost_per_sample=cost_per_sample,
+        base_overhead=base_overhead,
+        noise_sigma=noise_sigma,
+        holdout_fraction=holdout_fraction,
+    )
+    return Scenario(
+        config=cfg,
+        clients=store,
+        model=net,
+        fed=None,
+        training=training or cfg.resolved_training(),
+        latency_model=latency_model,
+        comm_model=comm_model,
+        test=test,
     )

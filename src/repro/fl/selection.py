@@ -97,8 +97,12 @@ class RandomSelector(ClientSelector):
         self._rng = make_rng(rng)
 
     def select(self, round_idx: int, available: Sequence[int]) -> SelectionPlan:
+        # np.asarray inside choice_without_replacement accepts lists and
+        # int64 availability columns alike (a no-copy view for the
+        # latter), and the draw is bit-identical either way -- so the
+        # store-backed population path costs O(cohort) here, not O(pool).
         chosen = choice_without_replacement(
-            self._rng, list(available), self.clients_per_round
+            self._rng, available, self.clients_per_round
         )
         return SelectionPlan(clients=[int(c) for c in chosen])
 
@@ -131,5 +135,5 @@ class OverSelector(ClientSelector):
             raise ValueError(
                 f"pool of {len(available)} cannot satisfy target {self.target}"
             )
-        chosen = choice_without_replacement(self._rng, list(available), want)
+        chosen = choice_without_replacement(self._rng, available, want)
         return SelectionPlan(clients=[int(c) for c in chosen], keep=self.target)

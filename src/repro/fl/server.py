@@ -47,6 +47,7 @@ from repro.simcluster.client import SimClient
 from repro.simcluster.clock import SimulatedClock
 from repro.simcluster.faults import FaultInjector
 from repro.simcluster.latency import CohortLatencySampler, resolve_latency_stream
+from repro.simcluster.population import PopulationStore
 
 __all__ = ["FLServer"]
 
@@ -59,7 +60,12 @@ class FLServer:
     Parameters
     ----------
     clients:
-        The full client pool ``K``.
+        The full client pool ``K``: either a sequence of materialised
+        :class:`SimClient` objects (the small-N default) or a
+        :class:`~repro.simcluster.population.PopulationStore`, in which
+        case clients materialise lazily on selection and the round loop
+        runs population-free (vectorised availability / selection off
+        the store's columns).
     model:
         The global model; also used as the shared training/eval workspace.
     selector:
@@ -109,7 +115,7 @@ class FLServer:
 
     def __init__(
         self,
-        clients: Sequence[SimClient],
+        clients: Union[Sequence[SimClient], PopulationStore],
         model: Sequential,
         selector: ClientSelector,
         test_data: Dataset,
@@ -126,7 +132,11 @@ class FLServer:
         latency_stream: Union[str, CohortLatencySampler, None] = None,
         pipeline: Optional[bool] = None,
     ) -> None:
-        if not clients:
+        if isinstance(clients, PopulationStore):
+            has_clients = len(clients) > 0
+        else:
+            has_clients = bool(clients)
+        if not has_clients:
             raise ValueError("the client pool must be non-empty")
         if eval_every <= 0:
             raise ValueError(f"eval_every must be positive, got {eval_every}")
@@ -134,11 +144,18 @@ class FLServer:
             raise ValueError(
                 f"dropout_timeout must be positive, got {dropout_timeout}"
             )
-        self.clients: Dict[int, SimClient] = {}
-        for c in clients:
-            if c.client_id in self.clients:
-                raise ValueError(f"duplicate client id {c.client_id}")
-            self.clients[c.client_id] = c
+        self.population: Optional[PopulationStore] = None
+        if isinstance(clients, PopulationStore):
+            # Store-backed pool: the lazy Mapping view materialises a
+            # client on first lookup; nothing below iterates it eagerly.
+            self.population = clients
+            self.clients: Dict[int, SimClient] = clients.clients
+        else:
+            self.clients = {}
+            for c in clients:
+                if c.client_id in self.clients:
+                    raise ValueError(f"duplicate client id {c.client_id}")
+                self.clients[c.client_id] = c
         self.model = model
         self.selector = selector
         self.test_data = test_data
@@ -176,14 +193,22 @@ class FLServer:
     def num_params(self) -> int:
         return self.model.num_params()
 
-    def available_clients(self) -> List[int]:
-        """Ids eligible for selection (pool minus permanent exclusions)."""
+    def available_clients(self) -> Sequence[int]:
+        """Ids eligible for selection (pool minus permanent exclusions).
+
+        Ascending either way; the store-backed path returns an int64
+        array straight off the availability column (one vectorised scan,
+        no per-client objects), over which selector draws are
+        bit-identical to the eager list.
+        """
+        if self.population is not None:
+            return self.population.available_ids(self.excluded)
         return [cid for cid in sorted(self.clients) if cid not in self.excluded]
 
     def exclude_clients(self, client_ids: Sequence[int]) -> None:
         """Permanently remove clients (profiling dropouts, Sec. 4.2)."""
         self.excluded.update(int(c) for c in client_ids)
-        if not self.available_clients():
+        if len(self.available_clients()) == 0:
             raise ValueError("excluding these clients would empty the pool")
 
     def evaluate_global(self) -> float:

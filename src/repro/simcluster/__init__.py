@@ -12,6 +12,9 @@ the physical cluster with a calibrated latency simulator:
 * :mod:`clock` -- the simulated wall clock,
 * :mod:`client` -- :class:`SimClient`: local data + real numpy training +
   simulated response latency,
+* :mod:`population` -- :class:`PopulationStore`: the canonical population
+  container -- columnar (structure-of-arrays) client metadata with lazy,
+  LRU-bounded :class:`SimClient` materialisation for million-client runs,
 * :mod:`faults` -- dropout / slowdown injection for robustness tests.
 
 Training *accuracy* is real (actual gradient descent on the local data);
@@ -23,6 +26,12 @@ from repro.simcluster.clock import SimulatedClock
 from repro.simcluster.faults import DropoutInjector, FaultInjector, SlowdownInjector
 from repro.simcluster.latency import LatencyModel
 from repro.simcluster.network import CommModel
+from repro.simcluster.population import (
+    DiurnalSchedule,
+    PopulationClients,
+    PopulationStore,
+    SeedAddress,
+)
 from repro.simcluster.resources import (
     CIFAR_CPU_GROUPS,
     CASE_STUDY_CPU_GROUPS,
@@ -42,6 +51,10 @@ __all__ = [
     "SimulatedClock",
     "SimClient",
     "ClientUpdate",
+    "PopulationStore",
+    "PopulationClients",
+    "DiurnalSchedule",
+    "SeedAddress",
     "FaultInjector",
     "DropoutInjector",
     "SlowdownInjector",

@@ -55,7 +55,17 @@ class ClientUpdate:
 
 
 class SimClient:
-    """One simulated cross-device FL client."""
+    """One simulated cross-device FL client.
+
+    Instances are built either eagerly (the small-N scenario builders
+    return a plain list) or lazily by the canonical population container,
+    :class:`~repro.simcluster.population.PopulationStore`, which
+    materialises a client on first selection and may evict and later
+    rebuild it with both RNG streams restored.  Code must therefore key
+    clients by ``client_id``, never by object identity: the "same"
+    client can be a different ``SimClient`` instance across rounds while
+    remaining bit-identical in behaviour.
+    """
 
     def __init__(
         self,
@@ -198,6 +208,7 @@ class SimClient:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"SimClient(id={self.client_id}, n={self.num_train_samples}, "
-            f"cpu={self.spec.cpu_fraction})"
+            f"SimClient(id={self.client_id}, train={self.num_train_samples}, "
+            f"holdout={len(self.holdout)}, cpu={self.spec.cpu_fraction}, "
+            f"group={self.spec.group})"
         )

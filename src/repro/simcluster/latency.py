@@ -175,6 +175,45 @@ class LatencyModel:
         if np.any(eps <= 0):
             raise ValueError("epochs must be positive")
         cpu = np.asarray([spec.cpu_fraction for spec in specs], dtype=np.float64)
+        return self._compute_cohort_from_columns(ns, cpu, eps, rng)
+
+    def sample_compute_cohort_columns(
+        self,
+        num_samples: Union[Sequence[int], np.ndarray],
+        cpu_fractions: Union[Sequence[float], np.ndarray],
+        epochs: Union[int, Sequence[int], np.ndarray] = 1,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Column twin of :meth:`sample_compute_cohort`.
+
+        Takes the ``cpu_fraction`` column directly (the population
+        store's structure-of-arrays layout) instead of a list of
+        :class:`ResourceSpec` objects, consuming the identical bitstream
+        positions -- the noise block is one ``normal`` call either way,
+        so draws are bit-identical to the spec-list path.
+        """
+        ns = np.asarray(num_samples, dtype=np.float64)
+        if ns.ndim != 1:
+            raise ValueError(f"num_samples must be 1-D, got shape {ns.shape}")
+        if np.any(ns < 0):
+            raise ValueError("num_samples must be non-negative")
+        cpu = np.asarray(cpu_fractions, dtype=np.float64)
+        if cpu.shape != ns.shape:
+            raise ValueError(
+                f"cpu_fractions shape {cpu.shape} != num_samples shape {ns.shape}"
+            )
+        eps = np.broadcast_to(np.asarray(epochs, dtype=np.float64), ns.shape)
+        if np.any(eps <= 0):
+            raise ValueError("epochs must be positive")
+        return self._compute_cohort_from_columns(ns, cpu, eps, rng)
+
+    def _compute_cohort_from_columns(
+        self,
+        ns: np.ndarray,
+        cpu: np.ndarray,
+        eps: np.ndarray,
+        rng: RngLike,
+    ) -> np.ndarray:
         # Same association order as the scalar path:
         # ((epochs * samples) * cost) / cpu, then + base_overhead.
         work = self.base_overhead + (eps * ns * self.cost_per_sample / cpu)
@@ -307,6 +346,58 @@ class CohortLatencySampler:
             out[client.client_id] = client.finalize_latency(
                 float(latency), round_idx=round_idx, fault=fault
             )
+        return out
+
+    def sample_population(
+        self,
+        store,
+        num_params: int,
+        epochs: Union[int, Mapping[int, int]] = 1,
+        round_idx: int = 0,
+        fault: Optional["FaultInjector"] = None,
+        client_ids: Optional[np.ndarray] = None,
+    ) -> Dict[int, float]:
+        """:meth:`sample_cohort` straight off a population store's columns.
+
+        ``store`` is a :class:`~repro.simcluster.population.PopulationStore`
+        (duck-typed to avoid an import cycle); ``client_ids`` restricts
+        and orders the cohort (default: every client, ascending).  The
+        store holds one shared latency/comm model for the whole
+        population, so the draw is always the vectorised two-block path
+        -- bit-identical to materialising those clients and calling
+        :meth:`sample_cohort`, without building a single object.
+        """
+        if client_ids is None:
+            ids = np.arange(store.num_clients, dtype=np.int64)
+        else:
+            ids = np.asarray(client_ids, dtype=np.int64)
+        if ids.size == 0:
+            return {}
+        rng = self.stream_for(round_idx)
+        if isinstance(epochs, Mapping):
+            eps = np.asarray(
+                [int(epochs[int(c)]) for c in ids], dtype=np.float64
+            )
+        else:
+            eps = int(epochs)
+        compute = store.latency_model.sample_compute_cohort_columns(
+            store.num_train_samples[ids],
+            store.cpu_fraction[ids],
+            epochs=eps,
+            rng=rng,
+        )
+        comm = store.comm_model.sample_round_trip_cohort_columns(
+            num_params, store.bandwidth_mbps[ids], rng=rng
+        )
+        total = compute + comm
+        out: Dict[int, float] = {}
+        if fault is None:
+            for cid, latency in zip(ids, total):
+                out[int(cid)] = float(latency)
+        else:
+            # Same per-client tail as SimClient.finalize_latency.
+            for cid, latency in zip(ids, total):
+                out[int(cid)] = fault.apply(int(cid), round_idx, float(latency))
         return out
 
 

@@ -79,12 +79,28 @@ class CommModel:
         per-client values are bit-identical to the scalar loop (pinned by
         a regression test).  Returns shape ``(len(specs),)``.
         """
-        if num_params < 0:
-            raise ValueError(f"num_params must be non-negative, got {num_params}")
-        bits = num_params * _BITS_PER_FLOAT
         bandwidth = np.asarray(
             [spec.bandwidth_mbps for spec in specs], dtype=np.float64
         )
+        return self.sample_round_trip_cohort_columns(num_params, bandwidth, rng)
+
+    def sample_round_trip_cohort_columns(
+        self,
+        num_params: int,
+        bandwidth_mbps: "np.ndarray",
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Column twin of :meth:`sample_round_trip_cohort`.
+
+        Takes the ``bandwidth_mbps`` column directly (the population
+        store's structure-of-arrays layout); the jitter block is one
+        ``normal(size=n)`` call either way, so draws are bit-identical
+        to the spec-list path.
+        """
+        if num_params < 0:
+            raise ValueError(f"num_params must be non-negative, got {num_params}")
+        bits = num_params * _BITS_PER_FLOAT
+        bandwidth = np.asarray(bandwidth_mbps, dtype=np.float64)
         base = self.rtt + 2.0 * (bits / (bandwidth * 1e6))
         if self.jitter_sigma == 0.0 or base.size == 0:
             return base

@@ -1,0 +1,432 @@
+"""Columnar population store: a million clients without a million objects.
+
+The eager builder keeps one Python :class:`SimClient` per client -- its
+own dataset split, RNG pair, and resource spec -- which caps honest
+experiments at ~10^3 clients and makes every round cost O(population)
+even when the cohort is 20.  :class:`PopulationStore` keeps all
+*metadata* (sample counts, holdout bounds, resource-spec fields, tier
+membership, TiFL credits, availability) as numpy structure-of-arrays and
+creates the heavy object only on demand:
+
+``materialize(client_id)`` rebuilds that client's :class:`SimClient`
+**bit-identically** to the eager loop.  The trick is SeedSequence
+spawn-key addressing: ``spawn(parent, N)[cid]`` hands client ``cid`` the
+child sequence ``SeedSequence(entropy, spawn_key=parent_key + (base +
+cid,))``, and NumPy derives that child *arithmetically* -- it does not
+consume parent draws.  :class:`SeedAddress` records ``(entropy,
+spawn_key, pool_size, base)`` once at store construction and
+reconstructs any client's seed on demand, so the store never allocates
+N generators up front.  The rebuilt client re-draws its holdout split
+from stream position zero, exactly as the eager constructor did.
+
+Materialised clients live in a bounded LRU so steady-state memory is
+O(cohort), not O(population).  Eviction snapshots both private RNG
+states (``_train_rng`` / ``_latency_rng``); re-materialisation rebuilds
+the client fresh (holdout indices re-draw identically) and then restores
+the snapshots, so stream *positions* survive eviction -- a client
+trained in round 3, evicted, and re-selected in round 90 shuffles its
+data exactly as if it had stayed resident.  The state ledger is
+O(touched clients) small dicts, never whole clients.
+
+Availability lives in a boolean column driven by
+:class:`DiurnalSchedule` events on the event-queue
+:class:`~repro.simcluster.clock.SimulatedClock`: clients are bucketed
+into phase groups and each on/off window boundary flips one bucket with
+a single vectorised assignment, so advancing a round touches the cohort
+plus due events only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.rng import make_rng
+from repro.simcluster.client import SimClient
+from repro.simcluster.latency import LatencyModel
+from repro.simcluster.network import CommModel
+from repro.simcluster.resources import ResourceSpec
+
+__all__ = [
+    "SeedAddress",
+    "PopulationStore",
+    "PopulationClients",
+    "DiurnalSchedule",
+]
+
+DatasetProvider = Callable[[int], Dataset]
+
+# Default LRU capacity: generous for any realistic cohort (paper cohorts
+# are tens of clients) while keeping resident memory O(cohort).
+DEFAULT_CACHE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class SeedAddress:
+    """Addressable per-client seed: the lazy twin of ``spawn(rng, N)``.
+
+    ``child(i)`` returns the exact :class:`numpy.random.SeedSequence`
+    that ``spawn(parent, N)[i]`` would have produced at capture time.
+    Value draws from the parent (e.g. the resource-shuffle permutation)
+    do not advance its spawn counter, so capture order relative to them
+    is immaterial -- only prior ``spawn`` calls matter, and ``base``
+    records them.
+    """
+
+    entropy: int
+    spawn_key: Tuple[int, ...]
+    pool_size: int
+    base: int
+
+    @classmethod
+    def capture(cls, rng: np.random.Generator) -> "SeedAddress":
+        """Record ``rng``'s seed coordinates in place of spawning children."""
+        ss = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+        return cls(
+            entropy=ss.entropy,
+            spawn_key=tuple(int(k) for k in ss.spawn_key),
+            pool_size=int(ss.pool_size),
+            base=int(ss.n_children_spawned),
+        )
+
+    def child(self, index: int) -> np.random.SeedSequence:
+        """The seed sequence ``spawn(parent, N)[index]`` would yield."""
+        return np.random.SeedSequence(
+            entropy=self.entropy,
+            spawn_key=self.spawn_key + (self.base + int(index),),
+            pool_size=self.pool_size,
+        )
+
+
+def _holdout_sizes(
+    num_samples: np.ndarray, holdout_fraction: float, min_holdout: int
+) -> np.ndarray:
+    """Vectorised twin of the :class:`SimClient` holdout arithmetic.
+
+    Mirrors ``max(min_holdout, int(round(n * fraction)))`` then
+    ``min(. , n - 1)`` (0 when ``n <= 1``); NumPy's ``round`` and
+    Python's ``round`` both round half to even, so the columns agree
+    with the eager constructor bit for bit.
+    """
+    n = np.asarray(num_samples, dtype=np.int64)
+    hs = np.maximum(
+        int(min_holdout),
+        np.round(n * float(holdout_fraction)).astype(np.int64),
+    )
+    return np.where(n > 1, np.minimum(hs, n - 1), 0)
+
+
+class PopulationClients(Mapping):
+    """Lazy ``Mapping[int, SimClient]`` view over a :class:`PopulationStore`.
+
+    ``clients[cid]`` materialises on demand; membership, length, and
+    iteration are O(1) per step straight off the store's arrays.  The
+    ``lazy`` marker tells :meth:`repro.execution.base.ClientExecutor.bind`
+    to hold this view by reference instead of eagerly ``dict()``-ing the
+    whole population.
+    """
+
+    lazy = True
+
+    def __init__(self, store: "PopulationStore") -> None:
+        self._store = store
+
+    @property
+    def store(self) -> "PopulationStore":
+        return self._store
+
+    def __getitem__(self, client_id: int) -> SimClient:
+        if not self._valid(client_id):
+            raise KeyError(client_id)
+        return self._store.materialize(int(client_id))
+
+    def __contains__(self, client_id: object) -> bool:
+        return self._valid(client_id)
+
+    def __len__(self) -> int:
+        return self._store.num_clients
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._store.num_clients))
+
+    def _valid(self, client_id: object) -> bool:
+        return (
+            isinstance(client_id, (int, np.integer))
+            and 0 <= int(client_id) < self._store.num_clients
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PopulationClients(n={len(self)}, store={self._store!r})"
+
+
+class PopulationStore:
+    """Structure-of-arrays client store with lazy materialisation."""
+
+    def __init__(
+        self,
+        num_samples: Sequence[int],
+        cpu_fraction: Sequence[float],
+        bandwidth_mbps: Sequence[float],
+        group: Sequence[int],
+        dataset_for: DatasetProvider,
+        latency_model: LatencyModel,
+        comm_model: Optional[CommModel] = None,
+        holdout_fraction: float = 0.2,
+        min_holdout: int = 1,
+        seed_address: Optional[SeedAddress] = None,
+        seed_rng: Optional[np.random.Generator] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if seed_address is None:
+            if seed_rng is None:
+                raise ValueError("provide seed_address or seed_rng")
+            seed_address = SeedAddress.capture(make_rng(seed_rng))
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+
+        self.num_samples = np.ascontiguousarray(num_samples, dtype=np.int64)
+        n = int(self.num_samples.shape[0])
+        if n == 0:
+            raise ValueError("population store cannot be empty")
+        if np.any(self.num_samples <= 0):
+            raise ValueError("every client needs at least one sample")
+        self.cpu_fraction = np.ascontiguousarray(cpu_fraction, dtype=np.float64)
+        self.bandwidth_mbps = np.ascontiguousarray(
+            bandwidth_mbps, dtype=np.float64
+        )
+        self.group = np.ascontiguousarray(group, dtype=np.int64)
+        for name in ("cpu_fraction", "bandwidth_mbps", "group"):
+            col = getattr(self, name)
+            if col.shape != (n,):
+                raise ValueError(
+                    f"column {name!r} has shape {col.shape}, expected ({n},)"
+                )
+        self.holdout_size = _holdout_sizes(
+            self.num_samples, holdout_fraction, min_holdout
+        )
+        self.num_train_samples = self.num_samples - self.holdout_size
+        # TiFL columns: tier membership (-1 = unassigned) and scheduler
+        # credits, written back by the server after profiling/tiering.
+        self.tier = np.full(n, -1, dtype=np.int64)
+        self.credits = np.zeros(n, dtype=np.float64)
+        self.available = np.ones(n, dtype=bool)
+
+        self.holdout_fraction = float(holdout_fraction)
+        self.min_holdout = int(min_holdout)
+        self.latency_model = latency_model
+        self.comm_model = comm_model or CommModel()
+        self.seed_address = seed_address
+        self._dataset_for = dataset_for
+        self._cache_size = int(cache_size)
+        self._cache: "OrderedDict[int, SimClient]" = OrderedDict()
+        self._saved_states: Dict[int, Tuple[dict, dict]] = {}
+        self._materialize_count = 0
+        self._phase_index: List[np.ndarray] = []
+        self.clients = PopulationClients(self)
+
+    # ------------------------------------------------------------------
+    # sizes & specs
+    # ------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return int(self.num_samples.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
+
+    @property
+    def resident(self) -> int:
+        """How many clients are currently materialised."""
+        return len(self._cache)
+
+    @property
+    def materialize_count(self) -> int:
+        """Total (re-)constructions -- cache hits excluded."""
+        return self._materialize_count
+
+    def spec_of(self, client_id: int) -> ResourceSpec:
+        """Rebuild the frozen :class:`ResourceSpec` from the columns."""
+        cid = int(client_id)
+        return ResourceSpec(
+            cpu_fraction=float(self.cpu_fraction[cid]),
+            bandwidth_mbps=float(self.bandwidth_mbps[cid]),
+            group=int(self.group[cid]),
+        )
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def materialize(self, client_id: int) -> SimClient:
+        """The :class:`SimClient` for ``client_id``, built on first touch.
+
+        Bit-identical to the eager builder: the client receives the
+        generator seeded by :meth:`SeedAddress.child`, re-draws its
+        holdout permutation from position zero, and -- if it was evicted
+        earlier -- has both private RNG streams restored to where they
+        left off.
+        """
+        cid = int(client_id)
+        cached = self._cache.get(cid)
+        if cached is not None:
+            self._cache.move_to_end(cid)
+            return cached
+        if not 0 <= cid < self.num_clients:
+            raise KeyError(f"client {cid} is not in this population")
+        client = SimClient(
+            cid,
+            self._dataset_for(cid),
+            self.spec_of(cid),
+            self.latency_model,
+            self.comm_model,
+            holdout_fraction=self.holdout_fraction,
+            min_holdout=self.min_holdout,
+            rng=make_rng(self.seed_address.child(cid)),
+        )
+        self._materialize_count += 1
+        saved = self._saved_states.pop(cid, None)
+        if saved is not None:
+            client._train_rng.bit_generator.state = saved[0]
+            client._latency_rng.bit_generator.state = saved[1]
+        self._cache[cid] = client
+        while len(self._cache) > self._cache_size:
+            old_cid, old = self._cache.popitem(last=False)
+            self._saved_states[old_cid] = (
+                old._train_rng.bit_generator.state,
+                old._latency_rng.bit_generator.state,
+            )
+        return client
+
+    def materialize_many(self, client_ids: Iterable[int]) -> List[SimClient]:
+        return [self.materialize(cid) for cid in client_ids]
+
+    def evict_all(self) -> None:
+        """Flush the cache, snapshotting every resident RNG state."""
+        while self._cache:
+            cid, client = self._cache.popitem(last=False)
+            self._saved_states[cid] = (
+                client._train_rng.bit_generator.state,
+                client._latency_rng.bit_generator.state,
+            )
+
+    # ------------------------------------------------------------------
+    # availability
+    # ------------------------------------------------------------------
+    def available_ids(
+        self, excluded: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
+        """Ascending int64 ids of available, non-excluded clients.
+
+        Same ordering contract as the eager server's sorted-dict scan,
+        so selector draws over this pool are bit-identical.
+        """
+        mask = self.available
+        if excluded:
+            mask = mask.copy()
+            mask[np.fromiter(excluded, dtype=np.int64)] = False
+        return np.flatnonzero(mask)
+
+    def set_available(self, client_ids: Sequence[int], value: bool) -> None:
+        self.available[np.asarray(client_ids, dtype=np.int64)] = bool(value)
+
+    def availability_fraction(self) -> float:
+        return float(np.mean(self.available))
+
+    # ------------------------------------------------------------------
+    # tiering
+    # ------------------------------------------------------------------
+    def set_tier_assignment(self, assignment) -> None:
+        """Write a :class:`~repro.tifl.tiering.TierAssignment` into the column."""
+        self.tier.fill(-1)
+        for t in assignment.tiers:
+            self.tier[np.asarray(t.client_ids, dtype=np.int64)] = t.index
+
+    # ------------------------------------------------------------------
+    # availability churn
+    # ------------------------------------------------------------------
+    def attach_diurnal(self, clock, schedule: "DiurnalSchedule") -> None:
+        """Drive the availability column from a diurnal on/off schedule.
+
+        Clients are bucketed into ``schedule.num_phases`` staggered phase
+        groups (``cid % num_phases``).  Each group is *on* for
+        ``duty_cycle * period`` seconds starting at its phase offset.
+        The initial column reflects ``clock.now``; one clock event per
+        window edge flips a whole bucket with a single vectorised
+        assignment and reschedules itself one period later, so churn
+        costs O(due events), never O(population) scans.
+        """
+        schedule.validate()
+        n = self.num_clients
+        phase = np.arange(n, dtype=np.int64) % schedule.num_phases
+        order = np.argsort(phase, kind="stable")
+        bounds = np.searchsorted(phase[order], np.arange(schedule.num_phases + 1))
+        self._phase_index = [
+            order[bounds[p] : bounds[p + 1]]
+            for p in range(schedule.num_phases)
+        ]
+        period = schedule.period
+        on_len = schedule.duty_cycle * period
+        spacing = period / schedule.num_phases
+        now = clock.now
+
+        def _edge(p: int, value: bool):
+            def fire(clk) -> None:
+                self.available[self._phase_index[p]] = value
+                clk.schedule(clk.now + period, fire)
+
+            return fire
+
+        for p in range(schedule.num_phases):
+            on_start = p * spacing
+            tau = (now - on_start) % period
+            self.available[self._phase_index[p]] = tau < on_len
+            if on_len >= period:  # duty_cycle == 1: always on, no events
+                continue
+            next_on = now + ((on_start - now) % period or period)
+            next_off = now + ((on_start + on_len - now) % period or period)
+            clock.schedule(next_on, _edge(p, True))
+            clock.schedule(next_off, _edge(p, False))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PopulationStore(n={self.num_clients}, resident={self.resident}, "
+            f"cache={self._cache_size})"
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule:
+    """Piecewise on/off availability: phase-staggered duty-cycle windows."""
+
+    period: float = 86400.0
+    duty_cycle: float = 0.5
+    num_phases: int = 24
+
+    def validate(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty_cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+        if self.num_phases < 1:
+            raise ValueError(
+                f"num_phases must be >= 1, got {self.num_phases}"
+            )

@@ -92,6 +92,17 @@ class TierScheduler(ClientSelector):
         self.policy = policy
         self.clients_per_round = clients_per_round
         self._rng = make_rng(rng)
+        # Per-tier member arrays, fixed for this scheduler's lifetime
+        # (re-tiering builds a new scheduler).  Selection then runs off
+        # one boolean availability mask: O(pool) vectorised work per
+        # round instead of O(pool) Python set/loop work, which is what
+        # keeps tier selection flat when the population hits 10^6.
+        self._members = [
+            np.asarray(t.client_ids, dtype=np.int64) for t in assignment.tiers
+        ]
+        self._id_bound = 1 + int(
+            max(int(m.max()) for m in self._members if m.size)
+        )
 
     @property
     def uses_eval_feedback(self) -> bool:
@@ -99,18 +110,38 @@ class TierScheduler(ClientSelector):
         recorded tier accuracies, static probability vectors do not."""
         return getattr(self.policy, "uses_eval_feedback", True)
 
+    def _avail_mask(self, available: Sequence[int]) -> np.ndarray:
+        """Boolean availability mask over ``[0, id_bound)``.
+
+        Accepts lists and the population store's int64 id column alike;
+        ids outside the tiered range are simply ignored (they cannot be
+        selected anyway).
+        """
+        avail = np.asarray(available, dtype=np.int64)
+        mask = np.zeros(self._id_bound, dtype=bool)
+        if avail.size:
+            mask[avail[avail < self._id_bound]] = True
+        return mask
+
     def _eligible_mask(self, available: Sequence[int]) -> np.ndarray:
-        avail = set(available)
+        mask = self._avail_mask(available)
         return np.array(
             [
-                sum(1 for c in t.client_ids if c in avail) >= self.clients_per_round
-                for t in self.assignment.tiers
+                int(np.count_nonzero(mask[m])) >= self.clients_per_round
+                for m in self._members
             ],
             dtype=bool,
         )
 
     def select(self, round_idx: int, available: Sequence[int]) -> SelectionPlan:
-        eligible = self._eligible_mask(available)
+        mask = self._avail_mask(available)
+        eligible = np.array(
+            [
+                int(np.count_nonzero(mask[m])) >= self.clients_per_round
+                for m in self._members
+            ],
+            dtype=bool,
+        )
         if not eligible.any():
             raise RuntimeError(
                 "no tier can field a full cohort from the available clients"
@@ -123,8 +154,11 @@ class TierScheduler(ClientSelector):
                 f"policy chose ineligible tier {tier} "
                 f"(eligible: {np.flatnonzero(eligible).tolist()})"
             )
-        avail = set(available)
-        pool = [c for c in self.assignment.members(tier) if c in avail]
+        # Member-order pool + the no-copy ndarray path through
+        # choice_without_replacement: draws are bit-identical to the old
+        # list-comprehension pool.
+        members = self._members[tier]
+        pool = members[mask[members]]
         chosen = choice_without_replacement(self._rng, pool, self.clients_per_round)
         return SelectionPlan(
             clients=[int(c) for c in chosen], tier=tier

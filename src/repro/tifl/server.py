@@ -24,6 +24,7 @@ from repro.rng import RngLike, make_rng, spawn
 from repro.simcluster.client import SimClient
 from repro.simcluster.faults import FaultInjector
 from repro.simcluster.latency import CohortLatencySampler, resolve_latency_stream
+from repro.simcluster.population import PopulationStore
 from repro.tifl.adaptive import AdaptiveTierPolicy
 from repro.tifl.credits import allocate_credits
 from repro.tifl.policies import StaticTierPolicy
@@ -69,7 +70,7 @@ class TiFLServer(FLServer):
 
     def __init__(
         self,
-        clients: Sequence[SimClient],
+        clients: Union[Sequence[SimClient], PopulationStore],
         model: Sequential,
         test_data: Dataset,
         clients_per_round: int,
@@ -117,6 +118,8 @@ class TiFLServer(FLServer):
             num_tiers=num_tiers,
             method=tiering_method,
         )
+        if isinstance(clients, PopulationStore):
+            clients.set_tier_assignment(self.assignment)
 
         # --- Step 2: resolve the tier policy ------------------------------
         realised = self.assignment.num_tiers
@@ -210,14 +213,29 @@ class TiFLServer(FLServer):
         """
         eligible: List[int] = []
         no_holdout: List[int] = []
-        for tier in self.assignment.tiers:
-            for cid in tier.client_ids:
-                if cid in self.excluded:
-                    continue
-                if len(self.clients[cid].holdout) == 0:
-                    no_holdout.append(cid)
-                else:
-                    eligible.append(cid)
+        if self.population is not None:
+            # Columnar path: read the precomputed holdout-size column
+            # instead of materialising every tier member.  Per-tier
+            # member order is preserved, so the eval request order (and
+            # hence any executor-side batching) matches the eager path.
+            excl_mask = np.zeros(self.population.num_clients, dtype=bool)
+            if self.excluded:
+                excl_mask[np.fromiter(self.excluded, dtype=np.int64)] = True
+            for tier in self.assignment.tiers:
+                members = np.asarray(tier.client_ids, dtype=np.int64)
+                members = members[~excl_mask[members]]
+                has_holdout = self.population.holdout_size[members] > 0
+                eligible.extend(int(c) for c in members[has_holdout])
+                no_holdout.extend(int(c) for c in members[~has_holdout])
+        else:
+            for tier in self.assignment.tiers:
+                for cid in tier.client_ids:
+                    if cid in self.excluded:
+                        continue
+                    if len(self.clients[cid].holdout) == 0:
+                        no_holdout.append(cid)
+                    else:
+                        eligible.append(cid)
         if no_holdout and not self._warned_empty_holdouts:
             self._warned_empty_holdouts = True
             logger.warning(
@@ -304,26 +322,43 @@ class TiFLServer(FLServer):
         adaptive credits / probabilities survive when tier count is
         unchanged; otherwise the policy is re-resolved from its spec).
         """
-        active = [
-            c
-            for cid, c in sorted(self.clients.items())
-            if cid not in self.excluded
-        ]
-        self.profiling = profile_clients(
-            active,
-            num_params=self.num_params,
-            sync_rounds=sync_rounds or self.profiling.sync_rounds,
-            tmax=tmax,
-            epochs=self.training.epochs,
-            fault=self.fault,
-            latency_sampler=self.latency_sampler,
-            # The offset exists to stop the round-addressed v2 stream
-            # from re-drawing the first campaign's noise.  The v1 path
-            # must keep the seed's round indices (-1..-sync_rounds every
-            # campaign): round-windowed fault injectors are calibrated
-            # against them.
-            round_offset=self._profiled_rounds if self.latency_sampler else 0,
-        )
+        # The offset exists to stop the round-addressed v2 stream from
+        # re-drawing the first campaign's noise.  The v1 path must keep
+        # the seed's round indices (-1..-sync_rounds every campaign):
+        # round-windowed fault injectors are calibrated against them.
+        offset = self._profiled_rounds if self.latency_sampler else 0
+        if self.population is not None:
+            mask = np.ones(self.population.num_clients, dtype=bool)
+            if self.excluded:
+                mask[np.fromiter(self.excluded, dtype=np.int64)] = False
+            self.profiling = profile_clients(
+                self.population,
+                num_params=self.num_params,
+                sync_rounds=sync_rounds or self.profiling.sync_rounds,
+                tmax=tmax,
+                epochs=self.training.epochs,
+                fault=self.fault,
+                latency_sampler=self.latency_sampler,
+                round_offset=offset,
+                # Ascending ids, matching the eager sorted-items scan.
+                client_ids=np.flatnonzero(mask),
+            )
+        else:
+            active = [
+                c
+                for cid, c in sorted(self.clients.items())
+                if cid not in self.excluded
+            ]
+            self.profiling = profile_clients(
+                active,
+                num_params=self.num_params,
+                sync_rounds=sync_rounds or self.profiling.sync_rounds,
+                tmax=tmax,
+                epochs=self.training.epochs,
+                fault=self.fault,
+                latency_sampler=self.latency_sampler,
+                round_offset=offset,
+            )
         self._profiled_rounds += self.profiling.sync_rounds
         new_assignment = build_tiers(
             self.profiling.mean_latencies,
@@ -342,6 +377,8 @@ class TiFLServer(FLServer):
         else:
             policy = self._resolve_policy(self._policy_spec, new_assignment.num_tiers)
         self.assignment = new_assignment
+        if self.population is not None:
+            self.population.set_tier_assignment(new_assignment)
         self.selector = TierScheduler(
             new_assignment,
             policy,

@@ -56,6 +56,39 @@ class TestRunPolicy:
             run_policy(cfg(), "vanilla", rounds=0)
 
 
+class TestPopulationEquivalence:
+    """``population=True`` is a memory-layout change, not a numerics one:
+    the store-backed run's history must be *equal* to the eager run's,
+    including the full TiFL profile -> tier -> schedule chain."""
+
+    @pytest.mark.parametrize(
+        "policy", ["vanilla", "overselect", "uniform", "adaptive"]
+    )
+    def test_store_history_matches_eager(self, policy):
+        kw = dict(rounds=3, seed=4)
+        if policy == "adaptive":
+            kw["adaptive_interval"] = 2
+        eager = run_policy(cfg(), policy, **kw)
+        store = run_policy(cfg(), policy, population=True, **kw)
+        assert store.history.records == eager.history.records
+        assert store.final_accuracy == eager.final_accuracy
+        if eager.tier_latencies is not None:
+            np.testing.assert_array_equal(
+                store.tier_latencies, eager.tier_latencies
+            )
+            np.testing.assert_array_equal(store.tier_sizes, eager.tier_sizes)
+
+    def test_store_matches_eager_on_thread_executor(self):
+        eager = run_policy(
+            cfg(), "vanilla", rounds=2, seed=4, executor="thread", workers=2
+        )
+        store = run_policy(
+            cfg(), "vanilla", rounds=2, seed=4, executor="thread", workers=2,
+            population=True,
+        )
+        assert store.history.records == eager.history.records
+
+
 class TestRunPolicies:
     def test_all_policies_returned(self):
         out = run_policies(cfg(), ["vanilla", "uniform"], rounds=3, seed=0)

@@ -29,15 +29,97 @@ class TestClock:
         c.mark()
         c.advance(2.0)
         c.mark()
-        assert c.marks == [1.0, 3.0]
+        assert c.marks == (1.0, 3.0)
 
     def test_reset(self):
         c = SimulatedClock(start=5.0)
         c.advance(1.0)
         c.mark()
         c.reset()
-        assert c.now == 0.0 and c.marks == []
+        assert c.now == 0.0 and c.marks == ()
 
     def test_negative_start_raises(self):
         with pytest.raises(ValueError):
             SimulatedClock(start=-1.0)
+
+    def test_marks_view_is_cached_until_next_mark(self):
+        # Regression: `marks` used to copy the list on every access,
+        # making an O(1)-looking property O(rounds) inside round loops.
+        c = SimulatedClock()
+        c.advance(1.0)
+        c.mark()
+        first = c.marks
+        assert c.marks is first  # cached tuple, no per-access copy
+        c.advance(1.0)
+        c.mark()
+        second = c.marks
+        assert second is not first and second == (1.0, 2.0)
+        assert c.marks is second
+
+    def test_num_marks(self):
+        c = SimulatedClock()
+        assert c.num_marks == 0
+        c.mark()
+        c.advance(1.0)
+        c.mark()
+        assert c.num_marks == 2
+        c.reset()
+        assert c.num_marks == 0
+
+    def test_marks_are_immutable(self):
+        c = SimulatedClock()
+        c.mark()
+        with pytest.raises(TypeError):
+            c.marks[0] = 99.0
+
+
+class TestEventQueue:
+    def test_events_fire_in_chronological_order(self):
+        c = SimulatedClock()
+        fired = []
+        c.schedule(2.0, lambda clk: fired.append(("b", clk.now)))
+        c.schedule(1.0, lambda clk: fired.append(("a", clk.now)))
+        c.advance(3.0)
+        assert fired == [("a", 1.0), ("b", 2.0)]
+        assert c.now == 3.0
+
+    def test_events_beyond_target_stay_pending(self):
+        c = SimulatedClock()
+        fired = []
+        c.schedule(5.0, lambda clk: fired.append(clk.now))
+        c.advance(4.0)
+        assert fired == [] and c.events_pending == 1
+        c.advance(1.0)
+        assert fired == [5.0] and c.events_pending == 0
+
+    def test_callbacks_may_reschedule(self):
+        c = SimulatedClock()
+        fired = []
+
+        def periodic(clk):
+            fired.append(clk.now)
+            clk.schedule(clk.now + 1.0, periodic)
+
+        c.schedule(1.0, periodic)
+        c.advance(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_schedule_in_the_past_raises(self):
+        c = SimulatedClock()
+        c.advance(2.0)
+        with pytest.raises(ValueError, match="past"):
+            c.schedule(1.0, lambda clk: None)
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        c = SimulatedClock()
+        fired = []
+        c.schedule(1.0, lambda clk: fired.append("first"))
+        c.schedule(1.0, lambda clk: fired.append("second"))
+        c.advance(1.0)
+        assert fired == ["first", "second"]
+
+    def test_reset_clears_events(self):
+        c = SimulatedClock()
+        c.schedule(1.0, lambda clk: None)
+        c.reset()
+        assert c.events_pending == 0

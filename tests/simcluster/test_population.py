@@ -1,0 +1,319 @@
+"""Tests for the columnar population store.
+
+The two properties the architecture doc leans on live here:
+
+* ``PopulationStore.materialize`` is **bit-identical** to the eager
+  ``build_scenario`` client list for *any* subset and order of ids --
+  data splits, resource specs, and both private RNG states all match.
+* LRU eviction never changes RNG stream *positions*: a client trained,
+  evicted, and re-materialised continues its streams exactly where a
+  never-evicted twin would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.rng import make_rng, spawn
+from repro.simcluster.clock import SimulatedClock
+from repro.simcluster.population import (
+    DiurnalSchedule,
+    PopulationStore,
+    SeedAddress,
+)
+from repro.tifl.tiering import Tier, TierAssignment
+
+NUM_CLIENTS = 20  # divisible by the 5 resource groups
+
+SMALL_CFG = ScenarioConfig(
+    dataset="mnist",
+    num_clients=NUM_CLIENTS,
+    clients_per_round=5,
+    train_size=400,
+    test_size=60,
+)
+
+
+@pytest.fixture(scope="module")
+def eager_scenario():
+    return build_scenario(SMALL_CFG, seed=7)
+
+
+@pytest.fixture(scope="module")
+def store_scenario():
+    return build_scenario(SMALL_CFG, seed=7, population=True)
+
+
+def fresh_store(template: PopulationStore, cache_size: int) -> PopulationStore:
+    """A pristine store over the same population (empty cache/ledger).
+
+    Rebuilding via the captured :class:`SeedAddress` is exactly what a
+    fresh ``build_scenario(..., population=True)`` would do, without
+    re-generating the dataset.
+    """
+    return PopulationStore(
+        num_samples=template.num_samples,
+        cpu_fraction=template.cpu_fraction,
+        bandwidth_mbps=template.bandwidth_mbps,
+        group=template.group,
+        dataset_for=template._dataset_for,
+        latency_model=template.latency_model,
+        comm_model=template.comm_model,
+        holdout_fraction=template.holdout_fraction,
+        min_holdout=template.min_holdout,
+        seed_address=template.seed_address,
+        cache_size=cache_size,
+    )
+
+
+def assert_clients_identical(lazy, eager):
+    assert lazy.client_id == eager.client_id
+    assert lazy.spec == eager.spec
+    assert lazy.num_train_samples == eager.num_train_samples
+    assert np.array_equal(lazy.holdout.x, eager.holdout.x)
+    assert np.array_equal(lazy.holdout.y, eager.holdout.y)
+    assert np.array_equal(lazy.train_data.x, eager.train_data.x)
+    assert np.array_equal(lazy.train_data.y, eager.train_data.y)
+    assert (
+        lazy._train_rng.bit_generator.state
+        == eager._train_rng.bit_generator.state
+    )
+    assert (
+        lazy._latency_rng.bit_generator.state
+        == eager._latency_rng.bit_generator.state
+    )
+
+
+class TestSeedAddress:
+    def test_child_matches_spawn(self):
+        addr = SeedAddress.capture(make_rng(42))
+        spawned = spawn(make_rng(42), 8)
+        for i, child_rng in enumerate(spawned):
+            rebuilt = make_rng(addr.child(i))
+            assert (
+                rebuilt.bit_generator.state == child_rng.bit_generator.state
+            )
+
+    def test_value_draws_do_not_shift_the_address(self):
+        rng = make_rng(5)
+        before = SeedAddress.capture(rng)
+        rng.random(100)  # value draws never advance the spawn counter
+        after = SeedAddress.capture(rng)
+        assert before == after
+
+    def test_prior_spawns_are_recorded_in_base(self):
+        rng = make_rng(5)
+        spawn(rng, 3)
+        addr = SeedAddress.capture(rng)
+        assert addr.base == 3
+        # child(0) now is what the *next* spawn batch would start with
+        nxt = spawn(make_rng(5), 4)[3]
+        assert (
+            make_rng(addr.child(0)).bit_generator.state
+            == nxt.bit_generator.state
+        )
+
+
+class TestMaterializeBitIdentity:
+    """materialize(cid) == the eager builder's client, any subset/order."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=NUM_CLIENTS - 1),
+            min_size=1,
+            max_size=12,
+        ),
+        cache_size=st.integers(min_value=1, max_value=NUM_CLIENTS),
+    )
+    def test_any_subset_any_order(
+        self, eager_scenario, store_scenario, ids, cache_size
+    ):
+        store = fresh_store(store_scenario.population, cache_size)
+        for cid in ids:
+            assert_clients_identical(
+                store.materialize(cid), eager_scenario.clients[cid]
+            )
+
+    def test_columns_match_eager_holdout_arithmetic(
+        self, eager_scenario, store_scenario
+    ):
+        store = store_scenario.population
+        for cid, client in enumerate(eager_scenario.clients):
+            assert store.holdout_size[cid] == len(client.holdout)
+            assert store.num_train_samples[cid] == client.num_train_samples
+            assert store.spec_of(cid) == client.spec
+
+    def test_cache_hit_returns_same_object(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        a = store.materialize(3)
+        assert store.materialize(3) is a
+        assert store.materialize_count == 1
+
+    def test_unknown_client_raises(self, store_scenario):
+        store = store_scenario.population
+        with pytest.raises(KeyError):
+            store.materialize(NUM_CLIENTS)
+
+
+class TestLRUEviction:
+    """Eviction + re-materialisation never moves an RNG stream."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),  # client id
+                st.booleans(),  # advance its train stream?
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_tiny_cache_matches_unbounded_cache(self, store_scenario, steps):
+        tiny = fresh_store(store_scenario.population, cache_size=2)
+        roomy = fresh_store(store_scenario.population, cache_size=NUM_CLIENTS)
+        for cid, advance in steps:
+            a, b = tiny.materialize(cid), roomy.materialize(cid)
+            if advance:
+                assert np.array_equal(a.epoch_shuffle(), b.epoch_shuffle())
+        # Every touched client's streams ended at the same position.
+        for cid in {cid for cid, _ in steps}:
+            assert_clients_identical(tiny.materialize(cid), roomy.materialize(cid))
+
+    def test_evict_all_snapshots_states(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        client = store.materialize(0)
+        first = client.epoch_shuffle()
+        state = client._train_rng.bit_generator.state
+        store.evict_all()
+        assert store.resident == 0
+        again = store.materialize(0)
+        assert again is not client
+        assert again._train_rng.bit_generator.state == state
+        # The stream continued, it did not replay.
+        assert not np.array_equal(again.epoch_shuffle(), first)
+
+    def test_cache_bound_is_respected(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=3)
+        for cid in range(10):
+            store.materialize(cid)
+        assert store.resident == 3
+
+
+class TestLazyMapping:
+    def test_mapping_protocol(self, store_scenario):
+        clients = store_scenario.population.clients
+        assert clients.lazy is True
+        assert len(clients) == NUM_CLIENTS
+        assert 0 in clients and NUM_CLIENTS not in clients
+        assert "0" not in clients
+        assert list(iter(clients)) == list(range(NUM_CLIENTS))
+        assert clients[2].client_id == 2
+        with pytest.raises(KeyError):
+            clients[NUM_CLIENTS]
+
+
+class TestAvailability:
+    def test_available_ids_ascending_with_exclusions(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        assert np.array_equal(store.available_ids(), np.arange(NUM_CLIENTS))
+        store.set_available([3, 5], False)
+        ids = store.available_ids(excluded=[0, 7])
+        assert ids.dtype == np.int64
+        assert np.array_equal(ids, np.sort(ids))
+        assert not {0, 3, 5, 7} & set(ids.tolist())
+        # Exclusion is per-call: the column itself is untouched.
+        assert store.availability_fraction() == (NUM_CLIENTS - 2) / NUM_CLIENTS
+
+    def test_set_tier_assignment_fills_column(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        assignment = TierAssignment(
+            tiers=[
+                Tier(0, tuple(range(0, 10)), 1.0, 0.5, 1.5),
+                Tier(1, tuple(range(10, 18)), 2.0, 1.5, 2.5),
+            ]
+        )
+        store.set_tier_assignment(assignment)
+        assert np.all(store.tier[:10] == 0)
+        assert np.all(store.tier[10:18] == 1)
+        assert np.all(store.tier[18:] == -1)  # unassigned stays -1
+
+
+class TestDiurnal:
+    def test_initial_window_and_edge_flips(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        clock = SimulatedClock()
+        # 4 phases over 100 s, 50% duty: phase p is on in
+        # [25p, 25p + 50) mod 100.
+        store.attach_diurnal(
+            clock, DiurnalSchedule(period=100.0, duty_cycle=0.5, num_phases=4)
+        )
+        phase = np.arange(NUM_CLIENTS) % 4
+        # t=0: phase 0's [0, 50) and phase 3's wrapped [75, 125) are on.
+        assert np.array_equal(store.available, np.isin(phase, (0, 3)))
+        clock.advance(25.0)  # t=25: phase 1 on, phase 3's wrap ends
+        assert np.array_equal(store.available, np.isin(phase, (0, 1)))
+        clock.advance(25.0)  # t=50: phase 0 off, phase 2 on
+        assert np.array_equal(store.available, np.isin(phase, (1, 2)))
+        clock.advance(50.0)  # t=100: full period, back to the start
+        assert np.array_equal(store.available, np.isin(phase, (0, 3)))
+
+    def test_full_duty_cycle_schedules_no_events(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        clock = SimulatedClock()
+        store.attach_diurnal(
+            clock, DiurnalSchedule(period=60.0, duty_cycle=1.0, num_phases=3)
+        )
+        assert bool(np.all(store.available))
+        assert clock.events_pending == 0
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            DiurnalSchedule(period=0.0).validate()
+        with pytest.raises(ValueError, match="duty_cycle"):
+            DiurnalSchedule(duty_cycle=0.0).validate()
+        with pytest.raises(ValueError, match="num_phases"):
+            DiurnalSchedule(num_phases=0).validate()
+
+
+class TestStoreConstruction:
+    def test_empty_population_rejected(self, store_scenario):
+        tpl = store_scenario.population
+        with pytest.raises(ValueError, match="empty"):
+            PopulationStore(
+                num_samples=[],
+                cpu_fraction=[],
+                bandwidth_mbps=[],
+                group=[],
+                dataset_for=tpl._dataset_for,
+                latency_model=tpl.latency_model,
+                seed_address=tpl.seed_address,
+            )
+
+    def test_mismatched_column_rejected(self, store_scenario):
+        tpl = store_scenario.population
+        with pytest.raises(ValueError, match="cpu_fraction"):
+            PopulationStore(
+                num_samples=[10, 10],
+                cpu_fraction=[1.0],
+                bandwidth_mbps=[5.0, 5.0],
+                group=[0, 0],
+                dataset_for=tpl._dataset_for,
+                latency_model=tpl.latency_model,
+                seed_address=tpl.seed_address,
+            )
+
+    def test_needs_seed_source(self, store_scenario):
+        tpl = store_scenario.population
+        with pytest.raises(ValueError, match="seed_address or seed_rng"):
+            PopulationStore(
+                num_samples=[10],
+                cpu_fraction=[1.0],
+                bandwidth_mbps=[5.0],
+                group=[0],
+                dataset_for=tpl._dataset_for,
+                latency_model=tpl.latency_model,
+            )

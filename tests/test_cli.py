@@ -78,6 +78,40 @@ class TestParser:
         )
         assert args.reconnect_grace == 0.0
 
+    def test_population_flag_parses(self):
+        assert build_parser().parse_args(["run"]).population is False
+        assert build_parser().parse_args(["run", "--population"]).population
+        assert build_parser().parse_args(
+            ["estimate", "--population"]
+        ).population
+
+    def test_codec_level_threads_into_training_config(self):
+        from repro.cli import _scenario_config
+
+        args = build_parser().parse_args(
+            ["run", "--codec", "delta", "--codec-level", "1"]
+        )
+        training = _scenario_config(args).resolved_training()
+        assert training.codec == "delta" and training.codec_level == 1
+        # Default: no level override recorded.
+        args = build_parser().parse_args(["run", "--codec", "delta"])
+        assert _scenario_config(args).resolved_training().codec_level is None
+
+    def test_codec_level_without_levelled_codec_rejected(self):
+        from repro.cli import _scenario_config
+
+        args = build_parser().parse_args(["run", "--codec-level", "3"])
+        with pytest.raises(ValueError, match="no compression level"):
+            _scenario_config(args)
+
+    def test_scale_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["scale", "--num-clients", "50000", "--diurnal-period", "3600"]
+        )
+        assert args.func.__name__ == "cmd_scale"
+        assert args.num_clients == 50000
+        assert args.diurnal_period == 3600.0
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -108,6 +142,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tier" in out
         assert "Eq. 6" in out
+
+    def test_scale(self, capsys):
+        rc = main(
+            ["scale", "--num-clients", "500", "--clients-per-round", "4",
+             "--rounds", "2", "--pool-size", "300", "--diurnal-period",
+             "3600", "--seed", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 rounds" in out
+        assert "500 clients" in out
 
     def test_privacy(self, capsys):
         rc = main(["privacy", "--pool", "50", "--cohort", "5"])

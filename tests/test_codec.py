@@ -173,6 +173,50 @@ class TestDeltaCodec:
         assert back.size == 0
 
 
+class TestDeltaCodecLevels:
+    """The zlib-level knob: encoder-local, decode is level-agnostic."""
+
+    def test_default_level_unchanged(self):
+        assert DeltaCodec().level == 6
+        assert get_codec("delta").level == 6
+
+    @pytest.mark.parametrize("level", [0, 1, 6, 9])
+    def test_round_trip_lossless_at_every_level(self, level):
+        codec = DeltaCodec(level=level)
+        rng = np.random.default_rng(level)
+        baseline = rng.standard_normal(5_000)
+        values = baseline + rng.standard_normal(5_000) * 1e-6
+        blob = codec.encode(values, baseline=baseline)
+        # Decode with the *default* codec: peers need not agree on level.
+        back = DeltaCodec().decode(blob, values.size, baseline=baseline)
+        assert back.tobytes() == values.tobytes()
+
+    def test_get_codec_with_level_returns_configured_twin(self):
+        codec = get_codec("delta", level=1)
+        assert codec.level == 1
+        assert codec.name == "delta"
+        assert codec.codec_id == get_codec("delta").codec_id
+        # The registry singleton itself is never mutated.
+        assert get_codec("delta").level == 6
+
+    def test_with_level_none_or_same_is_identity(self):
+        base = get_codec("delta")
+        assert base.with_level(None) is base
+        assert base.with_level(base.level) is base
+
+    def test_level_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="level"):
+            DeltaCodec(level=10)
+        with pytest.raises(ValueError, match="level"):
+            DeltaCodec(level=-1)
+
+    @pytest.mark.parametrize("name", ["raw", "quantized"])
+    def test_levelless_codecs_reject_a_level(self, name):
+        with pytest.raises(ValueError, match="no compression level"):
+            get_codec(name, level=5)
+        assert get_codec(name, level=None).name == name
+
+
 class TestQuantizedCodec:
     def test_within_float16_tolerance(self):
         codec = QuantizedCodec()
