@@ -13,15 +13,26 @@ Each population size runs in its own subprocess so peak-RSS readings
 
 A second hard gate re-checks bit-identity at small N: the store-backed
 federation must produce *exactly* the history the eager list builder
-produces, across the serial, thread and process executors.
+produces, across the serial, thread, process and distributed executors.
+
+A third hard gate checks the population-sharding claim for the
+multi-process backends (``process`` and ``distributed``): with a fixed
+cohort, the recurring shipped bytes per round must stay **flat** (< 2x)
+from 10^3 to 10^5 clients (workers hold column shards, so per-round
+frames reference client ids only), the sharded history must be
+bit-identical to the serial store path at the same N, and the
+coordinator-side store must never materialise more than O(cohort x
+rounds) clients.
 
 Usage::
 
     python benchmarks/bench_population_scale.py                  # 10^3..10^6
     python benchmarks/bench_population_scale.py --max-clients 100000 \\
         --rounds 3                                               # CI smoke
+    python benchmarks/bench_population_scale.py --executor process \\
+        --max-clients 100000 --rounds 3      # sharding gate, one backend
 
-Exit status is non-zero when either gate fails.  Results land in
+Exit status is non-zero when any gate fails.  Results land in
 ``BENCH_population_scale.json``.
 """
 
@@ -40,6 +51,8 @@ from repro import telemetry  # noqa: E402
 
 DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000)
 FLATNESS_GATE = 2.0  # max allowed per-round slowdown, smallest -> largest N
+SHARDED_BACKENDS = ("process", "distributed")
+SHARDED_SIZES = (1_000, 100_000)  # bytes/round must be flat across these
 
 
 def _rss_kb(field: str) -> float:
@@ -99,8 +112,103 @@ def run_single(num_clients: int, rounds: int, cohort: int, seed: int) -> dict:
     }
 
 
+def run_sharded(backend: str, num_clients: int, rounds: int, cohort: int,
+                seed: int) -> dict:
+    """One sharded point: bytes/round, history vs serial, materialisations.
+
+    Runs the serial store reference and the sharded backend at the same
+    (N, seed) in this process, so histories compare exactly.  The first
+    round is a warm-up (it absorbs the one-time shard ship and worker
+    start); recurring bytes/round are measured over the remaining rounds.
+    """
+    from repro.experiments.scenarios import build_population_scenario
+    from repro.fl.selection import RandomSelector
+    from repro.fl.server import FLServer
+    from repro.rng import derive
+
+    def run(executor, bytes_fn):
+        scn = build_population_scenario(
+            num_clients=num_clients, clients_per_round=cohort, seed=seed
+        )
+        store = scn.population
+        with FLServer(
+            clients=store,
+            model=scn.model,
+            selector=RandomSelector(cohort, rng=derive(seed, 101)),
+            test_data=scn.test_data,
+            training=scn.training,
+            rng=derive(seed, 202),
+            executor=executor,
+        ) as server:
+            # Warm-up round absorbs the one-time shard ship + start-up.
+            history = server.run(1)
+            bytes0 = bytes_fn()
+            t0 = time.perf_counter()
+            if rounds > 1:
+                history = server.run(rounds - 1, start_round=1)
+            elapsed = time.perf_counter() - t0
+        return history, store, bytes_fn() - bytes0, elapsed
+
+    ref_history, _, _, _ = run("serial", lambda: 0)
+
+    procs = None
+    if backend == "process":
+        from repro.execution.process import ProcessExecutor
+        ex = ProcessExecutor(workers=2)
+        recurring = lambda: ex.bytes_shipped  # noqa: E731
+        shard_fn = lambda: (ex.shard_ships, ex.shard_bytes)  # noqa: E731
+    elif backend == "distributed":
+        from repro.distributed import (
+            DistributedExecutor, spawn_local_workers, terminate_workers,
+        )
+        from repro.distributed import protocol as proto
+        ex = DistributedExecutor(
+            workers=2, accept_timeout=120.0, result_timeout=600.0
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        recurring = lambda: ex.bytes_sent + ex.bytes_received  # noqa: E731
+        shard_fn = lambda: (  # noqa: E731
+            ex.frames_sent_by_type.get(int(proto.MsgType.ASSIGN_SHARD), 0),
+            ex.bytes_sent_by_type.get(int(proto.MsgType.ASSIGN_SHARD), 0),
+        )
+    else:
+        raise ValueError(f"unknown sharded backend {backend!r}")
+
+    try:
+        history, store, delta_bytes, elapsed = run(ex, recurring)
+        measured = max(1, rounds - 1)
+        bytes_per_round = delta_bytes / measured
+        shard_ships, shard_bytes = shard_fn()
+        materializations = store.materialize_count
+    finally:
+        ex.close()
+        if procs is not None:
+            terminate_workers(procs)
+
+    # Coordinator must never materialise the population: the only
+    # per-round materialisation it is allowed is the cohort latency
+    # draw, so O(cohort x rounds) bounds it with slack for the LRU.
+    mat_budget = max(cohort * rounds * 4, 64)
+    return {
+        "backend": backend,
+        "num_clients": num_clients,
+        "bytes_per_round": float(bytes_per_round),
+        "shard_ships": int(shard_ships),
+        "shard_bytes": int(shard_bytes),
+        "per_round_s": elapsed / measured,
+        "identical": history.records == ref_history.records,
+        "materializations": int(materializations),
+        "mat_gate": bool(
+            materializations <= mat_budget and materializations < num_clients
+        ),
+    }
+
+
 def check_bit_identity(seed: int) -> dict:
     """Store-backed vs eager histories at small N, per executor backend."""
+    from repro.distributed import (
+        DistributedExecutor, spawn_local_workers, terminate_workers,
+    )
     from repro.experiments.runner import run_policy
     from repro.experiments.scenarios import ScenarioConfig
 
@@ -108,17 +216,33 @@ def check_bit_identity(seed: int) -> dict:
         dataset="mnist", num_clients=20, clients_per_round=5,
         train_size=400, test_size=60,
     )
-    out = {}
-    for backend in ("serial", "thread", "process"):
+
+    def one(backend, population):
         workers = 1 if backend == "serial" else 2
-        eager = run_policy(
+        if backend == "distributed":
+            # Bind-once executors cannot be reused across pools; spin a
+            # fresh loopback coordinator + worker pair per run.
+            ex = DistributedExecutor(
+                workers=workers, accept_timeout=120.0, result_timeout=600.0
+            )
+            procs = spawn_local_workers(ex.listen(), workers)
+            try:
+                return run_policy(
+                    cfg, "vanilla", rounds=2, seed=seed,
+                    executor=ex, population=population,
+                )
+            finally:
+                ex.close()
+                terminate_workers(procs)
+        return run_policy(
             cfg, "vanilla", rounds=2, seed=seed,
-            executor=backend, workers=workers,
+            executor=backend, workers=workers, population=population,
         )
-        store = run_policy(
-            cfg, "vanilla", rounds=2, seed=seed,
-            executor=backend, workers=workers, population=True,
-        )
+
+    out = {}
+    for backend in ("serial", "thread", "process", "distributed"):
+        eager = one(backend, False)
+        store = one(backend, True)
         out[backend] = eager.history.records == store.history.records
     return out
 
@@ -134,6 +258,12 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--single", type=int, default=None, metavar="N",
                     help="internal: run one population size and print JSON")
+    ap.add_argument("--single-sharded", type=int, default=None, metavar="N",
+                    help="internal: run one sharded point (with --executor) "
+                         "and print JSON")
+    ap.add_argument("--executor", choices=SHARDED_BACKENDS, default=None,
+                    help="restrict the sharding gate to one backend "
+                         "(default: both process and distributed)")
     ap.add_argument("--json", metavar="PATH",
                     default="BENCH_population_scale.json",
                     help="machine-readable output ('' disables)")
@@ -141,6 +271,18 @@ def main(argv=None) -> int:
 
     if args.single is not None:
         row = run_single(args.single, args.rounds, args.cohort, args.seed)
+        print(json.dumps(row))
+        return 0
+
+    if args.single_sharded is not None:
+        if args.executor is None:
+            print("error: --single-sharded requires --executor",
+                  file=sys.stderr)
+            return 2
+        row = run_sharded(
+            args.executor, args.single_sharded, args.rounds, args.cohort,
+            args.seed,
+        )
         print(json.dumps(row))
         return 0
 
@@ -194,6 +336,67 @@ def main(argv=None) -> int:
         print(f"store-vs-eager bit-identity [{backend}]: "
               f"{'PASS' if same else 'FAIL'}")
 
+    # ---- sharding gate: worker-side shards keep shipped bytes/round
+    # flat in N, the history bit-identical to the serial store path,
+    # and the coordinator's materialisations O(cohort x rounds).
+    sharded_backends = (
+        (args.executor,) if args.executor else SHARDED_BACKENDS
+    )
+    sharded_sizes = sorted(
+        n for n in SHARDED_SIZES
+        if args.max_clients is None or n <= args.max_clients
+    )
+    sharding = {}
+    sharding_ok = True
+    for backend in sharded_backends if sharded_sizes else ():
+        brows = []
+        for n in sharded_sizes:
+            cmd = [
+                sys.executable, os.path.abspath(__file__),
+                "--single-sharded", str(n), "--executor", backend,
+                "--rounds", str(args.rounds),
+                "--cohort", str(args.cohort), "--seed", str(args.seed),
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(f"error: sharded {backend} N={n} run failed:\n"
+                      f"{proc.stderr}", file=sys.stderr)
+                return 1
+            brows.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+        bytes_ratio = (
+            brows[-1]["bytes_per_round"] / max(brows[0]["bytes_per_round"], 1)
+        )
+        flat_bytes = bytes_ratio < FLATNESS_GATE
+        b_identical = all(r["identical"] for r in brows)
+        mat_ok = all(r["mat_gate"] for r in brows)
+        ok = flat_bytes and b_identical and mat_ok
+        sharding_ok = sharding_ok and ok
+        for r in brows:
+            print(
+                f"sharded [{backend}] N={r['num_clients']}: "
+                f"{r['bytes_per_round'] / 1024:.1f}KB/round, "
+                f"shard ship {r['shard_bytes'] / 1024:.1f}KB "
+                f"x{r['shard_ships']}, "
+                f"{r['materializations']} coordinator materialisations"
+            )
+        print(
+            f"sharded [{backend}] bytes/round "
+            f"{brows[0]['num_clients']} -> {brows[-1]['num_clients']}: "
+            f"{bytes_ratio:.2f}x (gate: < {FLATNESS_GATE}x), "
+            f"history {'identical' if b_identical else 'DIVERGED'}, "
+            f"materialisation gate "
+            f"{'PASS' if mat_ok else 'FAIL'} -> "
+            f"{'PASS' if ok else 'FAIL'}"
+        )
+        sharding[backend] = {
+            "runs": {str(r["num_clients"]): r for r in brows},
+            "bytes_ratio": bytes_ratio,
+            "flat": flat_bytes,
+            "identical": b_identical,
+            "mat_gate": mat_ok,
+            "ok": ok,
+        }
+
     if args.json:
         payload = {
             "benchmark": "population_scale",
@@ -205,6 +408,7 @@ def main(argv=None) -> int:
             "per_round_ratio": ratio,
             "flat": flat,
             "bit_identity": identity,
+            "sharding": sharding,
             "runs": {str(row["num_clients"]): row for row in rows},
         }
         with open(args.json, "w") as fh:
@@ -212,7 +416,7 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
 
-    return 0 if (flat and identical) else 1
+    return 0 if (flat and identical and sharding_ok) else 1
 
 
 if __name__ == "__main__":

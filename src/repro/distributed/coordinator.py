@@ -27,6 +27,18 @@
   baseline exists -- first broadcast on a connection, or right after a
   reconnect -- the coordinator falls back to ``raw`` for that frame;
   the codec id in the header keeps every frame self-describing.
+* **Population sharding (v6).**  When the bound pool is the lazy
+  :class:`~repro.simcluster.population.PopulationClients` view over a
+  :class:`~repro.simcluster.population.PopulationStore`, pinning ships
+  each worker an ASSIGN_SHARD *column slice*
+  (:func:`repro.serialization.shard_to_bytes`: numpy buffers +
+  ``SeedAddress`` coordinates + authoritative RNG snapshots -- never
+  pickled ``SimClient`` graphs) instead of a pickled client dict.
+  Workers rebuild a local store shard and materialise clients lazily
+  under their own bounded LRU; the coordinator absorbs every UPDATE's
+  shipped-back RNG state into the store's ledger without materialising
+  the client, so neither side ever holds O(population) objects and the
+  steady-state wire cost is O(cohort).
 * **Worker loss.**  A dead worker (EOF, send failure, or heartbeat
   silence) has its pinned clients re-dealt over the survivors and
   re-shipped *with their current RNG state*; its unfinished jobs for the
@@ -99,6 +111,7 @@ from repro.execution.base import (
     eval_shard_bounds,
     order_updates,
 )
+from repro.serialization import shard_to_bytes
 from repro.simcluster.client import ClientUpdate
 
 __all__ = ["DistributedExecutor"]
@@ -567,18 +580,15 @@ class DistributedExecutor(ClientExecutor):
                         self._num_params, handle.token,
                     ),
                 )
-                owned = {
-                    cid: self._clients[cid]
+                owned_ids = sorted(
+                    cid
                     for cid, owner in self._owner.items()
                     if owner == wid
-                }
-                # RNG replay: the coordinator pool is authoritative
-                # (synced on every merged UPDATE), so this overwrites
-                # whatever half-trained state the worker kept.
-                conn.send(
-                    proto.MsgType.ASSIGN,
-                    proto.encode_assign(owned, self._training, self._signature),
                 )
+                # RNG replay: the coordinator pool/store ledger is
+                # authoritative (synced on every merged UPDATE), so this
+                # overwrites whatever half-trained state the worker kept.
+                self._send_assignment(conn, owned_ids)
                 if self._eval_shipped and self._eval_data is not None:
                     conn.send(
                         proto.MsgType.BIND_EVAL,
@@ -612,6 +622,53 @@ class DistributedExecutor(ClientExecutor):
         for wid in worker_ids:
             cycle.extend([wid] * self._handles[wid].capacity)
         return cycle
+
+    # ------------------------------------------------------------------
+    # assignment shipping: client pickles or store shards (v6)
+    # ------------------------------------------------------------------
+    def _population_store(self):
+        """The bound pool's backing store, or ``None`` for eager pools."""
+        return getattr(self._clients, "store", None)
+
+    def _send_assignment(
+        self,
+        conn: Connection,
+        owned_ids: Sequence[int],
+        model=None,
+        redeal: bool = False,
+    ) -> None:
+        """Ship ownership of ``owned_ids`` over ``conn``.
+
+        Store-backed pools ship one compact ASSIGN_SHARD column slice
+        (O(shard) bytes, no ``SimClient`` pickles); eager pools keep the
+        pickled-dict ASSIGN.  ``redeal=True`` marks re-ships triggered by
+        a peer's retirement, counted separately so ``cli report``
+        distinguishes steady-state pinning from churn.  The shard's
+        ``rng_states`` come straight from the store ledger, which every
+        merged UPDATE keeps authoritative -- the property that makes a
+        re-dealt slice replay bit-identically.
+        """
+        store = self._population_store()
+        if store is not None:
+            blob = shard_to_bytes(store.shard(owned_ids))
+            telemetry.count("wire.shard_ships", 1)
+            telemetry.count("wire.shard_bytes", len(blob))
+            if redeal:
+                telemetry.count("wire.shard_redeals", 1)
+            conn.send(
+                proto.MsgType.ASSIGN_SHARD,
+                proto.encode_assign_shard(
+                    blob, self._training, self._signature, model=model
+                ),
+            )
+        else:
+            owned = {cid: self._clients[cid] for cid in owned_ids}
+            conn.send(
+                proto.MsgType.ASSIGN,
+                proto.encode_assign(
+                    owned, self._training, self._signature, model=model
+                ),
+            )
 
     def bind_eval_data(self, x, y) -> None:
         """Ship the server-held eval set to every worker, exactly once.
@@ -659,18 +716,17 @@ class DistributedExecutor(ClientExecutor):
         cycle = self._worker_cycle(sorted(self._handles))
         ids = sorted(clients)
         self._owner = {cid: cycle[i % len(cycle)] for i, cid in enumerate(ids)}
+        owned_ids: Dict[int, List[int]] = {wid: [] for wid in self._handles}
+        for cid in ids:
+            owned_ids[self._owner[cid]].append(cid)
         eval_blob = (
             proto.encode_bind_eval(*self._eval_data)
             if self._eval_data is not None
             else None
         )
         for wid, handle in sorted(self._handles.items()):
-            owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
-            handle.conn.send(
-                proto.MsgType.ASSIGN,
-                proto.encode_assign(
-                    owned, self._training, self._signature, model=self._model
-                ),
+            self._send_assignment(
+                handle.conn, owned_ids[wid], model=self._model
             )
             if eval_blob is not None:
                 handle.conn.send(proto.MsgType.BIND_EVAL, eval_blob)
@@ -861,12 +917,13 @@ class DistributedExecutor(ClientExecutor):
             for i, cid in enumerate(orphans):
                 self._owner[cid] = cycle[i % len(cycle)]
             # Re-ship every orphaned client (future rounds need the
-            # pinning); model shells already live on the survivors.
-            by_target: Dict[int, Dict[int, object]] = {}
+            # pinning); model shells already live on the survivors.  For
+            # store-backed pools only the dead worker's id range travels
+            # -- one ASSIGN_SHARD slice per inheritor, with the ledger's
+            # authoritative RNG snapshots.
+            by_target: Dict[int, List[int]] = {}
             for cid in orphans:
-                by_target.setdefault(self._owner[cid], {})[cid] = self._clients[
-                    cid
-                ]
+                by_target.setdefault(self._owner[cid], []).append(cid)
             for target in sorted(by_target):
                 handle = self._handles[target]
                 if not handle.alive:
@@ -876,11 +933,8 @@ class DistributedExecutor(ClientExecutor):
                     continue
                 gen = handle.gen
                 try:
-                    handle.conn.send(
-                        proto.MsgType.ASSIGN,
-                        proto.encode_assign(
-                            by_target[target], self._training, self._signature
-                        ),
+                    self._send_assignment(
+                        handle.conn, by_target[target], redeal=True
                     )
                 except OSError as exc:
                     # A transient blip parks the replacement for its own
@@ -1272,9 +1326,18 @@ class DistributedExecutor(ClientExecutor):
                     continue
                 done.add(cid)
                 if rng_state is not None:
-                    rng = getattr(self._clients[cid], "_train_rng", None)
-                    if rng is not None:
-                        rng.bit_generator.state = rng_state
+                    store = self._population_store()
+                    if store is not None:
+                        # Absorb into the store ledger without
+                        # materialising the client: the coordinator's
+                        # pool stays authoritative at O(cohort) resident
+                        # objects, and the next shard (re-)ship carries
+                        # this position.
+                        store.restore_rng_state(cid, train_state=rng_state)
+                    else:
+                        rng = getattr(self._clients[cid], "_train_rng", None)
+                        if rng is not None:
+                            rng.bit_generator.state = rng_state
                 updates.append(self._stamp(cid, w, n_samples, latencies))
                 self._on_update_received(wid, cid)
                 continue

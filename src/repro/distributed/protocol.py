@@ -116,6 +116,37 @@ Version history (every entry is a wire-incompatible break: it bumps
   it as an unknown frame mid-teardown, so the handshake REJECTs the
   mismatch with the established stale-worker message ("worker speaks
   v4, coordinator requires v5").
+* **v5 -> v6**: added ASSIGN_SHARD -- population-scale federations ship
+  *store shards*, not clients.
+
+  ============  =====================================================
+  frame         v6 contract
+  ============  =====================================================
+  ASSIGN_SHARD  coordinator -> worker; replaces ASSIGN when the bound
+                pool is a lazy
+                :class:`~repro.simcluster.population.PopulationStore`.
+                Carries one compact column slice
+                (:func:`repro.serialization.shard_to_bytes`: raw numpy
+                buffers + ``SeedAddress`` coordinates + authoritative
+                RNG snapshots -- never pickled ``SimClient`` graphs)
+                plus the training config / signature / optional model
+                shell, sent **once at pin time**.  The worker rebuilds
+                a local store shard and materialises clients lazily
+                under its own bounded LRU; per-round TRAIN / EVAL
+                frames keep referencing client ids only, so the
+                steady-state wire cost is O(cohort) regardless of
+                population size.  On worker loss the retire-and-re-pin
+                path re-deals only the dead worker's id range as fresh
+                ASSIGN_SHARD frames whose snapshots restore every
+                advanced RNG stream (bit-identity under SIGKILL, same
+                guarantee ASSIGN re-ships gave eager pools).
+  ASSIGN        unchanged; still used for eager (materialised) pools.
+  all others    byte-identical to v5.
+  ============  =====================================================
+
+  A v5 worker would choke on the unknown ASSIGN_SHARD frame, so the
+  handshake REJECTs the mismatch naming both versions ("worker speaks
+  v5, coordinator requires v6").
 
 Control messages are JSON (small, debuggable); client shipping uses
 pickle (the payload *is* Python objects: datasets, RNG streams); weight
@@ -157,6 +188,8 @@ __all__ = [
     "decode_reject",
     "encode_assign",
     "decode_assign",
+    "encode_assign_shard",
+    "decode_assign_shard",
     "encode_broadcast",
     "decode_broadcast",
     "encode_train",
@@ -187,9 +220,10 @@ __all__ = [
 #: baseline seq to the BROADCAST/UPDATE headers (pluggable raw / delta /
 #: quantized weight transport) and session tokens for worker
 #: reconnect-and-resume; v5 added the worker's end-of-session TELEMETRY
-#: summary frame.  Older peers are REJECTed at the handshake with a
-#: reason naming both versions.
-PROTOCOL_VERSION = 5
+#: summary frame; v6 added ASSIGN_SHARD (population store shards ship
+#: as column slices, O(cohort) steady-state wire cost).  Older peers
+#: are REJECTed at the handshake with a reason naming both versions.
+PROTOCOL_VERSION = 6
 
 #: Hard cap on the parameter count a BROADCAST/UPDATE header may claim.
 #: Guards the decode path the same way the transport's frame-payload
@@ -220,6 +254,7 @@ class MsgType(IntEnum):
     EVAL_MODEL = 16
     EVAL_MODEL_RESULT = 17
     TELEMETRY = 18
+    ASSIGN_SHARD = 19
 
 
 class ProtocolError(RuntimeError):
@@ -597,6 +632,51 @@ def decode_assign(payload: bytes) -> Dict[str, Any]:
         "model",
     } <= set(obj):
         raise ProtocolError("ASSIGN payload missing required keys")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# ASSIGN_SHARD: population store slices, no client pickles (v6)
+# ----------------------------------------------------------------------
+def encode_assign_shard(
+    shard_blob: bytes,
+    training: TrainingConfig,
+    signature: str,
+    model: Optional[Sequential] = None,
+) -> bytes:
+    """Ship a population store slice (and, at start-up, the model shell).
+
+    ``shard_blob`` is a :func:`repro.serialization.shard_to_bytes`
+    payload: raw column buffers, seed-address coordinates, and the
+    authoritative RNG snapshots of any member whose streams have
+    advanced.  That last part is what makes a re-deal after worker loss
+    bit-identical -- the coordinator's store ledger absorbs every
+    UPDATE's shipped-back ``_train_rng`` state, so the slice it re-deals
+    resumes each client exactly where the serial schedule says.
+    """
+    return pickle.dumps(
+        {
+            "shard": bytes(shard_blob),
+            "training": training,
+            "signature": str(signature),
+            "model": model,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_assign_shard(payload: bytes) -> Dict[str, Any]:
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"malformed ASSIGN_SHARD payload: {exc}") from exc
+    if not isinstance(obj, dict) or not {
+        "shard",
+        "training",
+        "signature",
+        "model",
+    } <= set(obj):
+        raise ProtocolError("ASSIGN_SHARD payload missing required keys")
     return obj
 
 

@@ -53,7 +53,7 @@ import threading
 import time
 import traceback
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +63,8 @@ from repro.distributed import protocol as proto
 from repro.distributed.transport import Connection, ConnectionClosed, FrameError
 from repro.execution.base import EVAL_BATCH
 from repro.nn.model import Sequential
+from repro.serialization import shard_from_bytes
+from repro.simcluster.population import PopulationStore, ShardClients
 from repro.telemetry.log import stream_logger
 
 __all__ = ["WorkerAgent"]
@@ -149,6 +151,7 @@ class WorkerAgent:
             "eval_requests": 0,
             "eval_model_requests": 0,
             "broadcasts_received": 0,
+            "shards_received": 0,
             "reconnects": 0,
             "codec_encode_s": 0.0,
             "codec_decode_s": 0.0,
@@ -159,7 +162,10 @@ class WorkerAgent:
         self._session_token: Optional[str] = None
         self._expected_signature: Optional[str] = None
         self._expected_num_params: Optional[int] = None
-        self._clients: Dict[int, object] = {}
+        # Eager federations ship pickled clients into a plain dict;
+        # population-scale ones ship column slices rebuilt into a
+        # ShardClients mapping (one mode per session, never mixed).
+        self._clients: Union[Dict[int, object], ShardClients] = {}
         self._workspace: Optional[Sequential] = None
         self._training: Optional[TrainingConfig] = None
         # seq -> weights; a pipelined coordinator interleaves an eval
@@ -279,10 +285,55 @@ class WorkerAgent:
                 "received a model-less ASSIGN before the model shell arrived"
             )
         self._training = assignment["training"]
+        if isinstance(self._clients, ShardClients):
+            raise proto.ProtocolError(
+                "eager ASSIGN after ASSIGN_SHARD on the same session"
+            )
         self._clients.update(assignment["clients"])
         self._log(
             f"assigned {len(assignment['clients'])} client(s); "
             f"now own {sorted(self._clients)}"
+        )
+
+    def _handle_assign_shard(self, payload: bytes) -> None:
+        """Rebuild a population store shard from its column slice (v6).
+
+        The slice arrives once at pin time (and again only for re-deals
+        after a peer's loss); clients materialise lazily under this
+        worker's own bounded LRU, so memory stays O(shard) and the
+        per-round frames keep referencing client ids only.
+        """
+        assignment = proto.decode_assign_shard(payload)
+        model = assignment["model"]
+        self._verify_assignment(model, assignment["signature"])
+        if model is not None:
+            self._workspace = model
+        if self._workspace is None:
+            raise proto.ProtocolError(
+                "received a model-less ASSIGN_SHARD before the model "
+                "shell arrived"
+            )
+        self._training = assignment["training"]
+        if not isinstance(self._clients, ShardClients):
+            if self._clients:
+                raise proto.ProtocolError(
+                    "ASSIGN_SHARD after eager ASSIGN on the same session"
+                )
+            self._clients = ShardClients()
+        try:
+            shard = shard_from_bytes(assignment["shard"])
+        except Exception as exc:
+            raise proto.ProtocolError(
+                f"malformed ASSIGN_SHARD column slice: {exc}"
+            ) from exc
+        store = self._clients.add(PopulationStore.from_columns(shard))
+        self._stats["shards_received"] += 1
+        ids = store.client_ids
+        self._log(
+            f"assigned store shard of {store.num_clients} client(s) "
+            f"[{int(ids[0])}..{int(ids[-1])}]; now own "
+            f"{len(self._clients)} across "
+            f"{len(self._clients.stores)} shard(s)"
         )
 
     def _store_broadcast(self, payload: bytes) -> None:
@@ -562,6 +613,8 @@ class WorkerAgent:
             try:
                 if msg_type == proto.MsgType.ASSIGN:
                     self._handle_assign(payload)
+                elif msg_type == proto.MsgType.ASSIGN_SHARD:
+                    self._handle_assign_shard(payload)
                 elif msg_type == proto.MsgType.BROADCAST:
                     self._store_broadcast(payload)
                 elif msg_type == proto.MsgType.TRAIN:

@@ -213,6 +213,11 @@ class ClientExecutor:
 
     def __init__(self) -> None:
         self._clients: Optional[Mapping[int, SimClient]] = None
+        # The mapping object the caller originally bound: eager pools are
+        # stored as a defensive dict copy, so rebinding the same object
+        # needs this reference to be recognised in O(1) instead of via an
+        # O(population) dict comparison.
+        self._bound_source: Optional[Mapping[int, SimClient]] = None
         self._model: Optional[Sequential] = None
         self._training: Optional[TrainingConfig] = None
         self._eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -238,15 +243,20 @@ class ClientExecutor:
         which is exactly what the store exists to avoid.  Lazy rebinds
         compare by identity for the same reason.  Backends that look
         clients up per cohort (serial, thread, batched) therefore stay
-        O(cohort); backends that ship the pool to workers up front
-        (process, distributed) still materialise every client when they
-        start -- documented, and fine at the small N their equivalence
-        tests run at.
+        O(cohort); the process and distributed backends ship *store
+        shards* to their workers (columns + seed coordinates, rebuilt
+        and materialised lazily on the worker side), so they too stay
+        O(cohort) per round and O(shard) per worker.
         """
         lazy = bool(getattr(clients, "lazy", False))
         if self._clients is not None:
-            if lazy or getattr(self._clients, "lazy", False):
-                same_pool = clients is self._clients
+            if clients is self._clients or clients is self._bound_source:
+                # Identity short-circuit: the common re-bind (a server
+                # re-using its executor) must never pay the O(population)
+                # enumeration below just to learn the pool is unchanged.
+                same_pool = True
+            elif lazy or getattr(self._clients, "lazy", False):
+                same_pool = False  # distinct lazy views never match
             else:
                 same_pool = dict(clients) == self._clients
             if not same_pool or model is not self._model:
@@ -265,6 +275,7 @@ class ClientExecutor:
             self._training = training
             return
         self._clients = clients if lazy else dict(clients)
+        self._bound_source = clients
         self._model = model
         self._training = training
 

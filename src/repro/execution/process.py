@@ -11,6 +11,21 @@ Design (the memory / determinism contract):
   update ships the advanced RNG state back to the parent's client object,
   so the parent pool remains the single source of truth and can later be
   reused with any backend or a fresh executor.
+* **Population sharding.**  When the bound pool is a
+  :class:`repro.simcluster.population.PopulationStore` view (it exposes
+  ``.store``), workers never receive pickled
+  :class:`~repro.simcluster.client.SimClient` objects.  Instead each
+  worker's column slice (``PopulationStore.shard``) is written into
+  anonymous shared-memory segments mapped at fork; the worker rebuilds
+  a local shard store (``PopulationStore.from_columns``) and
+  materialises its pinned clients lazily under its own bounded LRU.
+  Start-up shipping is therefore O(shard ids), per-round traffic is
+  O(cohort) metadata + one weight copy each way, and neither the parent
+  nor any worker ever holds the full materialised population.  Advanced
+  training-RNG states still ship home per update; with a store pool
+  they land in the parent store's RNG ledger
+  (``PopulationStore.restore_rng_state``) without materialising the
+  client.
 * **One replica per worker.**  The model shell shipped to each worker at
   start-up *is* that worker's private workspace replica (weights are
   overwritten at the start of every local pass), so memory is
@@ -62,6 +77,7 @@ datasets are shared copy-on-write) and falls back to ``spawn``.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import queue as queue_mod
 import threading
 import time
@@ -83,10 +99,38 @@ from repro.execution.base import (
 )
 from repro.nn.model import Sequential
 from repro.simcluster.client import ClientUpdate, SimClient
+from repro.simcluster.population import (
+    PopulationShard,
+    PopulationStore,
+    ShardClients,
+)
 
 __all__ = ["ProcessExecutor"]
 
 _Job = Tuple[int, int]  # (client_id, epochs)
+
+# Columns shipped through shared memory for a sharded (store-backed) pool.
+_SHARD_COLUMNS = ("client_ids", "num_samples", "cpu_fraction", "bandwidth_mbps", "group")
+
+
+def _shard_pool_from_spec(spec) -> ShardClients:
+    """Rebuild a worker-local lazy client pool from a shard spec.
+
+    ``spec`` is ``(columns, meta)``: ``columns`` maps shared-memory
+    buffers back to the numeric shard columns, ``meta`` carries the
+    non-column :class:`PopulationShard` fields (seed coordinates,
+    models, dataset provider, RNG ledger).  The rebuilt store
+    materialises clients on demand under its own bounded LRU.
+    """
+    columns, meta = spec
+    arrays = {
+        name: np.frombuffer(buf, dtype=dtype, count=count).copy()
+        for name, buf, dtype, count in columns
+    }
+    shard = PopulationShard(**arrays, **meta)
+    pool = ShardClients()
+    pool.add(PopulationStore.from_columns(shard))
+    return pool
 
 
 def _worker_main(
@@ -105,6 +149,9 @@ def _worker_main(
     eval_result_q,
 ) -> None:
     """Worker loop: train/evaluate pinned clients against shared weights."""
+    if isinstance(clients, tuple):
+        # Sharded pool: shared-memory columns in, lazy local store out.
+        clients = _shard_pool_from_spec(clients)
     global_flat = np.frombuffer(shared_weights, dtype=np.float64, count=num_params)
     eval_flat = np.frombuffer(eval_weights, dtype=np.float64, count=num_params)
     slot_view = np.frombuffer(return_slot, dtype=np.float64, count=num_params)
@@ -222,6 +269,23 @@ class ProcessExecutor(ClientExecutor):
         self._num_params = 0
         self._owner: Dict[int, int] = {}  # client_id -> worker index
         self._seq = 0  # cohort sequence number; guards against stale results
+        # IPC accounting: what the equivalent of "bytes on the wire" is
+        # for this backend.  _ipc_bytes counts the recurring per-round
+        # payloads (task/result messages as pickled size, plus one
+        # float64 weight copy per segment write and per slot copy-out);
+        # _shard_bytes counts the one-time start-up shipping (shard
+        # columns + metadata for store pools, pickled clients
+        # otherwise).  The population-scale bench gates on _ipc_bytes
+        # staying flat in the population size at fixed cohort.
+        self._ipc_bytes = 0
+        self._shard_bytes = 0
+        self._shard_ships = 0
+        # Shard-spec RawArrays must stay referenced for the workers'
+        # lifetime: Process.start() drops its args in the parent, and a
+        # garbage-collected block returns to the shared mp heap where the
+        # next allocation would overwrite memory a forked worker still
+        # maps (same reason _eval_arrays and _return_slots are pinned).
+        self._shard_specs: List = []
         # Serialises seq allocation + shared-segment writes + task puts,
         # so a pipelined eval submission can never interleave with a
         # training dispatch half-way through.
@@ -240,6 +304,21 @@ class ProcessExecutor(ClientExecutor):
         if not self._started():
             raise ExecutorError("executor not started yet")
         return self._owner[client_id]
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Cumulative recurring IPC bytes (excludes one-time shard ship)."""
+        return self._ipc_bytes
+
+    @property
+    def shard_bytes(self) -> int:
+        """One-time start-up shipping cost (shard columns or pickled pool)."""
+        return self._shard_bytes
+
+    @property
+    def shard_ships(self) -> int:
+        """Number of shard (or eager pool) shipments performed at start."""
+        return self._shard_ships
 
     def bind_eval_data(self, x: np.ndarray, y: np.ndarray) -> None:
         """Map the eval set into shared memory for the (future) workers.
@@ -295,9 +374,21 @@ class ProcessExecutor(ClientExecutor):
                 x_buf, str(x.dtype), x.shape, y_buf, str(y.dtype), y.shape,
             )
             self._eval_arrays = eval_blob
+        store = getattr(clients, "store", None)
         procs, task_qs, return_slots, slot_free_sems = [], [], [], []
         for wid in range(n_workers):
-            owned = {cid: clients[cid] for cid in ids if self._owner[cid] == wid}
+            owned_ids = [cid for cid in ids if self._owner[cid] == wid]
+            if store is not None:
+                # Store pool: ship the column slice, never SimClient
+                # pickles.  The parent materialises nothing here.
+                owned = self._make_shard_spec(store, owned_ids)
+                self._shard_specs.append(owned)
+            else:
+                owned = {cid: clients[cid] for cid in owned_ids}
+                self._shard_bytes += len(
+                    pickle.dumps(owned, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                self._shard_ships += 1
             task_q = self._ctx.Queue()
             return_slot = self._ctx.RawArray("d", max(num_params, 1))
             slot_free = self._ctx.Semaphore(1)
@@ -332,12 +423,55 @@ class ProcessExecutor(ClientExecutor):
         # Committed last: _ensure_started's unlocked fast path keys on it.
         self._procs = procs
 
+    def _make_shard_spec(self, store, owned_ids):
+        """Copy one worker's shard columns into shared-memory segments.
+
+        Returns the ``(columns, meta)`` spec that
+        :func:`_shard_pool_from_spec` rebuilds on the worker side.
+        Counted against ``shard_bytes`` (one-time cost) and the
+        ``wire.shard_*`` telemetry family, mirroring the distributed
+        coordinator's ASSIGN_SHARD accounting.
+        """
+        shard = store.shard(owned_ids)
+        columns = []
+        column_bytes = 0
+        for name in _SHARD_COLUMNS:
+            arr = np.ascontiguousarray(getattr(shard, name))
+            buf = self._ctx.RawArray("b", max(arr.nbytes, 1))
+            np.frombuffer(buf, dtype=arr.dtype, count=arr.size)[...] = arr
+            columns.append((name, buf, str(arr.dtype), int(arr.size)))
+            column_bytes += int(arr.nbytes)
+        meta = dict(
+            holdout_fraction=shard.holdout_fraction,
+            min_holdout=shard.min_holdout,
+            seed_address=shard.seed_address,
+            latency_model=shard.latency_model,
+            comm_model=shard.comm_model,
+            dataset_for=shard.dataset_for,
+            rng_states=shard.rng_states,
+            cache_size=shard.cache_size,
+        )
+        shipped = column_bytes + len(
+            pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._shard_bytes += shipped
+        self._shard_ships += 1
+        telemetry.count("wire.shard_ships", 1)
+        telemetry.count("wire.shard_bytes", shipped)
+        return (columns, meta)
+
+    def _put_task(self, wid: int, msg) -> None:
+        """Queue a task message, counting its pickled size as IPC bytes."""
+        self._ipc_bytes += len(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+        self._task_qs[wid].put(msg)
+
     def _write_segment(self, segment, flat_weights: np.ndarray) -> None:
         """One write into a shared segment, visible to every worker
         before its task message arrives (queue send orders it)."""
         flat = np.asarray(flat_weights, dtype=np.float64).ravel()
         view = np.frombuffer(segment, dtype=np.float64, count=flat.size)
         view[:] = flat
+        self._ipc_bytes += int(flat.nbytes)
 
     def _copy_out_slot(self, wid: int) -> np.ndarray:
         """Copy a worker's returned weight vector and free its slot."""
@@ -345,6 +479,7 @@ class ProcessExecutor(ClientExecutor):
             self._return_slots[wid], dtype=np.float64, count=self._num_params
         ).copy()
         self._slot_free[wid].release()
+        self._ipc_bytes += int(w.nbytes)
         return w
 
     def _next_result(self, waited_box: List[float], result_q):
@@ -365,6 +500,9 @@ class ProcessExecutor(ClientExecutor):
                     time.perf_counter() - t0,
                     backend=self.name,
                 )
+            self._ipc_bytes += len(
+                pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             return msg
         except queue_mod.Empty:
             # Short poll interval so a dead worker (OOM-kill, factory
@@ -417,7 +555,7 @@ class ProcessExecutor(ClientExecutor):
             seq = self._seq
             self._write_segment(self._shared, global_weights)
             for wid, jobs in per_worker.items():
-                self._task_qs[wid].put(("train", seq, round_idx, jobs))
+                self._put_task(wid, ("train", seq, round_idx, jobs))
 
         updates: List[ClientUpdate] = []
         failures: List[str] = []
@@ -446,9 +584,15 @@ class ProcessExecutor(ClientExecutor):
                     continue
                 received += 1
                 if rng_state is not None:
-                    rng = getattr(self._clients[cid], "_train_rng", None)
-                    if rng is not None:
-                        rng.bit_generator.state = rng_state
+                    store = getattr(self._clients, "store", None)
+                    if store is not None:
+                        # Ledger write: authoritative without forcing the
+                        # parent to materialise the client.
+                        store.restore_rng_state(cid, train_state=rng_state)
+                    else:
+                        rng = getattr(self._clients[cid], "_train_rng", None)
+                        if rng is not None:
+                            rng.bit_generator.state = rng_state
                 updates.append(self._stamp(cid, w, n_samples, latencies))
             elif kind == "err":
                 _, _, wid, cid, tb = msg
@@ -496,7 +640,7 @@ class ProcessExecutor(ClientExecutor):
             seq = self._seq
             self._write_segment(self._eval_shared, flat_weights)
             for wid, cids in per_worker.items():
-                self._task_qs[wid].put(("eval", seq, cids))
+                self._put_task(wid, ("eval", seq, cids))
 
         accs: Dict[int, float] = {}
         failures: List[str] = []
@@ -567,7 +711,7 @@ class ProcessExecutor(ClientExecutor):
             seq = self._seq
             self._write_segment(self._eval_shared, flat_weights)
             for wid, shard in per_worker.items():
-                self._task_qs[wid].put(("eval_model", seq, shard))
+                self._put_task(wid, ("eval_model", seq, shard))
 
         correct = 0
         failures: List[str] = []
@@ -631,6 +775,7 @@ class ProcessExecutor(ClientExecutor):
         self._eval_arrays = None
         self._return_slots = []
         self._slot_free = []
+        self._shard_specs = []
         self._owner = {}
 
     def __del__(self) -> None:  # pragma: no cover - safety net

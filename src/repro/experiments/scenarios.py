@@ -62,6 +62,7 @@ __all__ = [
     "build_scenario",
     "build_leaf_scenario",
     "build_population_scenario",
+    "PooledDatasetProvider",
 ]
 
 _DATASETS = {
@@ -453,6 +454,33 @@ def build_leaf_scenario(
     )
 
 
+@dataclass(frozen=True)
+class PooledDatasetProvider:
+    """Picklable per-client dataset provider over a shared sample pool.
+
+    The population scenario's dataset rule -- "client ``cid`` owns a
+    sorted, seed-addressed sample of the shared pool" -- as a frozen
+    dataclass instead of a closure, so a :class:`PopulationStore` shard
+    can carry it across a process boundary (``ASSIGN_SHARD`` /
+    fork-time shared memory) and a worker materialises the exact same
+    datasets the coordinator would.
+    """
+
+    pool: Dataset
+    num_samples: np.ndarray
+    data_address: SeedAddress
+    pool_size: int
+
+    def __call__(self, cid: int) -> Dataset:
+        r = make_rng(self.data_address.child(cid))
+        idx = np.sort(
+            r.choice(
+                self.pool_size, size=int(self.num_samples[cid]), replace=False
+            )
+        )
+        return self.pool.subset(idx, name=f"{self.pool.name}/client{cid}")
+
+
 def build_population_scenario(
     num_clients: int = 100_000,
     clients_per_round: int = 20,
@@ -540,10 +568,12 @@ def build_population_scenario(
     (data_seed_parent,) = spawn(client_seed_rng, 1)
     data_address = SeedAddress.capture(data_seed_parent)
 
-    def dataset_for(cid: int) -> Dataset:
-        r = make_rng(data_address.child(cid))
-        idx = np.sort(r.choice(pool_size, size=int(num_samples[cid]), replace=False))
-        return pool.subset(idx, name=f"{pool.name}/client{cid}")
+    dataset_for = PooledDatasetProvider(
+        pool=pool,
+        num_samples=num_samples,
+        data_address=data_address,
+        pool_size=pool_size,
+    )
 
     latency_model = LatencyModel(
         cost_per_sample=cost_per_sample,

@@ -64,7 +64,9 @@ from repro.simcluster.resources import ResourceSpec
 __all__ = [
     "SeedAddress",
     "PopulationStore",
+    "PopulationShard",
     "PopulationClients",
+    "ShardClients",
     "DiurnalSchedule",
 ]
 
@@ -161,13 +163,18 @@ class PopulationClients(Mapping):
         return self._store.num_clients
 
     def __iter__(self) -> Iterator[int]:
-        return iter(range(self._store.num_clients))
+        store = self._store
+        if store._row_of is None:
+            return iter(range(store.num_clients))
+        return (int(cid) for cid in store.client_ids)
 
     def _valid(self, client_id: object) -> bool:
-        return (
-            isinstance(client_id, (int, np.integer))
-            and 0 <= int(client_id) < self._store.num_clients
-        )
+        if not isinstance(client_id, (int, np.integer)):
+            return False
+        store = self._store
+        if store._row_of is None:
+            return 0 <= int(client_id) < store.num_clients
+        return int(client_id) in store._row_of
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PopulationClients(n={len(self)}, store={self._store!r})"
@@ -190,6 +197,7 @@ class PopulationStore:
         seed_address: Optional[SeedAddress] = None,
         seed_rng: Optional[np.random.Generator] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        client_ids: Optional[Sequence[int]] = None,
     ) -> None:
         if seed_address is None:
             if seed_rng is None:
@@ -215,6 +223,26 @@ class PopulationStore:
                 raise ValueError(
                     f"column {name!r} has shape {col.shape}, expected ({n},)"
                 )
+        # Global client ids, one per row.  The full-population store uses
+        # the trivial identity (row == id, kept implicit so hot paths stay
+        # index-free); a *shard* rebuilt on a worker carries the global
+        # ids of its slice, so materialised clients keep their federation
+        # identity (seed address, dataset split) regardless of row order.
+        if client_ids is None:
+            self.client_ids = np.arange(n, dtype=np.int64)
+            self._row_of: Optional[Dict[int, int]] = None
+        else:
+            self.client_ids = np.ascontiguousarray(client_ids, dtype=np.int64)
+            if self.client_ids.shape != (n,):
+                raise ValueError(
+                    f"column 'client_ids' has shape {self.client_ids.shape}, "
+                    f"expected ({n},)"
+                )
+            self._row_of = {
+                int(cid): row for row, cid in enumerate(self.client_ids)
+            }
+            if len(self._row_of) != n:
+                raise ValueError("client_ids must be unique")
         self.holdout_size = _holdout_sizes(
             self.num_samples, holdout_fraction, min_holdout
         )
@@ -262,13 +290,25 @@ class PopulationStore:
         """Total (re-)constructions -- cache hits excluded."""
         return self._materialize_count
 
+    def _row(self, client_id: int) -> int:
+        """Column row of a *global* client id (KeyError when foreign)."""
+        cid = int(client_id)
+        if self._row_of is None:
+            if not 0 <= cid < self.num_clients:
+                raise KeyError(f"client {cid} is not in this population")
+            return cid
+        row = self._row_of.get(cid)
+        if row is None:
+            raise KeyError(f"client {cid} is not in this population")
+        return row
+
     def spec_of(self, client_id: int) -> ResourceSpec:
         """Rebuild the frozen :class:`ResourceSpec` from the columns."""
-        cid = int(client_id)
+        row = self._row(client_id)
         return ResourceSpec(
-            cpu_fraction=float(self.cpu_fraction[cid]),
-            bandwidth_mbps=float(self.bandwidth_mbps[cid]),
-            group=int(self.group[cid]),
+            cpu_fraction=float(self.cpu_fraction[row]),
+            bandwidth_mbps=float(self.bandwidth_mbps[row]),
+            group=int(self.group[row]),
         )
 
     # ------------------------------------------------------------------
@@ -288,8 +328,7 @@ class PopulationStore:
         if cached is not None:
             self._cache.move_to_end(cid)
             return cached
-        if not 0 <= cid < self.num_clients:
-            raise KeyError(f"client {cid} is not in this population")
+        self._row(cid)  # membership check (KeyError on foreign ids)
         client = SimClient(
             cid,
             self._dataset_for(cid),
@@ -303,8 +342,13 @@ class PopulationStore:
         self._materialize_count += 1
         saved = self._saved_states.pop(cid, None)
         if saved is not None:
-            client._train_rng.bit_generator.state = saved[0]
-            client._latency_rng.bit_generator.state = saved[1]
+            # Ledger entries may be partial: a shipped shard snapshot
+            # carries only the streams that actually advanced remotely
+            # (train), leaving the other at its rebuilt position-zero.
+            if saved[0] is not None:
+                client._train_rng.bit_generator.state = saved[0]
+            if saved[1] is not None:
+                client._latency_rng.bit_generator.state = saved[1]
         self._cache[cid] = client
         while len(self._cache) > self._cache_size:
             old_cid, old = self._cache.popitem(last=False)
@@ -327,6 +371,132 @@ class PopulationStore:
             )
 
     # ------------------------------------------------------------------
+    # RNG-state ledger (authoritative stream positions, no clients)
+    # ------------------------------------------------------------------
+    def rng_state_of(
+        self, client_id: int
+    ) -> Tuple[Optional[dict], Optional[dict]]:
+        """Authoritative ``(train, latency)`` RNG states for a client.
+
+        Resident clients answer from their live generators, evicted ones
+        from the eviction/ship ledger; a never-touched client returns
+        ``(None, None)`` (its streams are still at position zero, which
+        :meth:`materialize` reproduces from the seed address alone).
+        """
+        cid = int(client_id)
+        client = self._cache.get(cid)
+        if client is not None:
+            return (
+                client._train_rng.bit_generator.state,
+                client._latency_rng.bit_generator.state,
+            )
+        return self._saved_states.get(cid, (None, None))
+
+    def restore_rng_state(
+        self,
+        client_id: int,
+        train_state: Optional[dict] = None,
+        latency_state: Optional[dict] = None,
+    ) -> None:
+        """Record authoritative RNG stream positions for a client.
+
+        This is how a coordinator absorbs the ``_train_rng`` state a
+        remote worker ships back after training **without materialising
+        the client**: resident clients get their live generators set,
+        everyone else gets a (possibly partial) ledger entry merged --
+        ``None`` leaves that stream's recorded position untouched.
+        """
+        cid = int(client_id)
+        self._row(cid)  # membership check
+        client = self._cache.get(cid)
+        if client is not None:
+            if train_state is not None:
+                client._train_rng.bit_generator.state = train_state
+            if latency_state is not None:
+                client._latency_rng.bit_generator.state = latency_state
+            return
+        prev = self._saved_states.get(cid, (None, None))
+        self._saved_states[cid] = (
+            train_state if train_state is not None else prev[0],
+            latency_state if latency_state is not None else prev[1],
+        )
+
+    # ------------------------------------------------------------------
+    # sharding (worker-side population slices)
+    # ------------------------------------------------------------------
+    def shard(self, client_ids: Iterable[int]) -> "PopulationShard":
+        """A self-contained column slice for the given *global* ids.
+
+        The slice carries everything a worker needs to rebuild a local
+        store via :meth:`from_columns` -- numpy column slices, the
+        :class:`SeedAddress`, the dataset provider, and the current
+        authoritative RNG snapshots for any member whose streams have
+        advanced -- and nothing per-client beyond that: **no**
+        :class:`SimClient` is materialised or pickled.  Ids are sorted
+        so a re-dealt shard is deterministic regardless of source order.
+        """
+        ids = np.sort(np.asarray(list(client_ids), dtype=np.int64))
+        if ids.size == 0:
+            raise ValueError("a shard needs at least one client id")
+        if self._row_of is None:
+            if ids[0] < 0 or ids[-1] >= self.num_clients:
+                raise KeyError("shard ids outside this population")
+            rows = ids
+        else:
+            rows = np.array([self._row(cid) for cid in ids], dtype=np.int64)
+        rng_states: Dict[int, Tuple[Optional[dict], Optional[dict]]] = {}
+        for cid in ids.tolist():
+            states = self.rng_state_of(cid)
+            if states != (None, None):
+                rng_states[cid] = states
+        return PopulationShard(
+            client_ids=ids,
+            num_samples=self.num_samples[rows],
+            cpu_fraction=self.cpu_fraction[rows],
+            bandwidth_mbps=self.bandwidth_mbps[rows],
+            group=self.group[rows],
+            holdout_fraction=self.holdout_fraction,
+            min_holdout=self.min_holdout,
+            seed_address=self.seed_address,
+            latency_model=self.latency_model,
+            comm_model=self.comm_model,
+            dataset_for=self._dataset_for,
+            rng_states=rng_states,
+            cache_size=self._cache_size,
+        )
+
+    @classmethod
+    def from_columns(
+        cls, shard: "PopulationShard", cache_size: Optional[int] = None
+    ) -> "PopulationStore":
+        """Rebuild a worker-local store from a shipped column slice.
+
+        Clients materialise lazily under the worker's own bounded LRU,
+        bit-identical to the coordinator's store: same seed address,
+        same dataset provider, and any shipped RNG snapshots pre-seed
+        the ledger so evicted-then-reshipped streams resume in place.
+        """
+        store = cls(
+            num_samples=shard.num_samples,
+            cpu_fraction=shard.cpu_fraction,
+            bandwidth_mbps=shard.bandwidth_mbps,
+            group=shard.group,
+            dataset_for=shard.dataset_for,
+            latency_model=shard.latency_model,
+            comm_model=shard.comm_model,
+            holdout_fraction=shard.holdout_fraction,
+            min_holdout=shard.min_holdout,
+            seed_address=shard.seed_address,
+            cache_size=(
+                cache_size if cache_size is not None else shard.cache_size
+            ),
+            client_ids=shard.client_ids,
+        )
+        for cid, states in shard.rng_states.items():
+            store._saved_states[int(cid)] = (states[0], states[1])
+        return store
+
+    # ------------------------------------------------------------------
     # availability
     # ------------------------------------------------------------------
     def available_ids(
@@ -340,8 +510,14 @@ class PopulationStore:
         mask = self.available
         if excluded:
             mask = mask.copy()
-            mask[np.fromiter(excluded, dtype=np.int64)] = False
-        return np.flatnonzero(mask)
+            rows = np.fromiter(excluded, dtype=np.int64)
+            if self._row_of is not None:
+                rows = np.array(
+                    [self._row(cid) for cid in rows], dtype=np.int64
+                )
+            mask[rows] = False
+        on = np.flatnonzero(mask)
+        return on if self._row_of is None else self.client_ids[on]
 
     def set_available(self, client_ids: Sequence[int], value: bool) -> None:
         self.available[np.asarray(client_ids, dtype=np.int64)] = bool(value)
@@ -408,6 +584,102 @@ class PopulationStore:
         return (
             f"PopulationStore(n={self.num_clients}, resident={self.resident}, "
             f"cache={self._cache_size})"
+        )
+
+
+@dataclass
+class PopulationShard:
+    """A worker's column slice of a :class:`PopulationStore`.
+
+    Produced by :meth:`PopulationStore.shard`, consumed by
+    :meth:`PopulationStore.from_columns`; the wire form is
+    :func:`repro.serialization.shard_to_bytes` (raw column buffers +
+    seed coordinates -- never pickled :class:`SimClient` objects).
+    ``rng_states`` carries authoritative ``(train, latency)`` stream
+    snapshots for members whose streams have advanced; entries may be
+    partial (``None`` = still at position zero for that stream).
+    """
+
+    client_ids: np.ndarray
+    num_samples: np.ndarray
+    cpu_fraction: np.ndarray
+    bandwidth_mbps: np.ndarray
+    group: np.ndarray
+    holdout_fraction: float
+    min_holdout: int
+    seed_address: SeedAddress
+    latency_model: LatencyModel
+    comm_model: CommModel
+    dataset_for: DatasetProvider
+    rng_states: Dict[int, Tuple[Optional[dict], Optional[dict]]]
+    cache_size: int
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.client_ids.shape[0])
+
+
+class ShardClients(Mapping):
+    """Worker-side lazy ``Mapping[int, SimClient]`` over shard stores.
+
+    A worker may own several slices over its lifetime: its initial pin
+    plus any ranges re-dealt to it when a peer dies.  Each
+    :meth:`add` keeps the slice as its own :class:`PopulationStore`
+    (later additions win ownership of overlapping ids, which is exactly
+    the re-ship semantics: the newest slice carries the authoritative
+    RNG snapshots).  Lookups materialise lazily in the owning store
+    under its bounded LRU, so worker memory stays O(shard).
+    """
+
+    lazy = True
+
+    def __init__(self) -> None:
+        self._stores: List[PopulationStore] = []
+        self._owner: Dict[int, PopulationStore] = {}
+
+    def add(self, store: PopulationStore) -> PopulationStore:
+        """Register a shard store; its ids now resolve here."""
+        self._stores.append(store)
+        for cid in store.client_ids.tolist():
+            self._owner[int(cid)] = store
+        return store
+
+    @property
+    def stores(self) -> List[PopulationStore]:
+        return list(self._stores)
+
+    @property
+    def materialize_count(self) -> int:
+        return sum(s.materialize_count for s in self._stores)
+
+    @property
+    def resident(self) -> int:
+        return sum(s.resident for s in self._stores)
+
+    def __getitem__(self, client_id: int) -> SimClient:
+        if not isinstance(client_id, (int, np.integer)):
+            raise KeyError(client_id)
+        store = self._owner.get(int(client_id))
+        if store is None:
+            raise KeyError(client_id)
+        return store.materialize(int(client_id))
+
+    def __contains__(self, client_id: object) -> bool:
+        return (
+            isinstance(client_id, (int, np.integer))
+            and int(client_id) in self._owner
+        )
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._owner))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardClients(n={len(self)}, shards={len(self._stores)}, "
+            f"resident={self.resident})"
         )
 
 

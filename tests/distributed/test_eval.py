@@ -65,18 +65,19 @@ class TestEvalCodecs:
 
 
 class TestVersioning:
-    def test_protocol_version_is_5(self):
-        """v5 added the worker TELEMETRY frame (v4 widened the
-        BROADCAST/UPDATE headers and added resumable sessions);
-        regressing the constant would let pre-codec workers join and
-        then misparse every weight frame."""
-        assert proto.PROTOCOL_VERSION == 5
+    def test_protocol_version_is_6(self):
+        """v6 added the ASSIGN_SHARD frame (v5 added the worker
+        TELEMETRY frame; v4 widened the BROADCAST/UPDATE headers and
+        added resumable sessions); regressing the constant would let
+        shard-unaware workers join and then choke on their pin frame."""
+        assert proto.PROTOCOL_VERSION == 6
         assert proto.MsgType.EVAL == 13
         assert proto.MsgType.EVAL_RESULT == 14
         assert proto.MsgType.BIND_EVAL == 15
         assert proto.MsgType.EVAL_MODEL == 16
         assert proto.MsgType.EVAL_MODEL_RESULT == 17
         assert proto.MsgType.TELEMETRY == 18
+        assert proto.MsgType.ASSIGN_SHARD == 19
 
     @pytest.mark.parametrize("stale_version", [1, 2, 4])
     def test_stale_worker_is_rejected_naming_both_versions(self, stale_version):

@@ -143,6 +143,16 @@ class TestCodecs:
         )
         assert (seq, rnd, jobs) == (9, 4, [(3, 1), (1, 2)])
 
+    def test_assign_shard_round_trip(self):
+        """v6: ASSIGN_SHARD carries an opaque shard blob + signature."""
+        assert proto.PROTOCOL_VERSION == 6
+        blob = b"PSH1\x00\x00\x00\x02{}"
+        payload = proto.encode_assign_shard(blob, None, "sig-abc", model=None)
+        out = proto.decode_assign_shard(payload)
+        assert out["shard"] == blob
+        assert out["signature"] == "sig-abc"
+        assert out["model"] is None
+
     @settings(max_examples=30, deadline=None)
     @given(
         st.lists(

@@ -411,3 +411,35 @@ class TestFactoryAndConfig:
             ex.bind(pool, model, TRAIN)  # same-pool rebind stays idempotent
             with pytest.raises(ExecutorError, match="different client pool"):
                 ex.bind({9: other[0]}, model, TRAIN)
+
+    def test_rebind_same_mapping_never_enumerates_it(self):
+        """Re-binding the identical pool object is O(1): the identity
+        short-circuit must fire before the O(population) dict compare."""
+        import collections.abc
+
+        class CountingPool(collections.abc.Mapping):
+            def __init__(self, inner):
+                self.inner = inner
+                self.iterations = 0
+
+            def __getitem__(self, key):
+                return self.inner[key]
+
+            def __len__(self):
+                return len(self.inner)
+
+            def __iter__(self):
+                self.iterations += 1
+                return iter(self.inner)
+
+        clients = make_pool(num_clients=4, seed=1)
+        pool = CountingPool({c.client_id: c for c in clients})
+        model = build_mlp((4, 4, 1), 3, hidden=(4,), rng=1)
+        with ThreadExecutor(workers=1) as ex:
+            ex.bind(pool, model, TRAIN)
+            first_cost = pool.iterations  # the one defensive dict copy
+            for _ in range(5):
+                ex.bind(pool, model, TRAIN)
+            assert pool.iterations == first_cost, (
+                "same-object rebind enumerated the pool again"
+            )

@@ -17,11 +17,13 @@ from hypothesis import strategies as st
 
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.rng import make_rng, spawn
+from repro.serialization import shard_from_bytes, shard_to_bytes
 from repro.simcluster.clock import SimulatedClock
 from repro.simcluster.population import (
     DiurnalSchedule,
     PopulationStore,
     SeedAddress,
+    ShardClients,
 )
 from repro.tifl.tiering import Tier, TierAssignment
 
@@ -317,3 +319,109 @@ class TestStoreConstruction:
                 dataset_for=tpl._dataset_for,
                 latency_model=tpl.latency_model,
             )
+
+
+class TestSharding:
+    """Worker-side shards: column slices that rebuild bit-identical stores."""
+
+    def test_shard_rebuild_is_bit_identical(
+        self, eager_scenario, store_scenario
+    ):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        ids = [1, 4, 7, 13, 19]
+        local = PopulationStore.from_columns(store.shard(ids))
+        assert local.num_clients == len(ids)
+        for cid in ids:
+            assert_clients_identical(
+                local.materialize(cid), eager_scenario.clients[cid]
+            )
+
+    def test_shard_rows_reject_foreign_ids(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        local = PopulationStore.from_columns(store.shard([2, 6, 10]))
+        with pytest.raises(KeyError):
+            local.materialize(3)  # not in this slice
+        with pytest.raises(KeyError):
+            store.shard([NUM_CLIENTS])  # outside the population
+        with pytest.raises(ValueError, match="at least one client"):
+            store.shard([])
+
+    def test_shard_carries_advanced_rng_states(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        trained = store.materialize(5)
+        shuffle = trained.epoch_shuffle()  # advance the train stream
+        expected = trained._train_rng.bit_generator.state
+
+        local = PopulationStore.from_columns(store.shard([5, 6]))
+        twin = local.materialize(5)
+        assert twin._train_rng.bit_generator.state == expected
+        # The stream continues, it does not replay.
+        assert not np.array_equal(twin.epoch_shuffle(), shuffle)
+        # An untouched member starts at position zero.
+        assert_clients_identical(
+            local.materialize(6), fresh_store(
+                store_scenario.population, cache_size=2
+            ).materialize(6),
+        )
+
+    def test_codec_roundtrip(self, eager_scenario, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        store.materialize(3).epoch_shuffle()  # non-trivial ledger entry
+        blob = shard_to_bytes(store.shard([0, 3, 11]))
+        assert isinstance(blob, bytes)
+        shard = shard_from_bytes(blob)
+        assert shard.client_ids.tolist() == [0, 3, 11]
+        local = PopulationStore.from_columns(shard)
+        # Untouched members are bit-identical to the eager builder...
+        for cid in (0, 11):
+            assert_clients_identical(
+                local.materialize(cid), eager_scenario.clients[cid]
+            )
+        # ...and the advanced stream shipped with the slice.
+        assert (
+            local.materialize(3)._train_rng.bit_generator.state
+            == store.materialize(3)._train_rng.bit_generator.state
+        )
+
+    def test_codec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            shard_from_bytes(b"not a shard")
+
+    def test_rng_ledger_without_materialisation(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=4)
+        assert store.rng_state_of(2) == (None, None)
+        donor = fresh_store(store_scenario.population, cache_size=4)
+        d = donor.materialize(2)
+        d.epoch_shuffle()
+        state = d._train_rng.bit_generator.state
+        before = store.materialize_count
+        store.restore_rng_state(2, train_state=state)
+        assert store.materialize_count == before  # ledger write only
+        assert store.rng_state_of(2) == (state, None)
+        assert (
+            store.materialize(2)._train_rng.bit_generator.state == state
+        )
+
+    def test_shard_clients_mapping_and_redeal(self, store_scenario):
+        store = fresh_store(store_scenario.population, cache_size=8)
+        pool = ShardClients()
+        pool.add(PopulationStore.from_columns(store.shard([0, 2, 4])))
+        assert pool.lazy is True
+        assert len(pool) == 3
+        assert sorted(pool) == [0, 2, 4]
+        assert 2 in pool and 3 not in pool
+        assert pool[4].client_id == 4
+        with pytest.raises(KeyError):
+            pool[3]
+
+        # A re-dealt slice owns overlapping ids: its (fresher) RNG
+        # snapshots win, exactly the worker-loss re-ship semantics.
+        donor = fresh_store(store_scenario.population, cache_size=8)
+        d = donor.materialize(4)
+        d.epoch_shuffle()
+        advanced = d._train_rng.bit_generator.state
+        redeal = PopulationStore.from_columns(donor.shard([4, 6]))
+        pool.add(redeal)
+        assert len(pool) == 4
+        assert pool[4]._train_rng.bit_generator.state == advanced
+        assert len(pool.stores) == 2

@@ -133,3 +133,65 @@ class TestTracingIsBitInvisible:
             if k.startswith("distributed.worker.busy_s")
         ]
         assert len(busy) == 2, "expected one busy gauge per worker"
+
+    def test_sharded_population_path(self, tmp_path):
+        """The shard ship/re-deal instrumentation (wire.shard_*) must be
+        just as bit-invisible as the rest: a store-backed sharded run
+        traced vs untraced produces identical histories, and the traced
+        run records the shard counters."""
+        from repro.distributed import protocol as proto
+        from repro.experiments.scenarios import build_population_scenario
+        from repro.rng import derive
+
+        def run_sharded(executor, seed=7, rounds=2):
+            scn = build_population_scenario(
+                num_clients=40, clients_per_round=4, seed=seed
+            )
+            with FLServer(
+                clients=scn.population,
+                model=scn.model,
+                selector=RandomSelector(4, rng=derive(seed, 101)),
+                test_data=scn.test_data,
+                training=scn.training,
+                rng=derive(seed, 202),
+                executor=executor,
+            ) as server:
+                history = server.run(rounds)
+            return history
+
+        telemetry.reset()
+        ex = DistributedExecutor(
+            workers=2, accept_timeout=60.0, result_timeout=90.0
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            ref_history = run_sharded(ex)
+        finally:
+            ex.close()
+            terminate_workers(procs)
+        assert not telemetry.enabled()
+
+        trace = str(tmp_path / "sharded.jsonl")
+        telemetry.configure(enabled=True, trace_path=trace)
+        ex = DistributedExecutor(
+            workers=2, accept_timeout=60.0, result_timeout=90.0
+        )
+        procs = spawn_local_workers(ex.listen(), 2)
+        try:
+            history = run_sharded(ex)
+        finally:
+            ex.close()
+            codes = terminate_workers(procs)
+            telemetry.flush()
+            telemetry.shutdown()
+
+        assert codes == [0, 0]
+        assert fingerprint(ref_history) == fingerprint(history), (
+            "tracing perturbed the sharded population path"
+        )
+        telemetry.validate_trace_file(trace)
+        snap = telemetry.snapshot()
+        assert snap["counters"].get("wire.shard_ships") == 2, (
+            "expected one shard ship per worker in the counters"
+        )
+        assert snap["counters"].get("wire.shard_bytes", 0) > 0
